@@ -1,0 +1,74 @@
+//! Optimization levels.
+
+use std::fmt;
+
+/// A method's compilation level in the adaptive system.
+///
+/// Mirrors the structure of Jikes RVM's adaptive optimization system: all
+/// methods start at the non-optimizing baseline; sampling promotes hot
+/// methods through successively more expensive levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum OptLevel {
+    /// Non-optimizing baseline compiler (trivial inlining only).
+    #[default]
+    Baseline,
+    /// Local optimizations (the `cbs-opt` pass pipeline).
+    Opt1,
+    /// Profile-directed inlining plus local optimizations.
+    Opt2,
+}
+
+impl OptLevel {
+    /// The next level up, or `None` at the top.
+    pub fn next(self) -> Option<OptLevel> {
+        match self {
+            OptLevel::Baseline => Some(OptLevel::Opt1),
+            OptLevel::Opt1 => Some(OptLevel::Opt2),
+            OptLevel::Opt2 => None,
+        }
+    }
+
+    /// Relative compilation expense of this level (scales the
+    /// compile-time model).
+    pub fn compile_expense(self) -> f64 {
+        match self {
+            OptLevel::Baseline => 1.0,
+            OptLevel::Opt1 => 3.0,
+            OptLevel::Opt2 => 8.0,
+        }
+    }
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptLevel::Baseline => write!(f, "base"),
+            OptLevel::Opt1 => write!(f, "O1"),
+            OptLevel::Opt2 => write!(f, "O2"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(OptLevel::Baseline < OptLevel::Opt1);
+        assert!(OptLevel::Opt1 < OptLevel::Opt2);
+    }
+
+    #[test]
+    fn next_walks_the_ladder() {
+        assert_eq!(OptLevel::Baseline.next(), Some(OptLevel::Opt1));
+        assert_eq!(OptLevel::Opt1.next(), Some(OptLevel::Opt2));
+        assert_eq!(OptLevel::Opt2.next(), None);
+    }
+
+    #[test]
+    fn expense_grows_with_level() {
+        assert!(OptLevel::Opt2.compile_expense() > OptLevel::Opt1.compile_expense());
+        assert!(OptLevel::Opt1.compile_expense() > OptLevel::Baseline.compile_expense());
+    }
+}

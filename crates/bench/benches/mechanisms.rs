@@ -1,0 +1,114 @@
+//! Microbenchmarks of the profiling mechanisms themselves (real wall
+//! time, not simulated cycles): the disabled-path cost CBS adds to every
+//! call event, the sampling path, the overlap metric, and raw interpreter
+//! throughput.
+
+use cbs_core::prelude::*;
+use cbs_core::vm::{Profiler, StackSlice, ThreadId};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_program() -> Program {
+    Benchmark::Jess
+        .spec(InputSize::Small)
+        .scaled(0.02)
+        .pipe(|s| cbs_core::workloads::generator::build(&s).expect("jess builds"))
+}
+
+trait Pipe: Sized {
+    fn pipe<R>(self, f: impl FnOnce(Self) -> R) -> R {
+        f(self)
+    }
+}
+impl<T> Pipe for T {}
+
+fn interpreter_throughput(c: &mut Criterion) {
+    let program = bench_program();
+    c.bench_function("interpret_jess_small_2pct", |b| {
+        b.iter(|| {
+            Vm::new(&program, VmConfig::default())
+                .run_unprofiled()
+                .expect("runs")
+        });
+    });
+}
+
+fn cbs_event_paths(c: &mut Criterion) {
+    let program = bench_program();
+    c.bench_function("interpret_with_idle_cbs", |b| {
+        b.iter_batched(
+            || CounterBasedSampler::new(CbsConfig::new(3, 16)),
+            |mut cbs| {
+                Vm::new(&program, VmConfig::default())
+                    .run(&mut cbs)
+                    .expect("runs")
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("interpret_with_grid_of_8_samplers", |b| {
+        b.iter_batched(
+            || {
+                let mut multi = MultiProfiler::new();
+                for stride in [1, 3, 7, 15] {
+                    for samples in [1, 16] {
+                        multi.attach(Box::new(CounterBasedSampler::new(CbsConfig::new(
+                            stride, samples,
+                        ))));
+                    }
+                }
+                multi
+            },
+            |mut multi| {
+                Vm::new(&program, VmConfig::default())
+                    .run(&mut multi)
+                    .expect("runs")
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn overlap_metric(c: &mut Criterion) {
+    let program = bench_program();
+    let mut ex = ExhaustiveProfiler::new();
+    let mut cbs = CounterBasedSampler::new(CbsConfig::new(3, 16));
+    {
+        let mut multi = MultiProfiler::new();
+        // Throwaway run to fill a sampled profile for the metric bench.
+        Vm::new(&program, VmConfig::default()).run(&mut ex).expect("runs");
+        Vm::new(&program, VmConfig::default()).run(&mut cbs).expect("runs");
+        let _ = &mut multi;
+    }
+    let perfect = ex.take_dcg();
+    let sampled = cbs.take_dcg();
+    c.bench_function("overlap_metric", |b| {
+        b.iter(|| cbs_core::dcg::overlap(std::hint::black_box(&sampled), &perfect));
+    });
+}
+
+fn stack_walk(c: &mut Criterion) {
+    // Measure the host cost of a context-path walk through the event
+    // machinery on a deep synthetic stack.
+    use cbs_core::vm::Frame;
+    let mut frames = Vec::new();
+    for i in 0..64u32 {
+        let mut f = Frame::new(cbs_core::bytecode::MethodId::new(i), 0);
+        f.set_pending_site(Some(cbs_core::bytecode::CallSiteId::new(i)));
+        frames.push(f);
+    }
+    c.bench_function("pc_sampler_tick_on_depth_64", |b| {
+        let mut pc = PcSampler::new();
+        b.iter(|| {
+            pc.on_tick(0, ThreadId(0), StackSlice::for_testing(&frames));
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    interpreter_throughput,
+    cbs_event_paths,
+    overlap_metric,
+    stack_walk
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Offline profile tooling: compare, characterize and visualize
+//! serialized dynamic call graphs (the `cbs-dcg v1` text format).
+//!
+//! ```text
+//! dcgtool collect <benchmark> <small|large> <out.dcg> [stride samples]
+//! dcgtool compare <a.dcg> <b.dcg>        # overlap percentage
+//! dcgtool shape   <a.dcg>                # distribution statistics
+//! dcgtool dot     <a.dcg> [max_edges]    # DOT digraph on stdout
+//! ```
+
+use cbs_core::dcg::{dot, overlap, serialize, stats};
+use cbs_core::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dcgtool: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(path: &str) -> Result<cbs_core::dcg::DynamicCallGraph, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(serialize::from_text(&text)?)
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    match args.first().map(String::as_str) {
+        Some("collect") => {
+            let bench_name = args.get(1).ok_or("collect needs a benchmark name")?;
+            let size = match args.get(2).map(String::as_str) {
+                Some("small") => InputSize::Small,
+                Some("large") => InputSize::Large,
+                _ => return Err("size must be `small` or `large`".into()),
+            };
+            let out = args.get(3).ok_or("collect needs an output path")?;
+            let stride = args.get(4).map_or(Ok(3), |s| s.parse())?;
+            let samples = args.get(5).map_or(Ok(16), |s| s.parse())?;
+            let bench = Benchmark::all()
+                .into_iter()
+                .find(|b| b.name() == bench_name)
+                .ok_or_else(|| format!("unknown benchmark `{bench_name}`"))?;
+            let program = bench.build(size)?;
+            let m = measure(
+                &program,
+                VmConfig::default(),
+                vec![Box::new(CounterBasedSampler::new(CbsConfig::new(
+                    stride, samples,
+                )))],
+            )?;
+            std::fs::write(out, serialize::to_text(&m.outcomes[0].dcg))?;
+            eprintln!(
+                "wrote {out}: {} edges, accuracy {:.1}%, overhead {:.3}%",
+                m.outcomes[0].dcg.num_edges(),
+                m.outcomes[0].accuracy,
+                m.outcomes[0].overhead_pct
+            );
+            Ok(())
+        }
+        Some("compare") => {
+            let a = load(args.get(1).ok_or("compare needs two paths")?)?;
+            let b = load(args.get(2).ok_or("compare needs two paths")?)?;
+            println!("{:.2}", overlap(&a, &b));
+            Ok(())
+        }
+        Some("shape") => {
+            let g = load(args.get(1).ok_or("shape needs a path")?)?;
+            let s = stats::shape(&g);
+            println!(
+                "edges={} top_decile_share={:.3} edges_for_90pct={} gini={:.3}",
+                s.edges, s.top_decile_share, s.edges_for_90pct, s.gini
+            );
+            Ok(())
+        }
+        Some("dot") => {
+            let g = load(args.get(1).ok_or("dot needs a path")?)?;
+            let max_edges = args.get(2).map_or(Ok(64), |s| s.parse())?;
+            print!(
+                "{}",
+                dot::to_dot(
+                    &g,
+                    None,
+                    &dot::DotOptions {
+                        max_edges,
+                        ..Default::default()
+                    }
+                )
+            );
+            Ok(())
+        }
+        _ => Err("usage: dcgtool collect|compare|shape|dot …".into()),
+    }
+}

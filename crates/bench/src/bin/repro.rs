@@ -1,0 +1,140 @@
+//! Regenerates every table and figure of Arnold & Grove (CGO 2005).
+//!
+//! ```text
+//! repro [--scale <f64>] [artifact...]
+//!
+//! artifacts: table1 table2a table2b table3 figure1 figure5-jikes
+//!            figure5-j9 inliner-ablation exhaustive-overhead patching
+//!            frequency-sweep hardware context inline-depth shapes
+//!            all (default)
+//! ```
+//!
+//! `--scale 1.0` (default) runs benchmarks at the paper's running times
+//! on the simulated clock; smaller scales give quicker, noisier versions.
+
+use cbs_core::experiments::{
+    context_sensitivity, exhaustive_overhead, figure1_demo, figure5, frequency_sweep,
+    hardware_vs_cbs, inline_depth_ablation, inliner_ablation, patching_vs_cbs, table1, table2,
+    table3, workload_shapes, Table2Options,
+};
+use cbs_core::vm::VmFlavor;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut artifacts: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => scale = v,
+                None => {
+                    eprintln!("--scale requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [--scale <f64>] [table1|table2a|table2b|table3|figure1|\
+                     figure5-jikes|figure5-j9|inliner-ablation|exhaustive-overhead|patching|\
+                     frequency-sweep|hardware|context|inline-depth|shapes|all]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => artifacts.push(other.to_owned()),
+        }
+    }
+    if artifacts.is_empty() {
+        artifacts.push("all".to_owned());
+    }
+
+    for a in &artifacts {
+        if let Err(e) = run(a, scale) {
+            eprintln!("{a}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run(artifact: &str, scale: f64) -> Result<(), Box<dyn std::error::Error>> {
+    let known = [
+        "all",
+        "table1",
+        "table2a",
+        "table2b",
+        "table3",
+        "figure1",
+        "figure5-jikes",
+        "figure5-j9",
+        "inliner-ablation",
+        "exhaustive-overhead",
+        "patching",
+        "frequency-sweep",
+        "hardware",
+        "context",
+        "inline-depth",
+        "shapes",
+    ];
+    if !known.contains(&artifact) {
+        return Err(format!("unknown artifact `{artifact}`").into());
+    }
+    let all = artifact == "all";
+    if all || artifact == "table1" {
+        println!("{}", table1(scale)?.render());
+    }
+    if all || artifact == "table2a" {
+        let opts = Table2Options {
+            scale,
+            flavor: VmFlavor::Jikes,
+            ..Table2Options::default()
+        };
+        println!("{}", table2(&opts)?.render());
+    }
+    if all || artifact == "table2b" {
+        let opts = Table2Options {
+            scale,
+            flavor: VmFlavor::J9,
+            ..Table2Options::default()
+        };
+        println!("{}", table2(&opts)?.render());
+    }
+    if all || artifact == "table3" {
+        println!("{}", table3(scale, None)?.render());
+    }
+    if all || artifact == "figure1" {
+        println!("{}", figure1_demo(200, 100_000)?.render());
+    }
+    if all || artifact == "figure5-jikes" {
+        println!("{}", figure5(VmFlavor::Jikes, scale, None)?.render());
+    }
+    if all || artifact == "figure5-j9" {
+        println!("{}", figure5(VmFlavor::J9, scale, None)?.render());
+    }
+    if all || artifact == "inliner-ablation" {
+        println!("{}", inliner_ablation(scale, None)?.render());
+    }
+    if all || artifact == "exhaustive-overhead" {
+        println!("{}", exhaustive_overhead(scale, None)?.render());
+    }
+    if all || artifact == "patching" {
+        println!("{}", patching_vs_cbs(scale, None)?.render());
+    }
+    if all || artifact == "frequency-sweep" {
+        println!("{}", frequency_sweep()?.render());
+    }
+    if all || artifact == "hardware" {
+        println!("{}", hardware_vs_cbs(scale, None)?.render());
+    }
+    if all || artifact == "context" {
+        println!("{}", context_sensitivity(scale, None)?.render());
+    }
+    if all || artifact == "inline-depth" {
+        println!("{}", inline_depth_ablation(scale, None)?.render());
+    }
+    if all || artifact == "shapes" {
+        println!("{}", workload_shapes(scale)?.render());
+    }
+    Ok(())
+}

@@ -1,0 +1,682 @@
+//! Fluent construction of [`Program`]s.
+//!
+//! The builder supports forward references (declare a method id first, define
+//! its body later), label-based control flow, and automatic allocation of
+//! call-site identities.
+//!
+//! ```
+//! use cbs_bytecode::{ProgramBuilder, VirtualSlot};
+//!
+//! # fn main() -> Result<(), cbs_bytecode::BuildError> {
+//! let mut b = ProgramBuilder::new();
+//! let cls = b.add_class("Main", 0);
+//! let add1 = b.declare("Main.add1", cls, 1);
+//! let main = b.declare("Main.main", cls, 0);
+//! b.define(add1, 1, |c| {
+//!     c.load(0).const_(1).add().ret();
+//! })?;
+//! b.define(main, 0, |c| {
+//!     c.const_(41).call(add1).ret();
+//! })?;
+//! b.set_entry(main);
+//! let program = b.build()?;
+//! assert_eq!(program.num_methods(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::class::Class;
+use crate::ids::{CallSiteId, ClassId, MethodId, VirtualSlot};
+use crate::method::Method;
+use crate::op::Op;
+use crate::program::Program;
+use crate::verify::{self, VerifyError};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while assembling a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A declared method was never given a body.
+    UndefinedMethod(String),
+    /// `set_entry` was never called.
+    NoEntry,
+    /// A label was referenced but never bound.
+    UnboundLabel {
+        /// Method whose body references the label.
+        method: String,
+        /// Index of the unbound label.
+        label: usize,
+    },
+    /// The assembled program failed bytecode verification.
+    Verify(VerifyError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UndefinedMethod(name) => {
+                write!(f, "method `{name}` was declared but never defined")
+            }
+            BuildError::NoEntry => write!(f, "no entry method was set"),
+            BuildError::UnboundLabel { method, label } => {
+                write!(f, "label {label} in method `{method}` was never bound")
+            }
+            BuildError::Verify(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl Error for BuildError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BuildError::Verify(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VerifyError> for BuildError {
+    fn from(e: VerifyError) -> Self {
+        BuildError::Verify(e)
+    }
+}
+
+/// A forward-referenceable code label used by [`CodeBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+#[derive(Debug)]
+struct PendingMethod {
+    name: String,
+    class: ClassId,
+    num_params: u16,
+    body: Option<(u16, Vec<Op>)>, // (num_locals, code)
+}
+
+/// Incremental builder for [`Program`]s.
+///
+/// Supports forward references (declare, then define), label-based
+/// control flow through [`CodeBuilder`], and automatic call-site
+/// allocation; see the doctest on [`ProgramBuilder::define`]'s module for
+/// a complete example, or write programs textually with
+/// [`assemble`](crate::asm::assemble).
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    classes: Vec<Class>,
+    methods: Vec<PendingMethod>,
+    entry: Option<MethodId>,
+    next_site: u32,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a root class with `num_fields` instance fields.
+    pub fn add_class(&mut self, name: impl Into<String>, num_fields: u16) -> ClassId {
+        let id = ClassId::new(self.classes.len() as u32);
+        self.classes
+            .push(Class::new(id, name, None, num_fields, Vec::new()));
+        id
+    }
+
+    /// Adds a subclass. The subclass inherits its parent's vtable and field
+    /// count (plus `extra_fields`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not a class of this builder.
+    pub fn add_subclass(
+        &mut self,
+        name: impl Into<String>,
+        parent: ClassId,
+        extra_fields: u16,
+    ) -> ClassId {
+        let id = ClassId::new(self.classes.len() as u32);
+        let p = &self.classes[parent.index()];
+        let vtable = p.vtable().to_vec();
+        let fields = p.num_fields() + extra_fields;
+        self.classes
+            .push(Class::new(id, name, Some(parent), fields, vtable));
+        id
+    }
+
+    /// Declares a method without a body, returning an id usable in call
+    /// instructions (enables recursion and forward references).
+    pub fn declare(
+        &mut self,
+        name: impl Into<String>,
+        class: ClassId,
+        num_params: u16,
+    ) -> MethodId {
+        let id = MethodId::new(self.methods.len() as u32);
+        self.methods.push(PendingMethod {
+            name: name.into(),
+            class,
+            num_params,
+            body: None,
+        });
+        id
+    }
+
+    /// Defines the body of a previously declared method.
+    ///
+    /// `extra_locals` is the number of non-parameter local slots. The
+    /// closure receives a [`CodeBuilder`] to emit instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnboundLabel`] if the body references a label
+    /// that was never bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not declared on this builder.
+    pub fn define(
+        &mut self,
+        id: MethodId,
+        extra_locals: u16,
+        f: impl FnOnce(&mut CodeBuilder<'_>),
+    ) -> Result<(), BuildError> {
+        let num_params = self.methods[id.index()].num_params;
+        let mut cb = CodeBuilder {
+            ops: Vec::new(),
+            labels: Vec::new(),
+            next_site: &mut self.next_site,
+        };
+        f(&mut cb);
+        let CodeBuilder { ops, labels, .. } = cb;
+        // Resolve label placeholders: jump targets were recorded as label
+        // ids offset by LABEL_BASE.
+        let mut code = Vec::with_capacity(ops.len());
+        for op in ops {
+            let resolved = match op.jump_target() {
+                Some(t) if t >= LABEL_BASE => {
+                    let label = (t - LABEL_BASE) as usize;
+                    let target = labels.get(label).copied().flatten().ok_or_else(|| {
+                        BuildError::UnboundLabel {
+                            method: self.methods[id.index()].name.clone(),
+                            label,
+                        }
+                    })?;
+                    op.with_jump_target(target)
+                }
+                _ => op,
+            };
+            code.push(resolved);
+        }
+        self.methods[id.index()].body = Some((num_params + extra_locals, code));
+        Ok(())
+    }
+
+    /// Declares and defines a method in one step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError::UnboundLabel`] from [`Self::define`].
+    pub fn function(
+        &mut self,
+        name: impl Into<String>,
+        class: ClassId,
+        num_params: u16,
+        extra_locals: u16,
+        f: impl FnOnce(&mut CodeBuilder<'_>),
+    ) -> Result<MethodId, BuildError> {
+        let id = self.declare(name, class, num_params);
+        self.define(id, extra_locals, f)?;
+        Ok(id)
+    }
+
+    /// Installs `method` into `class`'s vtable at `slot` (override or
+    /// extend).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is not a class of this builder.
+    pub fn set_vtable(&mut self, class: ClassId, slot: VirtualSlot, method: MethodId) {
+        self.classes[class.index()].set_slot(slot, method);
+    }
+
+    /// Sets the entry method.
+    pub fn set_entry(&mut self, entry: MethodId) {
+        self.entry = Some(entry);
+    }
+
+    /// Number of call sites allocated so far.
+    pub fn num_call_sites(&self) -> u32 {
+        self.next_site
+    }
+
+    /// Finishes the program, running the bytecode verifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a declared method lacks a body, no entry was
+    /// set, or verification fails.
+    pub fn build(self) -> Result<Program, BuildError> {
+        let entry = self.entry.ok_or(BuildError::NoEntry)?;
+        let mut methods = Vec::with_capacity(self.methods.len());
+        for (i, pm) in self.methods.into_iter().enumerate() {
+            let (num_locals, code) = pm
+                .body
+                .ok_or_else(|| BuildError::UndefinedMethod(pm.name.clone()))?;
+            methods.push(Method::new(
+                MethodId::new(i as u32),
+                pm.name,
+                pm.class,
+                pm.num_params,
+                num_locals,
+                code,
+            ));
+        }
+        let program = Program::from_parts(self.classes, methods, entry, self.next_site);
+        verify::verify(&program)?;
+        Ok(program)
+    }
+}
+
+/// Sentinel offset distinguishing unresolved label references from real
+/// instruction indices while a body is being built. No method body may reach
+/// this many instructions.
+const LABEL_BASE: u32 = 1 << 30;
+
+/// Emits instructions for one method body.
+///
+/// All emit methods return `&mut Self` for chaining. Control flow uses
+/// [`Label`]s created by [`CodeBuilder::label`] and placed by
+/// [`CodeBuilder::bind`].
+#[derive(Debug)]
+pub struct CodeBuilder<'a> {
+    ops: Vec<Op>,
+    labels: Vec<Option<u32>>,
+    next_site: &'a mut u32,
+}
+
+impl CodeBuilder<'_> {
+    /// Current instruction index (where the next emitted op will land).
+    pub fn here(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        self.labels[label.0] = Some(self.here());
+        self
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, op: Op) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    fn site(&mut self) -> CallSiteId {
+        let s = CallSiteId::new(*self.next_site);
+        *self.next_site += 1;
+        s
+    }
+
+    /// Emits `const`.
+    pub fn const_(&mut self, v: i64) -> &mut Self {
+        self.emit(Op::Const(v))
+    }
+
+    /// Emits `load`.
+    pub fn load(&mut self, slot: u16) -> &mut Self {
+        self.emit(Op::Load(slot))
+    }
+
+    /// Emits `store`.
+    pub fn store(&mut self, slot: u16) -> &mut Self {
+        self.emit(Op::Store(slot))
+    }
+
+    /// Emits `dup`.
+    pub fn dup(&mut self) -> &mut Self {
+        self.emit(Op::Dup)
+    }
+
+    /// Emits `pop`.
+    pub fn pop(&mut self) -> &mut Self {
+        self.emit(Op::Pop)
+    }
+
+    /// Emits `swap`.
+    pub fn swap(&mut self) -> &mut Self {
+        self.emit(Op::Swap)
+    }
+
+    /// Emits `add`.
+    pub fn add(&mut self) -> &mut Self {
+        self.emit(Op::Add)
+    }
+
+    /// Emits `sub`.
+    pub fn sub(&mut self) -> &mut Self {
+        self.emit(Op::Sub)
+    }
+
+    /// Emits `mul`.
+    pub fn mul(&mut self) -> &mut Self {
+        self.emit(Op::Mul)
+    }
+
+    /// Emits `div`.
+    pub fn div(&mut self) -> &mut Self {
+        self.emit(Op::Div)
+    }
+
+    /// Emits `rem`.
+    pub fn rem(&mut self) -> &mut Self {
+        self.emit(Op::Rem)
+    }
+
+    /// Emits `neg`.
+    pub fn neg(&mut self) -> &mut Self {
+        self.emit(Op::Neg)
+    }
+
+    /// Emits `and`.
+    pub fn band(&mut self) -> &mut Self {
+        self.emit(Op::And)
+    }
+
+    /// Emits `or`.
+    pub fn bor(&mut self) -> &mut Self {
+        self.emit(Op::Or)
+    }
+
+    /// Emits `xor`.
+    pub fn bxor(&mut self) -> &mut Self {
+        self.emit(Op::Xor)
+    }
+
+    /// Emits `shl`.
+    pub fn shl(&mut self) -> &mut Self {
+        self.emit(Op::Shl)
+    }
+
+    /// Emits `shr`.
+    pub fn shr(&mut self) -> &mut Self {
+        self.emit(Op::Shr)
+    }
+
+    /// Emits `cmpeq`.
+    pub fn cmp_eq(&mut self) -> &mut Self {
+        self.emit(Op::CmpEq)
+    }
+
+    /// Emits `cmplt`.
+    pub fn cmp_lt(&mut self) -> &mut Self {
+        self.emit(Op::CmpLt)
+    }
+
+    /// Emits `cmpgt`.
+    pub fn cmp_gt(&mut self) -> &mut Self {
+        self.emit(Op::CmpGt)
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jump(&mut self, label: Label) -> &mut Self {
+        self.emit(Op::Jump(LABEL_BASE + label.0 as u32))
+    }
+
+    /// Emits a jump-if-zero to `label`.
+    pub fn jump_if_zero(&mut self, label: Label) -> &mut Self {
+        self.emit(Op::JumpIfZero(LABEL_BASE + label.0 as u32))
+    }
+
+    /// Emits a jump-if-non-zero to `label`.
+    pub fn jump_if_non_zero(&mut self, label: Label) -> &mut Self {
+        self.emit(Op::JumpIfNonZero(LABEL_BASE + label.0 as u32))
+    }
+
+    /// Emits a direct call to `target`, allocating a fresh call site.
+    pub fn call(&mut self, target: MethodId) -> &mut Self {
+        let site = self.site();
+        self.emit(Op::Call { site, target })
+    }
+
+    /// Emits a virtual call through `slot` with `arity` arguments
+    /// (receiver included), allocating a fresh call site.
+    pub fn call_virtual(&mut self, slot: VirtualSlot, arity: u16) -> &mut Self {
+        let site = self.site();
+        self.emit(Op::CallVirtual { site, slot, arity })
+    }
+
+    /// Emits `return`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.emit(Op::Return)
+    }
+
+    /// Emits `getfield`.
+    pub fn get_field(&mut self, field: u16) -> &mut Self {
+        self.emit(Op::GetField(field))
+    }
+
+    /// Emits `putfield`.
+    pub fn put_field(&mut self, field: u16) -> &mut Self {
+        self.emit(Op::PutField(field))
+    }
+
+    /// Emits `new`.
+    pub fn new_object(&mut self, class: ClassId) -> &mut Self {
+        self.emit(Op::New(class))
+    }
+
+    /// Emits a class guard that jumps to `not_taken` on mismatch.
+    pub fn guard_class(&mut self, class: ClassId, not_taken: Label) -> &mut Self {
+        self.emit(Op::GuardClass {
+            class,
+            not_taken: LABEL_BASE + not_taken.0 as u32,
+        })
+    }
+
+    /// Emits a simulated I/O operation of the given cost.
+    pub fn io(&mut self, cost: u32) -> &mut Self {
+        self.emit(Op::Io(cost))
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Op::Nop)
+    }
+
+    /// Emits `n` consecutive nops (useful for padding non-call regions in
+    /// adversarial workloads).
+    pub fn nops(&mut self, n: usize) -> &mut Self {
+        for _ in 0..n {
+            self.emit(Op::Nop);
+        }
+        self
+    }
+
+    /// Emits a counted loop running `count` times around the body emitted
+    /// by `body`, using `counter_slot` as the induction variable.
+    ///
+    /// The loop structure is `counter = count; while (counter != 0) { body;
+    /// counter -= 1 }`, producing a backedge yieldpoint per iteration.
+    pub fn counted_loop(
+        &mut self,
+        counter_slot: u16,
+        count: i64,
+        body: impl FnOnce(&mut Self),
+    ) -> &mut Self {
+        let head = self.label();
+        let exit = self.label();
+        self.const_(count).store(counter_slot);
+        self.bind(head);
+        self.load(counter_slot).jump_if_zero(exit);
+        body(self);
+        self.load(counter_slot).const_(1).sub().store(counter_slot);
+        self.jump(head);
+        self.bind(exit);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_program_with_forward_reference() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let f = b.declare("f", cls, 0);
+        let main = b
+            .function("main", cls, 0, 0, |c| {
+                c.call(f).ret();
+            })
+            .unwrap();
+        b.define(f, 0, |c| {
+            c.const_(1).ret();
+        })
+        .unwrap();
+        b.set_entry(main);
+        let p = b.build().unwrap();
+        assert_eq!(p.num_methods(), 2);
+        assert_eq!(p.num_call_sites(), 1);
+    }
+
+    #[test]
+    fn undefined_method_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let f = b.declare("ghost", cls, 0);
+        let main = b
+            .function("main", cls, 0, 0, |c| {
+                c.call(f).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        match b.build() {
+            Err(BuildError::UndefinedMethod(name)) => assert_eq!(name, "ghost"),
+            other => panic!("expected UndefinedMethod, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_entry_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        b.function("f", cls, 0, 0, |c| {
+            c.const_(0).ret();
+        })
+        .unwrap();
+        assert_eq!(b.build().unwrap_err(), BuildError::NoEntry);
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let f = b.declare("f", cls, 0);
+        let err = b
+            .define(f, 0, |c| {
+                let l = c.label();
+                c.jump(l).const_(0).ret();
+            })
+            .unwrap_err();
+        assert!(matches!(err, BuildError::UnboundLabel { label: 0, .. }));
+    }
+
+    #[test]
+    fn labels_resolve_to_bound_positions() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let main = b
+            .function("main", cls, 0, 1, |c| {
+                c.counted_loop(0, 3, |c| {
+                    c.nop();
+                });
+                c.const_(0).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let p = b.build().unwrap();
+        let code = p.method(main).code();
+        // Every jump target is a real instruction index now.
+        for op in code {
+            if let Some(t) = op.jump_target() {
+                assert!((t as usize) <= code.len(), "unresolved target in {op}");
+                assert!(t < LABEL_BASE);
+            }
+        }
+    }
+
+    #[test]
+    fn subclass_inherits_vtable() {
+        let mut b = ProgramBuilder::new();
+        let base = b.add_class("Base", 1);
+        let f = b
+            .function("Base.f", base, 1, 0, |c| {
+                c.const_(1).ret();
+            })
+            .unwrap();
+        b.set_vtable(base, VirtualSlot::new(0), f);
+        let sub = b.add_subclass("Sub", base, 2);
+        let g = b
+            .function("Sub.f", sub, 1, 0, |c| {
+                c.const_(2).ret();
+            })
+            .unwrap();
+        let main = b
+            .function("main", base, 0, 0, |c| {
+                c.new_object(sub).call_virtual(VirtualSlot::new(0), 1).ret();
+            })
+            .unwrap();
+        b.set_vtable(sub, VirtualSlot::new(0), g);
+        b.set_entry(main);
+        let p = b.build().unwrap();
+        assert_eq!(
+            p.class(sub).resolve(VirtualSlot::new(0)),
+            Some(g),
+            "override should land in subclass vtable"
+        );
+        assert_eq!(p.class(base).resolve(VirtualSlot::new(0)), Some(f));
+        assert_eq!(p.class(sub).num_fields(), 3);
+    }
+
+    #[test]
+    fn call_sites_are_unique_across_methods() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let f = b
+            .function("f", cls, 0, 0, |c| {
+                c.const_(0).ret();
+            })
+            .unwrap();
+        let g = b
+            .function("g", cls, 0, 0, |c| {
+                c.call(f).call(f).ret();
+            })
+            .unwrap();
+        let main = b
+            .function("main", cls, 0, 0, |c| {
+                c.call(g).call(f).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let p = b.build().unwrap();
+        let mut sites: Vec<_> = p
+            .methods()
+            .iter()
+            .flat_map(|m| m.call_instructions().map(|(_, s, _)| s))
+            .collect();
+        sites.sort_unstable();
+        let before = sites.len();
+        sites.dedup();
+        assert_eq!(before, sites.len(), "duplicate call sites");
+        assert_eq!(before as u32, p.num_call_sites());
+    }
+}

@@ -1,0 +1,117 @@
+//! Class model: fields and virtual dispatch tables.
+
+use crate::ids::{ClassId, MethodId, VirtualSlot};
+
+/// A class: a field count and a vtable mapping virtual slots to methods.
+///
+/// Single inheritance is supported; a subclass starts from a copy of its
+/// superclass's vtable and may override individual slots, which is what
+/// produces the skewed receiver distributions the 40%-rule experiments need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Class {
+    id: ClassId,
+    name: String,
+    super_class: Option<ClassId>,
+    num_fields: u16,
+    vtable: Vec<MethodId>,
+}
+
+impl Class {
+    /// Creates a class. Prefer [`ProgramBuilder`](crate::ProgramBuilder).
+    pub fn new(
+        id: ClassId,
+        name: impl Into<String>,
+        super_class: Option<ClassId>,
+        num_fields: u16,
+        vtable: Vec<MethodId>,
+    ) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            super_class,
+            num_fields,
+            vtable,
+        }
+    }
+
+    /// This class's identity.
+    pub fn id(&self) -> ClassId {
+        self.id
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Superclass, if any.
+    pub fn super_class(&self) -> Option<ClassId> {
+        self.super_class
+    }
+
+    /// Number of instance fields.
+    pub fn num_fields(&self) -> u16 {
+        self.num_fields
+    }
+
+    /// The virtual dispatch table (slot index → implementing method).
+    pub fn vtable(&self) -> &[MethodId] {
+        &self.vtable
+    }
+
+    /// Resolves a virtual slot to the implementing method.
+    ///
+    /// Returns `None` when the slot is out of range for this class.
+    pub fn resolve(&self, slot: VirtualSlot) -> Option<MethodId> {
+        self.vtable.get(slot.index()).copied()
+    }
+
+    /// Overrides (or appends) a vtable slot. Used by the builder.
+    pub(crate) fn set_slot(&mut self, slot: VirtualSlot, method: MethodId) {
+        let idx = slot.index();
+        if idx >= self.vtable.len() {
+            // Fill any gap with the method itself; the verifier rejects
+            // programs that dispatch through a never-assigned slot.
+            self.vtable.resize(idx + 1, method);
+        }
+        self.vtable[idx] = method;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_in_and_out_of_range() {
+        let c = Class::new(
+            ClassId::new(0),
+            "A",
+            None,
+            2,
+            vec![MethodId::new(3), MethodId::new(4)],
+        );
+        assert_eq!(c.resolve(VirtualSlot::new(0)), Some(MethodId::new(3)));
+        assert_eq!(c.resolve(VirtualSlot::new(1)), Some(MethodId::new(4)));
+        assert_eq!(c.resolve(VirtualSlot::new(2)), None);
+    }
+
+    #[test]
+    fn set_slot_overrides_and_extends() {
+        let mut c = Class::new(ClassId::new(0), "A", None, 0, vec![MethodId::new(1)]);
+        c.set_slot(VirtualSlot::new(0), MethodId::new(9));
+        assert_eq!(c.resolve(VirtualSlot::new(0)), Some(MethodId::new(9)));
+        c.set_slot(VirtualSlot::new(2), MethodId::new(5));
+        assert_eq!(c.vtable().len(), 3);
+        assert_eq!(c.resolve(VirtualSlot::new(2)), Some(MethodId::new(5)));
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let c = Class::new(ClassId::new(7), "B", Some(ClassId::new(1)), 4, vec![]);
+        assert_eq!(c.id(), ClassId::new(7));
+        assert_eq!(c.name(), "B");
+        assert_eq!(c.super_class(), Some(ClassId::new(1)));
+        assert_eq!(c.num_fields(), 4);
+    }
+}

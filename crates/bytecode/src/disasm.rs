@@ -1,0 +1,110 @@
+//! Human-readable program listings.
+
+use crate::ids::MethodId;
+use crate::program::Program;
+use std::fmt::Write as _;
+
+/// Renders one method as an assembly-style listing.
+///
+/// ```
+/// # use cbs_bytecode::{ProgramBuilder, disasm};
+/// # fn main() -> Result<(), cbs_bytecode::BuildError> {
+/// let mut b = ProgramBuilder::new();
+/// let cls = b.add_class("C", 0);
+/// let main = b.function("main", cls, 0, 0, |c| { c.const_(1).ret(); })?;
+/// b.set_entry(main);
+/// let p = b.build()?;
+/// let listing = disasm::method(&p, main);
+/// assert!(listing.contains("const 1"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn method(program: &Program, id: MethodId) -> String {
+    let m = program.method(id);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "method {} `{}` class={} params={} locals={} size={}B",
+        m.id(),
+        m.name(),
+        m.class(),
+        m.num_params(),
+        m.num_locals(),
+        m.size_bytes()
+    );
+    for (pc, op) in m.code().iter().enumerate() {
+        let annot = match op {
+            op if op.is_backedge_from(pc as u32) => "  ; backedge",
+            crate::op::Op::Call { target, .. } => {
+                let _ = writeln!(
+                    out,
+                    "  {pc:4}: {op}  ; -> {}",
+                    program.method(*target).name()
+                );
+                continue;
+            }
+            _ => "",
+        };
+        let _ = writeln!(out, "  {pc:4}: {op}{annot}");
+    }
+    out
+}
+
+/// Renders the whole program.
+pub fn program(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "program: {} classes, {} methods, {} call sites, entry={}",
+        p.num_classes(),
+        p.num_methods(),
+        p.num_call_sites(),
+        p.entry()
+    );
+    for c in p.classes() {
+        let vt: Vec<String> = c.vtable().iter().map(|m| m.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "class {} `{}` fields={} vtable=[{}]",
+            c.id(),
+            c.name(),
+            c.num_fields(),
+            vt.join(", ")
+        );
+    }
+    for m in p.methods() {
+        out.push_str(&method(p, m.id()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn listing_contains_annotations() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let f = b
+            .function("helper", cls, 0, 0, |c| {
+                c.const_(3).ret();
+            })
+            .unwrap();
+        let main = b
+            .function("main", cls, 0, 1, |c| {
+                c.counted_loop(0, 2, |c| {
+                    c.call(f).pop();
+                });
+                c.const_(0).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let p = b.build().unwrap();
+        let text = program(&p);
+        assert!(text.contains("-> helper"), "call annotation missing:\n{text}");
+        assert!(text.contains("backedge"), "backedge annotation missing:\n{text}");
+        assert!(text.contains("class c0"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Strongly-typed identifiers for program entities.
+//!
+//! Every entity a profiler can observe — a method, a class, a call site —
+//! gets its own newtype so that indices cannot be confused with one another
+//! ([C-NEWTYPE]). All identifiers are dense indices assigned by
+//! [`ProgramBuilder`](crate::ProgramBuilder).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an identifier from a raw dense index.
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw dense index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+id_type! {
+    /// Identifies a method within a [`Program`](crate::Program).
+    ///
+    /// `MethodId`s are dense: they index directly into
+    /// [`Program::methods`](crate::Program::methods).
+    MethodId, "m"
+}
+
+id_type! {
+    /// Identifies a class within a [`Program`](crate::Program).
+    ClassId, "c"
+}
+
+id_type! {
+    /// Identifies a *static occurrence* of a call instruction.
+    ///
+    /// Call sites are the middle component of a dynamic-call-graph edge
+    /// `(caller, site, callee)`. Site identity is preserved across program
+    /// transformations (e.g. when the inliner duplicates a call instruction
+    /// into an inlined body, the duplicate keeps the original site id so
+    /// profile data stays attributable).
+    CallSiteId, "s"
+}
+
+/// Index of a virtual-dispatch slot in a class's vtable.
+///
+/// A [`CallVirtual`](crate::Op::CallVirtual) instruction names a slot; the
+/// receiver object's class maps the slot to a concrete [`MethodId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualSlot(pub u16);
+
+impl VirtualSlot {
+    /// Creates a slot from a raw vtable index.
+    pub const fn new(raw: u16) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw vtable index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VirtualSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(MethodId::new(3).to_string(), "m3");
+        assert_eq!(ClassId::new(0).to_string(), "c0");
+        assert_eq!(CallSiteId::new(42).to_string(), "s42");
+        assert_eq!(VirtualSlot::new(7).to_string(), "v7");
+    }
+
+    #[test]
+    fn ids_round_trip_index() {
+        assert_eq!(MethodId::new(9).index(), 9);
+        assert_eq!(u32::from(CallSiteId::new(11)), 11);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(MethodId::new(1));
+        set.insert(MethodId::new(1));
+        set.insert(MethodId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(MethodId::new(1) < MethodId::new(2));
+    }
+
+    #[test]
+    fn distinct_id_types_do_not_compare() {
+        // Compile-time property: MethodId and ClassId are distinct types.
+        // This test documents the intent; the assertion is trivially true.
+        let m = MethodId::new(0);
+        let c = ClassId::new(0);
+        assert_eq!(m.index(), c.index());
+    }
+}

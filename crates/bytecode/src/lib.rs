@@ -1,0 +1,66 @@
+//! # cbs-bytecode
+//!
+//! The bytecode substrate for the reproduction of *Arnold & Grove,
+//! "Collecting and Exploiting High-Accuracy Call Graph Profiles in Virtual
+//! Machines"* (CGO 2005).
+//!
+//! This crate defines a small stack-based, JVM-like intermediate language:
+//!
+//! * [`Op`] — the instruction set (arithmetic, locals, fields, objects,
+//!   direct and virtual calls, guards, simulated I/O);
+//! * [`Method`], [`Class`], [`Program`] — the program model, with virtual
+//!   dispatch tables and per-instruction call-site identities;
+//! * [`ProgramBuilder`] / [`CodeBuilder`] — fluent construction with labels
+//!   and forward references;
+//! * [`verify`](mod@verify) — a bytecode verifier (jump ranges, stack
+//!   discipline, dispatch resolvability);
+//! * [`disasm`] — human-readable listings.
+//!
+//! Everything downstream — the simulated VM, the call-graph profilers, the
+//! inliners — operates on these types.
+//!
+//! ## Example
+//!
+//! ```
+//! use cbs_bytecode::{ProgramBuilder, VirtualSlot};
+//!
+//! # fn main() -> Result<(), cbs_bytecode::BuildError> {
+//! let mut b = ProgramBuilder::new();
+//! let shape = b.add_class("Shape", 1);
+//! let area = b.function("Shape.area", shape, 1, 0, |c| {
+//!     c.load(0).get_field(0).ret();
+//! })?;
+//! b.set_vtable(shape, VirtualSlot::new(0), area);
+//! let main = b.function("main", shape, 0, 1, |c| {
+//!     c.new_object(shape).store(0);
+//!     c.load(0).call_virtual(VirtualSlot::new(0), 1).ret();
+//! })?;
+//! b.set_entry(main);
+//! let program = b.build()?;
+//! assert_eq!(program.num_call_sites(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod class;
+mod ids;
+mod method;
+mod op;
+mod program;
+
+pub mod asm;
+pub mod disasm;
+pub mod verify;
+
+pub use asm::{assemble, disassemble, AsmError};
+pub use builder::{BuildError, CodeBuilder, Label, ProgramBuilder};
+pub use class::Class;
+pub use ids::{CallSiteId, ClassId, MethodId, VirtualSlot};
+pub use method::Method;
+pub use op::Op;
+pub use program::Program;
+pub use verify::VerifyError;

@@ -1,0 +1,266 @@
+//! Method representation.
+
+use crate::ids::{CallSiteId, ClassId, MethodId};
+use crate::op::Op;
+
+/// A compiled method: metadata plus its bytecode body.
+///
+/// Methods are owned by a [`Program`](crate::Program) and referenced by
+/// [`MethodId`]. The first `num_params` local slots hold the arguments; for
+/// virtual methods local 0 is the receiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Method {
+    id: MethodId,
+    name: String,
+    class: ClassId,
+    num_params: u16,
+    num_locals: u16,
+    code: Vec<Op>,
+}
+
+impl Method {
+    /// Creates a method. Prefer building through
+    /// [`ProgramBuilder`](crate::ProgramBuilder), which assigns ids and call
+    /// sites consistently.
+    pub fn new(
+        id: MethodId,
+        name: impl Into<String>,
+        class: ClassId,
+        num_params: u16,
+        num_locals: u16,
+        code: Vec<Op>,
+    ) -> Self {
+        debug_assert!(num_locals >= num_params, "locals must include params");
+        Self {
+            id,
+            name: name.into(),
+            class,
+            num_params,
+            num_locals,
+            code,
+        }
+    }
+
+    /// This method's identity.
+    pub fn id(&self) -> MethodId {
+        self.id
+    }
+
+    /// Human-readable name (e.g. `"Parser.parseExpr"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declaring class.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Number of parameters (receiver included for virtual methods).
+    pub fn num_params(&self) -> u16 {
+        self.num_params
+    }
+
+    /// Total local slots (parameters occupy the first slots).
+    pub fn num_locals(&self) -> u16 {
+        self.num_locals
+    }
+
+    /// The bytecode body.
+    pub fn code(&self) -> &[Op] {
+        &self.code
+    }
+
+    /// Replaces the bytecode body (used by program transformations).
+    ///
+    /// The caller is responsible for re-verifying the program afterwards.
+    pub fn set_code(&mut self, code: Vec<Op>) {
+        self.code = code;
+    }
+
+    /// Grows the local-variable frame to at least `n` slots (used by the
+    /// inliner when splicing callee locals into a caller frame).
+    pub fn ensure_locals(&mut self, n: u16) {
+        self.num_locals = self.num_locals.max(n);
+    }
+
+    /// Modeled size of this method's body in bytecode bytes.
+    ///
+    /// This is the quantity the paper's inlining heuristics threshold on.
+    pub fn size_bytes(&self) -> u32 {
+        self.code.iter().map(Op::encoded_size).sum()
+    }
+
+    /// Number of instructions in the body.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Returns `true` for the degenerate empty body.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Returns `true` if the body contains a loop backedge.
+    ///
+    /// Loop-free methods never execute a backedge yieldpoint, which matters
+    /// for where timer samples can land.
+    pub fn has_loop(&self) -> bool {
+        self.code
+            .iter()
+            .enumerate()
+            .any(|(pc, op)| op.is_backedge_from(pc as u32))
+    }
+
+    /// Iterates over the call instructions in this body as
+    /// `(pc, site, op)` triples.
+    pub fn call_instructions(&self) -> impl Iterator<Item = (u32, CallSiteId, &Op)> + '_ {
+        self.code.iter().enumerate().filter_map(|(pc, op)| {
+            op.call_site().map(|site| (pc as u32, site, op))
+        })
+    }
+
+    /// Returns `true` if this method is "trivial" under the study's
+    /// baseline configuration: a body no larger than a calling sequence
+    /// (`threshold` bytes) containing no calls of its own.
+    ///
+    /// Trivial methods are inlined even at the lowest optimization level, so
+    /// they never appear as DCG callees in the JIT-only configuration.
+    pub fn is_trivial(&self, threshold: u32) -> bool {
+        self.size_bytes() <= threshold && !self.code.iter().any(Op::is_call)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VirtualSlot;
+
+    fn sample_method() -> Method {
+        Method::new(
+            MethodId::new(0),
+            "A.f",
+            ClassId::new(0),
+            1,
+            3,
+            vec![
+                Op::Load(0),
+                Op::Const(1),
+                Op::Add,
+                Op::Store(1),
+                Op::Load(1),
+                Op::JumpIfNonZero(0),
+                Op::Const(0),
+                Op::Return,
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let m = sample_method();
+        assert_eq!(m.id(), MethodId::new(0));
+        assert_eq!(m.name(), "A.f");
+        assert_eq!(m.class(), ClassId::new(0));
+        assert_eq!(m.num_params(), 1);
+        assert_eq!(m.num_locals(), 3);
+        assert_eq!(m.len(), 8);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn loop_detection() {
+        let m = sample_method();
+        assert!(m.has_loop());
+        let straight = Method::new(
+            MethodId::new(1),
+            "g",
+            ClassId::new(0),
+            0,
+            0,
+            vec![Op::Const(1), Op::Return],
+        );
+        assert!(!straight.has_loop());
+    }
+
+    #[test]
+    fn size_accumulates_encoded_sizes() {
+        let m = Method::new(
+            MethodId::new(0),
+            "f",
+            ClassId::new(0),
+            0,
+            0,
+            vec![Op::Const(1), Op::Return],
+        );
+        assert_eq!(m.size_bytes(), 3 + 1);
+    }
+
+    #[test]
+    fn call_instruction_iteration() {
+        let m = Method::new(
+            MethodId::new(0),
+            "f",
+            ClassId::new(0),
+            0,
+            1,
+            vec![
+                Op::Const(1),
+                Op::Call {
+                    site: CallSiteId::new(7),
+                    target: MethodId::new(1),
+                },
+                Op::New(ClassId::new(0)),
+                Op::CallVirtual {
+                    site: CallSiteId::new(8),
+                    slot: VirtualSlot::new(0),
+                    arity: 1,
+                },
+                Op::Return,
+            ],
+        );
+        let sites: Vec<_> = m.call_instructions().map(|(pc, s, _)| (pc, s)).collect();
+        assert_eq!(
+            sites,
+            vec![(1, CallSiteId::new(7)), (3, CallSiteId::new(8))]
+        );
+    }
+
+    #[test]
+    fn triviality() {
+        let tiny = Method::new(
+            MethodId::new(0),
+            "getter",
+            ClassId::new(0),
+            1,
+            1,
+            vec![Op::Load(0), Op::GetField(0), Op::Return],
+        );
+        assert!(tiny.is_trivial(10));
+        assert!(!tiny.is_trivial(3));
+        let calls = Method::new(
+            MethodId::new(1),
+            "f",
+            ClassId::new(0),
+            0,
+            0,
+            vec![
+                Op::Call {
+                    site: CallSiteId::new(0),
+                    target: MethodId::new(0),
+                },
+                Op::Return,
+            ],
+        );
+        assert!(!calls.is_trivial(100), "methods with calls are not trivial");
+    }
+
+    #[test]
+    fn ensure_locals_grows_only() {
+        let mut m = sample_method();
+        m.ensure_locals(10);
+        assert_eq!(m.num_locals(), 10);
+        m.ensure_locals(2);
+        assert_eq!(m.num_locals(), 10);
+    }
+}

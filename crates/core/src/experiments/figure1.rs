@@ -1,0 +1,155 @@
+//! Figure 1: the timer-sampling pathology, demonstrated.
+
+use super::ExperimentError;
+use crate::measure::measure;
+use crate::render::{f1, TextTable};
+use cbs_bytecode::MethodId;
+use cbs_dcg::DynamicCallGraph;
+use cbs_profiler::{CallGraphProfiler, CbsConfig, CounterBasedSampler, PcSampler, TimerSampler};
+use cbs_vm::VmConfig;
+use cbs_workloads::adversarial;
+
+/// One profiler's view of the Figure 1 program.
+#[derive(Debug, Clone)]
+pub struct Figure1Row {
+    /// Mechanism name.
+    pub profiler: String,
+    /// Percent of the profile's weight on edges into `call_1`.
+    pub call_1_pct: f64,
+    /// Percent of the profile's weight on edges into `call_2`.
+    pub call_2_pct: f64,
+    /// Overall accuracy against the exhaustive profile.
+    pub accuracy: f64,
+}
+
+/// Results of the Figure 1 demonstration.
+#[derive(Debug, Clone)]
+pub struct Figure1Demo {
+    /// The true shares (from exhaustive counting).
+    pub perfect: (f64, f64),
+    /// Per-mechanism rows.
+    pub rows: Vec<Figure1Row>,
+}
+
+impl Figure1Demo {
+    /// Renders the comparison table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Figure 1: timer bias on a long non-call region followed by two short calls",
+            &["Profiler", "call_1 %", "call_2 %", "accuracy"],
+        );
+        t.row([
+            "exhaustive (truth)".to_owned(),
+            f1(self.perfect.0),
+            f1(self.perfect.1),
+            f1(100.0),
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.profiler.clone(),
+                f1(r.call_1_pct),
+                f1(r.call_2_pct),
+                f1(r.accuracy),
+            ]);
+        }
+        t.to_string()
+    }
+}
+
+fn incoming_pct(dcg: &DynamicCallGraph, callee: MethodId) -> f64 {
+    if dcg.total_weight() <= 0.0 {
+        return 0.0;
+    }
+    100.0 * dcg.incoming_weight(callee) / dcg.total_weight()
+}
+
+/// Runs the Figure 1 program under the timer sampler, CBS, and
+/// Whaley-style PC sampling, reporting how each attributes weight to the
+/// two short calls.
+///
+/// # Errors
+///
+/// Propagates generation or VM failures.
+pub fn figure1_demo(
+    non_call_length: u32,
+    iterations: i64,
+) -> Result<Figure1Demo, ExperimentError> {
+    let (program, handles) = adversarial::figure1(non_call_length, iterations)?;
+    let profilers: Vec<Box<dyn CallGraphProfiler>> = vec![
+        Box::new(TimerSampler::new()),
+        Box::new(CounterBasedSampler::new(CbsConfig::new(3, 16))),
+        Box::new(PcSampler::new()),
+    ];
+    let m = measure(&program, VmConfig::default(), profilers)?;
+    let rows = m
+        .outcomes
+        .iter()
+        .map(|o| Figure1Row {
+            profiler: o.name.clone(),
+            call_1_pct: incoming_pct(&o.dcg, handles.call_1),
+            call_2_pct: incoming_pct(&o.dcg, handles.call_2),
+            accuracy: o.accuracy,
+        })
+        .collect();
+    Ok(Figure1Demo {
+        perfect: (
+            incoming_pct(&m.perfect, handles.call_1),
+            incoming_pct(&m.perfect, handles.call_2),
+        ),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_is_biased_and_cbs_is_not() {
+        let demo = figure1_demo(120, 30_000).unwrap();
+        // Truth: the two calls are equally frequent (M's loop edge also
+        // counts once, negligibly).
+        assert!((demo.perfect.0 - demo.perfect.1).abs() < 1.0, "{demo:?}");
+
+        let timer = demo.rows.iter().find(|r| r.profiler == "timer").unwrap();
+        let cbs = demo
+            .rows
+            .iter()
+            .find(|r| r.profiler.starts_with("cbs"))
+            .unwrap();
+        // The timer sampler lands on the first call after the tick:
+        // call_1 dominates hugely.
+        assert!(
+            timer.call_1_pct > timer.call_2_pct + 30.0,
+            "timer bias missing: {timer:?}"
+        );
+        // CBS recovers a near-balanced distribution and much higher
+        // accuracy.
+        assert!(
+            (cbs.call_1_pct - cbs.call_2_pct).abs() < 10.0,
+            "cbs skewed: {cbs:?}"
+        );
+        assert!(
+            cbs.accuracy > timer.accuracy + 15.0,
+            "cbs {} vs timer {}",
+            cbs.accuracy,
+            timer.accuracy
+        );
+    }
+
+    #[test]
+    fn pc_sampler_misses_the_short_calls() {
+        let demo = figure1_demo(120, 30_000).unwrap();
+        let pc = demo
+            .rows
+            .iter()
+            .find(|r| r.profiler == "pc-sampling")
+            .unwrap();
+        // The short calls are almost never on the stack at tick time.
+        assert!(
+            pc.call_1_pct + pc.call_2_pct < 20.0,
+            "pc sampling should miss the calls: {pc:?}"
+        );
+        assert!(demo.render().contains("exhaustive (truth)"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Reproductions of every table and figure in the paper's evaluation.
+//!
+//! Each experiment is a function returning a data structure with a
+//! `render()` method producing a paper-style text table. All experiments
+//! take a `scale` factor on benchmark running time: `1.0` reproduces the
+//! paper-scale runs (use the `repro` binary); tests use small scales.
+//!
+//! | Paper artifact | Function |
+//! |---|---|
+//! | Table 1 (benchmark characteristics) | [`table1`] |
+//! | Table 2A/2B (overhead & accuracy grid) | [`table2`] |
+//! | Table 3 (per-benchmark breakdown) | [`table3`] |
+//! | Figure 1 (timer-sampling pathology) | [`figure1_demo`] |
+//! | Figure 5 (inlining speedups) | [`figure5`] |
+//! | §5.1 old-vs-new inliner | [`inliner_ablation`] |
+//! | §3.1 exhaustive-counter cost | [`exhaustive_overhead`] |
+//! | §3.2 burst-profiling hazard | [`patching_vs_cbs`] |
+
+mod ablations;
+mod figure1;
+mod figure5;
+mod table1;
+mod table2;
+mod table3;
+
+pub use ablations::{
+    context_sensitivity, exhaustive_overhead, frequency_sweep, hardware_vs_cbs,
+    inline_depth_ablation, inliner_ablation, patching_vs_cbs, AblationRow,
+    ContextSensitivity, DepthAblation, ExhaustiveOverhead, FrequencySweep,
+    HardwareComparison, InlinerAblation, PatchingComparison,
+};
+pub use figure1::{figure1_demo, Figure1Demo, Figure1Row};
+pub use figure5::{figure5, Figure5, Figure5Row, FIGURE5_BENCHMARKS};
+pub use table1::{table1, workload_shapes, Table1, Table1Row, WorkloadShapes};
+pub use table2::{table2, Table2, Table2Cell, Table2Options};
+pub use table3::{table3, Table3, Table3Row};
+
+use cbs_bytecode::BuildError;
+use cbs_vm::VmError;
+use std::error::Error;
+use std::fmt;
+
+/// An experiment failure: workload generation or VM trap.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// Workload generation failed (generator bug).
+    Build(BuildError),
+    /// The VM trapped while running a workload.
+    Vm(VmError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Build(e) => write!(f, "workload generation failed: {e}"),
+            ExperimentError::Vm(e) => write!(f, "benchmark trapped: {e}"),
+        }
+    }
+}
+
+impl Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExperimentError::Build(e) => Some(e),
+            ExperimentError::Vm(e) => Some(e),
+        }
+    }
+}
+
+impl From<BuildError> for ExperimentError {
+    fn from(e: BuildError) -> Self {
+        ExperimentError::Build(e)
+    }
+}
+
+impl From<VmError> for ExperimentError {
+    fn from(e: VmError) -> Self {
+        ExperimentError::Vm(e)
+    }
+}

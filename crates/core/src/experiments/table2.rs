@@ -1,0 +1,254 @@
+//! Table 2: overhead and accuracy over the Stride × Samples grid.
+
+use super::ExperimentError;
+use crate::measure::measure;
+use crate::render::TextTable;
+use cbs_profiler::{CallGraphProfiler, CbsConfig, CounterBasedSampler, SkipPolicy};
+use cbs_vm::{VmConfig, VmFlavor};
+use cbs_workloads::{Benchmark, InputSize};
+
+/// Grid configuration for [`table2`].
+#[derive(Debug, Clone)]
+pub struct Table2Options {
+    /// Stride values (columns).
+    pub strides: Vec<u32>,
+    /// Samples-per-timer-interrupt values (rows).
+    pub samples: Vec<u32>,
+    /// Benchmark/input pairs to average over.
+    pub benchmarks: Vec<(Benchmark, InputSize)>,
+    /// Running-time scale factor.
+    pub scale: f64,
+    /// Hosting flavor: [`VmFlavor::Jikes`] reproduces Table 2A,
+    /// [`VmFlavor::J9`] Table 2B.
+    pub flavor: VmFlavor,
+}
+
+impl Default for Table2Options {
+    fn default() -> Self {
+        Self {
+            strides: vec![1, 3, 7, 15, 31, 63],
+            samples: vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 2048, 4096, 8192],
+            benchmarks: Benchmark::all()
+                .into_iter()
+                .flat_map(|b| InputSize::both().map(|s| (b, s)))
+                .collect(),
+            scale: 1.0,
+            flavor: VmFlavor::Jikes,
+        }
+    }
+}
+
+impl Table2Options {
+    /// A reduced grid/suite for quick runs and tests.
+    pub fn quick(flavor: VmFlavor, scale: f64) -> Self {
+        Self {
+            strides: vec![1, 3, 15],
+            samples: vec![1, 16, 256],
+            benchmarks: vec![
+                (Benchmark::Jess, InputSize::Small),
+                (Benchmark::Javac, InputSize::Small),
+                (Benchmark::Mtrt, InputSize::Small),
+            ],
+            scale,
+            flavor,
+        }
+    }
+}
+
+/// One cell of the grid: averages over the benchmark suite.
+#[derive(Debug, Clone, Copy)]
+pub struct Table2Cell {
+    /// Stride (window spacing).
+    pub stride: u32,
+    /// Samples per timer interrupt.
+    pub samples_per_tick: u32,
+    /// Average overhead percentage.
+    pub overhead_pct: f64,
+    /// Average accuracy (overlap with the perfect profile, 0–100).
+    pub accuracy: f64,
+}
+
+/// The reproduced Table 2 (A or B depending on the flavor).
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// Hosting flavor the grid ran on.
+    pub flavor: VmFlavor,
+    /// Stride columns.
+    pub strides: Vec<u32>,
+    /// Samples rows.
+    pub samples: Vec<u32>,
+    /// Cells in row-major order (samples × strides).
+    pub cells: Vec<Table2Cell>,
+}
+
+impl Table2 {
+    /// Looks up a cell.
+    pub fn cell(&self, stride: u32, samples_per_tick: u32) -> Option<&Table2Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.stride == stride && c.samples_per_tick == samples_per_tick)
+    }
+
+    /// The overhead/accuracy Pareto frontier of the grid: cells not
+    /// dominated by any other cell (strictly better on one axis, at least
+    /// as good on the other), sorted by ascending overhead.
+    pub fn pareto_frontier(&self) -> Vec<&Table2Cell> {
+        let mut frontier: Vec<&Table2Cell> = self
+            .cells
+            .iter()
+            .filter(|c| {
+                !self.cells.iter().any(|o| {
+                    (o.overhead_pct < c.overhead_pct && o.accuracy >= c.accuracy)
+                        || (o.overhead_pct <= c.overhead_pct && o.accuracy > c.accuracy)
+                })
+            })
+            .collect();
+        frontier.sort_by(|a, b| a.overhead_pct.partial_cmp(&b.overhead_pct).expect("finite"));
+        frontier
+    }
+
+    /// The most accurate configuration whose overhead stays below
+    /// `max_overhead_pct` — the paper's "reasonable space of parameters
+    /// that maximize accuracy while holding overhead to less than 0.5%".
+    pub fn best_under(&self, max_overhead_pct: f64) -> Option<&Table2Cell> {
+        self.cells
+            .iter()
+            .filter(|c| c.overhead_pct < max_overhead_pct)
+            .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("finite"))
+    }
+
+    /// Renders the paper-style grid: each cell shows
+    /// `overhead% / accuracy`.
+    pub fn render(&self) -> String {
+        let label = match self.flavor {
+            VmFlavor::Jikes => "Table 2A: Jikes RVM flavor (overhead% / accuracy)",
+            VmFlavor::J9 => "Table 2B: J9 flavor (overhead% / accuracy)",
+        };
+        let mut headers: Vec<String> = vec!["Samples\\Stride".to_owned()];
+        headers.extend(self.strides.iter().map(|s| s.to_string()));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = TextTable::new(label, &header_refs);
+        for &n in &self.samples {
+            let mut row = vec![n.to_string()];
+            for &s in &self.strides {
+                let c = self.cell(s, n).expect("grid cell");
+                row.push(format!("{:.2}/{:.0}", c.overhead_pct, c.accuracy));
+            }
+            t.row(row);
+        }
+        t.to_string()
+    }
+}
+
+/// Reproduces Table 2: attaches the whole CBS configuration grid to one
+/// run per benchmark and averages overhead/accuracy per cell.
+///
+/// # Errors
+///
+/// Propagates generation or VM failures.
+pub fn table2(options: &Table2Options) -> Result<Table2, ExperimentError> {
+    let grid: Vec<(u32, u32)> = options
+        .samples
+        .iter()
+        .flat_map(|&n| options.strides.iter().map(move |&s| (s, n)))
+        .collect();
+    let mut sums = vec![(0.0f64, 0.0f64); grid.len()];
+
+    for &(bench, size) in &options.benchmarks {
+        let spec = bench.spec(size).scaled(options.scale);
+        let program = cbs_workloads::generator::build(&spec)?;
+        let profilers: Vec<Box<dyn CallGraphProfiler>> = grid
+            .iter()
+            .map(|&(stride, samples)| {
+                Box::new(CounterBasedSampler::new(CbsConfig {
+                    stride,
+                    samples_per_tick: samples,
+                    skip_policy: SkipPolicy::RoundRobin,
+                    ..CbsConfig::default()
+                })) as Box<dyn CallGraphProfiler>
+            })
+            .collect();
+        let m = measure(
+            &program,
+            VmConfig::with_flavor(options.flavor),
+            profilers,
+        )?;
+        for (i, o) in m.outcomes.iter().enumerate() {
+            sums[i].0 += o.overhead_pct;
+            sums[i].1 += o.accuracy;
+        }
+    }
+
+    let n = options.benchmarks.len().max(1) as f64;
+    let cells = grid
+        .iter()
+        .zip(&sums)
+        .map(|(&(stride, samples_per_tick), &(oh, acc))| Table2Cell {
+            stride,
+            samples_per_tick,
+            overhead_pct: oh / n,
+            accuracy: acc / n,
+        })
+        .collect();
+    Ok(Table2 {
+        flavor: options.flavor,
+        strides: options.strides.clone(),
+        samples: options.samples.clone(),
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_shows_the_paper_trends() {
+        let t = table2(&Table2Options::quick(VmFlavor::Jikes, 0.05)).unwrap();
+        assert_eq!(t.cells.len(), 9);
+        let base = t.cell(1, 1).unwrap();
+        let tuned = t.cell(3, 16).unwrap();
+        let heavy = t.cell(1, 256).unwrap();
+        // Accuracy improves as either parameter grows.
+        assert!(
+            tuned.accuracy > base.accuracy,
+            "tuned {} vs base {}",
+            tuned.accuracy,
+            base.accuracy
+        );
+        // Overhead grows with samples per tick.
+        assert!(heavy.overhead_pct > base.overhead_pct);
+        // The render contains the cell separator format.
+        assert!(t.render().contains('/'));
+    }
+
+    #[test]
+    fn pareto_and_best_under() {
+        let t = table2(&Table2Options::quick(VmFlavor::Jikes, 0.05)).unwrap();
+        let frontier = t.pareto_frontier();
+        assert!(!frontier.is_empty());
+        // Frontier is sorted by overhead with non-decreasing accuracy.
+        for pair in frontier.windows(2) {
+            assert!(pair[0].overhead_pct <= pair[1].overhead_pct);
+            assert!(pair[0].accuracy <= pair[1].accuracy);
+        }
+        let best = t.best_under(0.5).expect("some cell fits");
+        assert!(best.overhead_pct < 0.5);
+        // Nothing under the cap beats it.
+        for c in &t.cells {
+            if c.overhead_pct < 0.5 {
+                assert!(c.accuracy <= best.accuracy);
+            }
+        }
+        assert!(t.best_under(0.0).is_none());
+    }
+
+    #[test]
+    fn j9_flavor_also_runs() {
+        let mut opts = Table2Options::quick(VmFlavor::J9, 0.03);
+        opts.benchmarks.truncate(1);
+        let t = table2(&opts).unwrap();
+        assert_eq!(t.flavor, VmFlavor::J9);
+        assert!(t.cells.iter().all(|c| (0.0..=100.0).contains(&c.accuracy)));
+    }
+}

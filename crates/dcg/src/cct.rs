@@ -1,0 +1,362 @@
+//! Calling context tree (context-sensitive profiles).
+//!
+//! The paper notes (§1, §7) that the CBS mechanism "is easily extensible to
+//! context-sensitive profiling": a sample is a call-stack walk, so instead
+//! of recording only the topmost edge, the profiler may record the entire
+//! path into a calling context tree (Ammons et al.; used online by Whaley).
+//! This module provides that representation.
+
+use crate::graph::DynamicCallGraph;
+use crate::CallEdge;
+use cbs_bytecode::{CallSiteId, MethodId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a node of a [`CallingContextTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CctNodeId(u32);
+
+impl CctNodeId {
+    const ROOT: CctNodeId = CctNodeId(0);
+
+    /// Raw dense index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CctNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One step of a calling context: entering `method` through `site` in the
+/// parent context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContextStep {
+    /// Call site in the parent frame.
+    pub site: CallSiteId,
+    /// Method entered.
+    pub method: MethodId,
+}
+
+#[derive(Debug, Clone)]
+struct CctNode {
+    step: Option<ContextStep>, // None only for the root
+    parent: Option<CctNodeId>,
+    weight: f64,
+    children: HashMap<ContextStep, CctNodeId>,
+}
+
+/// A weighted calling context tree.
+///
+/// Each node represents a distinct call path from the program entry; a
+/// node's weight counts samples whose innermost frame had that path.
+#[derive(Debug, Clone)]
+pub struct CallingContextTree {
+    nodes: Vec<CctNode>,
+}
+
+impl Default for CallingContextTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CallingContextTree {
+    /// Creates a tree containing only the synthetic root.
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![CctNode {
+                step: None,
+                parent: None,
+                weight: 0.0,
+                children: HashMap::new(),
+            }],
+        }
+    }
+
+    /// The synthetic root node.
+    pub fn root(&self) -> CctNodeId {
+        CctNodeId::ROOT
+    }
+
+    /// Number of nodes including the root.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Records one sample whose stack, outermost first, is `path`.
+    ///
+    /// Interior nodes are created on demand; only the innermost node's
+    /// weight is incremented. Returns the innermost node.
+    pub fn add_sample(&mut self, path: &[ContextStep]) -> CctNodeId {
+        self.add_weighted_sample(path, 1.0)
+    }
+
+    /// Records `weight` samples of `path`.
+    pub fn add_weighted_sample(&mut self, path: &[ContextStep], weight: f64) -> CctNodeId {
+        let mut cur = CctNodeId::ROOT;
+        for step in path {
+            cur = self.child_or_insert(cur, *step);
+        }
+        self.nodes[cur.index()].weight += weight;
+        cur
+    }
+
+    fn child_or_insert(&mut self, parent: CctNodeId, step: ContextStep) -> CctNodeId {
+        if let Some(&id) = self.nodes[parent.index()].children.get(&step) {
+            return id;
+        }
+        let id = CctNodeId(self.nodes.len() as u32);
+        self.nodes.push(CctNode {
+            step: Some(step),
+            parent: Some(parent),
+            weight: 0.0,
+            children: HashMap::new(),
+        });
+        self.nodes[parent.index()].children.insert(step, id);
+        id
+    }
+
+    /// The context step that labels `node` (`None` for the root).
+    pub fn step(&self, node: CctNodeId) -> Option<ContextStep> {
+        self.nodes[node.index()].step
+    }
+
+    /// The parent of `node` (`None` for the root).
+    pub fn parent(&self, node: CctNodeId) -> Option<CctNodeId> {
+        self.nodes[node.index()].parent
+    }
+
+    /// Sample weight recorded at exactly this context.
+    pub fn weight(&self, node: CctNodeId) -> f64 {
+        self.nodes[node.index()].weight
+    }
+
+    /// Sum of weights over all nodes.
+    pub fn total_weight(&self) -> f64 {
+        self.nodes.iter().map(|n| n.weight).sum()
+    }
+
+    /// The full path of `node`, outermost first.
+    pub fn path(&self, node: CctNodeId) -> Vec<ContextStep> {
+        let mut steps = Vec::new();
+        let mut cur = Some(node);
+        while let Some(id) = cur {
+            if let Some(s) = self.nodes[id.index()].step {
+                steps.push(s);
+            }
+            cur = self.nodes[id.index()].parent;
+        }
+        steps.reverse();
+        steps
+    }
+
+    /// Longest path length in the tree.
+    pub fn max_depth(&self) -> usize {
+        fn depth(t: &CallingContextTree, n: CctNodeId) -> usize {
+            t.nodes[n.index()]
+                .children
+                .values()
+                .map(|c| 1 + depth(t, *c))
+                .max()
+                .unwrap_or(0)
+        }
+        depth(self, CctNodeId::ROOT)
+    }
+
+    /// Collapses the context tree to a context-insensitive DCG.
+    ///
+    /// Every non-root node whose parent is also non-root contributes its
+    /// *subtree* weight to the edge `(parent.method, node.site,
+    /// node.method)`: a sample taken in some deep context witnessed every
+    /// call edge on its path, which is exactly what a call-stack-walking
+    /// sampler records into a flat DCG.
+    pub fn to_dcg(&self) -> DynamicCallGraph {
+        // Compute subtree weights iteratively (children were always
+        // allocated after their parents, so a reverse scan accumulates).
+        let mut subtree: Vec<f64> = self.nodes.iter().map(|n| n.weight).collect();
+        for idx in (1..self.nodes.len()).rev() {
+            if let Some(p) = self.nodes[idx].parent {
+                subtree[p.index()] += subtree[idx];
+            }
+        }
+        let mut dcg = DynamicCallGraph::new();
+        for (idx, node) in self.nodes.iter().enumerate().skip(1) {
+            let (Some(step), Some(parent)) = (node.step, node.parent) else {
+                continue;
+            };
+            let Some(parent_step) = self.nodes[parent.index()].step else {
+                continue; // parent is the root: no caller frame
+            };
+            if subtree[idx] > 0.0 {
+                dcg.record(
+                    CallEdge::new(parent_step.method, step.site, step.method),
+                    subtree[idx],
+                );
+            }
+        }
+        dcg
+    }
+
+    /// Iterates over `(node, step, weight)` for every non-root node.
+    pub fn iter(&self) -> impl Iterator<Item = (CctNodeId, ContextStep, f64)> + '_ {
+        self.nodes.iter().enumerate().skip(1).map(|(i, n)| {
+            (
+                CctNodeId(i as u32),
+                n.step.expect("non-root nodes have steps"),
+                n.weight,
+            )
+        })
+    }
+
+    /// Collects every positively weighted context as `(path, weight)`.
+    ///
+    /// Paths identify contexts structurally (node ids differ between
+    /// trees), which is what context-sensitive overlap needs.
+    pub fn weighted_paths(&self) -> Vec<(Vec<ContextStep>, f64)> {
+        self.iter()
+            .filter(|(_, _, w)| *w > 0.0)
+            .map(|(node, _, w)| (self.path(node), w))
+            .collect()
+    }
+}
+
+/// The overlap metric lifted to calling contexts: each distinct call
+/// *path* is treated as an edge, weights are shares of total tree weight.
+///
+/// Context-sensitive profiles are strictly harder to converge than flat
+/// DCGs (many contexts share each edge), which is what the
+/// context-sensitivity experiment quantifies.
+pub fn overlap_cct(a: &CallingContextTree, b: &CallingContextTree) -> f64 {
+    let ta = a.total_weight();
+    let tb = b.total_weight();
+    if ta <= 0.0 || tb <= 0.0 {
+        return 0.0;
+    }
+    let pa = a.weighted_paths();
+    let bmap: std::collections::HashMap<Vec<ContextStep>, f64> =
+        b.weighted_paths().into_iter().collect();
+    let mut sum = 0.0;
+    for (path, wa) in pa {
+        if let Some(wb) = bmap.get(&path) {
+            sum += (100.0 * wa / ta).min(100.0 * wb / tb);
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(site: u32, method: u32) -> ContextStep {
+        ContextStep {
+            site: CallSiteId::new(site),
+            method: MethodId::new(method),
+        }
+    }
+
+    #[test]
+    fn shared_prefixes_share_nodes() {
+        let mut t = CallingContextTree::new();
+        t.add_sample(&[step(0, 1), step(1, 2)]);
+        t.add_sample(&[step(0, 1), step(2, 3)]);
+        // root + m1 + m2 + m3
+        assert_eq!(t.num_nodes(), 4);
+        assert_eq!(t.total_weight(), 2.0);
+        assert_eq!(t.max_depth(), 2);
+    }
+
+    #[test]
+    fn same_method_different_context_distinct_nodes() {
+        let mut t = CallingContextTree::new();
+        let a = t.add_sample(&[step(0, 1), step(1, 9)]);
+        let b = t.add_sample(&[step(0, 2), step(1, 9)]);
+        assert_ne!(a, b, "m9 under m1 and under m2 are distinct contexts");
+        assert_eq!(t.step(a), t.step(b));
+    }
+
+    #[test]
+    fn path_round_trips() {
+        let mut t = CallingContextTree::new();
+        let p = vec![step(0, 1), step(3, 4), step(5, 6)];
+        let leaf = t.add_sample(&p);
+        assert_eq!(t.path(leaf), p);
+        assert_eq!(t.path(t.root()), Vec::new());
+    }
+
+    #[test]
+    fn weights_accumulate_per_context() {
+        let mut t = CallingContextTree::new();
+        let a = t.add_sample(&[step(0, 1)]);
+        t.add_weighted_sample(&[step(0, 1)], 2.5);
+        assert_eq!(t.weight(a), 3.5);
+    }
+
+    #[test]
+    fn to_dcg_uses_subtree_weights() {
+        let mut t = CallingContextTree::new();
+        // main -> f (sampled 1), main -> f -> g (sampled 2)
+        t.add_sample(&[step(0, 1), step(1, 2)]);
+        t.add_weighted_sample(&[step(0, 1), step(1, 2), step(2, 3)], 2.0);
+        let dcg = t.to_dcg();
+        // Edge m1->m2 witnessed by all 3 samples; m2->m3 by 2.
+        let e12 = CallEdge::new(MethodId::new(1), CallSiteId::new(1), MethodId::new(2));
+        let e23 = CallEdge::new(MethodId::new(2), CallSiteId::new(2), MethodId::new(3));
+        assert_eq!(dcg.weight(&e12), 3.0);
+        assert_eq!(dcg.weight(&e23), 2.0);
+        // Root-level frame (entry method) has no caller, so no edge.
+        assert_eq!(dcg.num_edges(), 2);
+    }
+
+    #[test]
+    fn iter_skips_root() {
+        let mut t = CallingContextTree::new();
+        t.add_sample(&[step(0, 1)]);
+        let all: Vec<_> = t.iter().collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].1, step(0, 1));
+    }
+
+    #[test]
+    fn weighted_paths_skip_interior_zero_nodes() {
+        let mut t = CallingContextTree::new();
+        t.add_sample(&[step(0, 1), step(1, 2)]);
+        let paths = t.weighted_paths();
+        assert_eq!(paths.len(), 1, "interior node m1 has zero weight");
+        assert_eq!(paths[0].0.len(), 2);
+        assert_eq!(paths[0].1, 1.0);
+    }
+
+    #[test]
+    fn cct_overlap_identical_trees_is_100() {
+        let mut t = CallingContextTree::new();
+        t.add_weighted_sample(&[step(0, 1)], 3.0);
+        t.add_weighted_sample(&[step(0, 1), step(1, 2)], 1.0);
+        assert!((overlap_cct(&t, &t) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cct_overlap_distinguishes_contexts() {
+        // Same flat edges, different context weights.
+        let mut a = CallingContextTree::new();
+        a.add_weighted_sample(&[step(0, 1), step(1, 9)], 9.0);
+        a.add_weighted_sample(&[step(0, 2), step(1, 9)], 1.0);
+        let mut b = CallingContextTree::new();
+        b.add_weighted_sample(&[step(0, 1), step(1, 9)], 1.0);
+        b.add_weighted_sample(&[step(0, 2), step(1, 9)], 9.0);
+        let o = overlap_cct(&a, &b);
+        assert!((o - 20.0).abs() < 1e-9, "min(90,10)+min(10,90) = 20, got {o}");
+    }
+
+    #[test]
+    fn cct_overlap_empty_is_zero() {
+        let t = CallingContextTree::new();
+        let mut u = CallingContextTree::new();
+        u.add_sample(&[step(0, 1)]);
+        assert_eq!(overlap_cct(&t, &u), 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Graphviz (DOT) rendering of dynamic call graphs.
+
+use crate::graph::DynamicCallGraph;
+use cbs_bytecode::{MethodId, Program};
+use std::fmt::Write as _;
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Render at most this many edges (heaviest first).
+    pub max_edges: usize,
+    /// Scale pen widths by edge weight share.
+    pub weight_widths: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        Self {
+            max_edges: 64,
+            weight_widths: true,
+        }
+    }
+}
+
+/// Renders the heaviest edges of a DCG as a DOT digraph, using method
+/// names from `program` when available.
+pub fn to_dot(dcg: &DynamicCallGraph, program: Option<&Program>, options: &DotOptions) -> String {
+    let name_of = |m: MethodId| -> String {
+        match program {
+            Some(p) if m.index() < p.num_methods() => p.method(m).name().to_owned(),
+            _ => m.to_string(),
+        }
+    };
+    let mut out = String::from("digraph dcg {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+    let edges = dcg.top_edges(options.max_edges);
+    let mut nodes: Vec<MethodId> = Vec::new();
+    for (e, _) in &edges {
+        for m in [e.caller, e.callee] {
+            if !nodes.contains(&m) {
+                nodes.push(m);
+            }
+        }
+    }
+    for m in &nodes {
+        let _ = writeln!(out, "  n{} [label=\"{}\"];", m.index(), escape(&name_of(*m)));
+    }
+    for (e, w) in &edges {
+        let pct = dcg.weight_percent(e);
+        let width = if options.weight_widths {
+            (0.5 + pct / 10.0).min(6.0)
+        } else {
+            1.0
+        };
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{pct:.1}%\", penwidth={width:.2}];",
+            e.caller.index(),
+            e.callee.index()
+        );
+        let _ = w;
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CallEdge;
+    use cbs_bytecode::CallSiteId;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g = DynamicCallGraph::new();
+        g.record(
+            CallEdge::new(MethodId::new(0), CallSiteId::new(0), MethodId::new(1)),
+            3.0,
+        );
+        g.record(
+            CallEdge::new(MethodId::new(1), CallSiteId::new(1), MethodId::new(2)),
+            1.0,
+        );
+        let dot = to_dot(&g, None, &DotOptions::default());
+        assert!(dot.starts_with("digraph dcg {"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("75.0%"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn caps_edge_count() {
+        let mut g = DynamicCallGraph::new();
+        for i in 0..100 {
+            g.record(
+                CallEdge::new(MethodId::new(i), CallSiteId::new(i), MethodId::new(i + 1)),
+                f64::from(i + 1),
+            );
+        }
+        let dot = to_dot(
+            &g,
+            None,
+            &DotOptions {
+                max_edges: 5,
+                weight_widths: false,
+            },
+        );
+        assert_eq!(dot.matches(" -> ").count(), 5);
+        assert!(dot.contains("penwidth=1.00"));
+    }
+
+    #[test]
+    fn escapes_names() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+    }
+}

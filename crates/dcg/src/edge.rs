@@ -1,0 +1,67 @@
+//! Call-graph edges.
+
+use cbs_bytecode::{CallSiteId, MethodId};
+use std::fmt;
+
+/// One edge of a dynamic call graph.
+///
+/// Following the paper's §2 definition, an edge is the triple
+/// `(caller, call site, callee)`: a call graph is a *multigraph* because a
+/// single caller/callee pair may be connected through several distinct call
+/// sites, and a single (virtual) call site may reach several callees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CallEdge {
+    /// The calling method.
+    pub caller: MethodId,
+    /// The static call site within the caller.
+    pub site: CallSiteId,
+    /// The invoked method.
+    pub callee: MethodId,
+}
+
+impl CallEdge {
+    /// Creates an edge.
+    pub const fn new(caller: MethodId, site: CallSiteId, callee: MethodId) -> Self {
+        Self {
+            caller,
+            site,
+            callee,
+        }
+    }
+}
+
+impl fmt::Display for CallEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -[{}]-> {}", self.caller, self.site, self.callee)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_identity_includes_site() {
+        let a = CallEdge::new(MethodId::new(0), CallSiteId::new(0), MethodId::new(1));
+        let b = CallEdge::new(MethodId::new(0), CallSiteId::new(1), MethodId::new(1));
+        assert_ne!(a, b, "same caller/callee through different sites are distinct edges");
+    }
+
+    #[test]
+    fn display_shows_all_components() {
+        let e = CallEdge::new(MethodId::new(2), CallSiteId::new(7), MethodId::new(3));
+        assert_eq!(e.to_string(), "m2 -[s7]-> m3");
+    }
+
+    #[test]
+    fn edges_order_deterministically() {
+        let mut v = [
+            CallEdge::new(MethodId::new(1), CallSiteId::new(0), MethodId::new(0)),
+            CallEdge::new(MethodId::new(0), CallSiteId::new(1), MethodId::new(0)),
+            CallEdge::new(MethodId::new(0), CallSiteId::new(0), MethodId::new(1)),
+        ];
+        v.sort_unstable();
+        assert_eq!(v[0].caller, MethodId::new(0));
+        assert_eq!(v[0].site, CallSiteId::new(0));
+    }
+}

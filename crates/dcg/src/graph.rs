@@ -1,0 +1,328 @@
+//! The weighted dynamic call graph.
+
+use crate::edge::CallEdge;
+use cbs_bytecode::{CallSiteId, MethodId};
+use std::collections::HashMap;
+
+/// A dynamic call graph: observed call edges with sample weights.
+///
+/// Weights are `f64` so the graph can represent exact counts (exhaustive
+/// profiling), sample counts (sampling profilers) and decayed weights
+/// (continuous profiling) uniformly. Only edges with positive weight are
+/// stored; recording zero weight is a no-op.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DynamicCallGraph {
+    weights: HashMap<CallEdge, f64>,
+    total: f64,
+}
+
+impl DynamicCallGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `weight` additional observations of `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `weight` is negative or non-finite.
+    pub fn record(&mut self, edge: CallEdge, weight: f64) {
+        debug_assert!(weight.is_finite() && weight >= 0.0, "bad weight {weight}");
+        if weight <= 0.0 {
+            return;
+        }
+        *self.weights.entry(edge).or_insert(0.0) += weight;
+        self.total += weight;
+    }
+
+    /// Records a single observation of `edge`.
+    pub fn record_sample(&mut self, edge: CallEdge) {
+        self.record(edge, 1.0);
+    }
+
+    /// Absolute weight of `edge` (0 if absent).
+    pub fn weight(&self, edge: &CallEdge) -> f64 {
+        self.weights.get(edge).copied().unwrap_or(0.0)
+    }
+
+    /// `edge`'s share of the total weight, in **percent** (0–100).
+    ///
+    /// This is the `Weight(e, DCG)` quantity of the paper's overlap metric.
+    pub fn weight_percent(&self, edge: &CallEdge) -> f64 {
+        if self.total <= 0.0 {
+            0.0
+        } else {
+            100.0 * self.weight(edge) / self.total
+        }
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of distinct edges.
+    pub fn num_edges(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Returns `true` when no edge has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Iterates over `(edge, weight)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&CallEdge, f64)> + '_ {
+        self.weights.iter().map(|(e, w)| (e, *w))
+    }
+
+    /// All edges sorted by descending weight (ties broken by edge order,
+    /// so the result is deterministic).
+    pub fn edges_by_weight(&self) -> Vec<(CallEdge, f64)> {
+        let mut v: Vec<(CallEdge, f64)> = self.weights.iter().map(|(e, w)| (*e, *w)).collect();
+        v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The `n` heaviest edges.
+    pub fn top_edges(&self, n: usize) -> Vec<(CallEdge, f64)> {
+        let mut v = self.edges_by_weight();
+        v.truncate(n);
+        v
+    }
+
+    /// Edges whose share of total weight is at least `percent` (the old
+    /// Jikes inliner's "hot edge" query, with `percent = 1.0`).
+    pub fn hot_edges(&self, percent: f64) -> Vec<(CallEdge, f64)> {
+        self.edges_by_weight()
+            .into_iter()
+            .filter(|(e, _)| self.weight_percent(e) >= percent)
+            .collect()
+    }
+
+    /// Merges another graph's observations into this one.
+    pub fn merge(&mut self, other: &DynamicCallGraph) {
+        for (e, w) in other.iter() {
+            self.record(*e, w);
+        }
+    }
+
+    /// Multiplies every weight by `factor` (exponential decay for
+    /// continuous profiling). Edges whose weight falls below `min_weight`
+    /// are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `factor` is negative or non-finite.
+    pub fn decay(&mut self, factor: f64, min_weight: f64) {
+        debug_assert!(factor.is_finite() && factor >= 0.0);
+        self.weights.retain(|_, w| {
+            *w *= factor;
+            *w >= min_weight
+        });
+        self.total = self.weights.values().sum();
+    }
+
+    /// Total weight flowing out of `caller`.
+    pub fn outgoing_weight(&self, caller: MethodId) -> f64 {
+        self.weights
+            .iter()
+            .filter(|(e, _)| e.caller == caller)
+            .map(|(_, w)| *w)
+            .sum()
+    }
+
+    /// Total weight flowing into `callee` (its sampled invocation
+    /// frequency).
+    pub fn incoming_weight(&self, callee: MethodId) -> f64 {
+        self.weights
+            .iter()
+            .filter(|(e, _)| e.callee == callee)
+            .map(|(_, w)| *w)
+            .sum()
+    }
+
+    /// The distribution of callees observed at one call site, as
+    /// `(callee, weight)` sorted by descending weight.
+    ///
+    /// This is the input to the paper's 40% guarded-inlining rule.
+    pub fn site_distribution(&self, site: CallSiteId) -> Vec<(MethodId, f64)> {
+        let mut per_callee: HashMap<MethodId, f64> = HashMap::new();
+        for (e, w) in &self.weights {
+            if e.site == site {
+                *per_callee.entry(e.callee).or_insert(0.0) += *w;
+            }
+        }
+        let mut v: Vec<(MethodId, f64)> = per_callee.into_iter().collect();
+        v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Weight observed at one call site across all callees.
+    pub fn site_weight(&self, site: CallSiteId) -> f64 {
+        self.weights
+            .iter()
+            .filter(|(e, _)| e.site == site)
+            .map(|(_, w)| *w)
+            .sum()
+    }
+
+    /// All distinct call sites with positive weight.
+    pub fn sites(&self) -> Vec<CallSiteId> {
+        let mut v: Vec<CallSiteId> = self.weights.keys().map(|e| e.site).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+impl FromIterator<(CallEdge, f64)> for DynamicCallGraph {
+    fn from_iter<T: IntoIterator<Item = (CallEdge, f64)>>(iter: T) -> Self {
+        let mut g = DynamicCallGraph::new();
+        for (e, w) in iter {
+            g.record(e, w);
+        }
+        g
+    }
+}
+
+impl Extend<(CallEdge, f64)> for DynamicCallGraph {
+    fn extend<T: IntoIterator<Item = (CallEdge, f64)>>(&mut self, iter: T) {
+        for (e, w) in iter {
+            self.record(e, w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(caller: u32, site: u32, callee: u32) -> CallEdge {
+        CallEdge::new(
+            MethodId::new(caller),
+            CallSiteId::new(site),
+            MethodId::new(callee),
+        )
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut g = DynamicCallGraph::new();
+        g.record_sample(e(0, 0, 1));
+        g.record(e(0, 0, 1), 2.0);
+        assert_eq!(g.weight(&e(0, 0, 1)), 3.0);
+        assert_eq!(g.total_weight(), 3.0);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn zero_weight_is_noop() {
+        let mut g = DynamicCallGraph::new();
+        g.record(e(0, 0, 1), 0.0);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn weight_percent_normalizes() {
+        let mut g = DynamicCallGraph::new();
+        g.record(e(0, 0, 1), 3.0);
+        g.record(e(0, 1, 2), 1.0);
+        assert!((g.weight_percent(&e(0, 0, 1)) - 75.0).abs() < 1e-12);
+        assert!((g.weight_percent(&e(0, 1, 2)) - 25.0).abs() < 1e-12);
+        assert_eq!(g.weight_percent(&e(9, 9, 9)), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_percent_is_zero() {
+        let g = DynamicCallGraph::new();
+        assert_eq!(g.weight_percent(&e(0, 0, 1)), 0.0);
+    }
+
+    #[test]
+    fn edges_by_weight_is_sorted_and_deterministic() {
+        let mut g = DynamicCallGraph::new();
+        g.record(e(0, 0, 1), 1.0);
+        g.record(e(0, 1, 2), 5.0);
+        g.record(e(1, 2, 3), 1.0);
+        let v = g.edges_by_weight();
+        assert_eq!(v[0].0, e(0, 1, 2));
+        // Ties broken by edge order.
+        assert_eq!(v[1].0, e(0, 0, 1));
+        assert_eq!(v[2].0, e(1, 2, 3));
+        assert_eq!(g.top_edges(1).len(), 1);
+    }
+
+    #[test]
+    fn hot_edges_threshold() {
+        let mut g = DynamicCallGraph::new();
+        g.record(e(0, 0, 1), 99.0);
+        g.record(e(0, 1, 2), 1.0);
+        let hot = g.hot_edges(1.0);
+        assert_eq!(hot.len(), 2);
+        let hot = g.hot_edges(2.0);
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].0, e(0, 0, 1));
+    }
+
+    #[test]
+    fn merge_sums_weights() {
+        let mut a = DynamicCallGraph::new();
+        a.record(e(0, 0, 1), 1.0);
+        let mut b = DynamicCallGraph::new();
+        b.record(e(0, 0, 1), 2.0);
+        b.record(e(1, 1, 2), 4.0);
+        a.merge(&b);
+        assert_eq!(a.weight(&e(0, 0, 1)), 3.0);
+        assert_eq!(a.weight(&e(1, 1, 2)), 4.0);
+        assert_eq!(a.total_weight(), 7.0);
+    }
+
+    #[test]
+    fn decay_scales_and_prunes() {
+        let mut g = DynamicCallGraph::new();
+        g.record(e(0, 0, 1), 10.0);
+        g.record(e(0, 1, 2), 0.5);
+        g.decay(0.5, 0.5);
+        assert_eq!(g.weight(&e(0, 0, 1)), 5.0);
+        assert_eq!(g.weight(&e(0, 1, 2)), 0.0, "pruned below min weight");
+        assert_eq!(g.num_edges(), 1);
+        assert!((g.total_weight() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incoming_outgoing() {
+        let mut g = DynamicCallGraph::new();
+        g.record(e(0, 0, 1), 1.0);
+        g.record(e(0, 1, 2), 2.0);
+        g.record(e(2, 2, 1), 4.0);
+        assert_eq!(g.outgoing_weight(MethodId::new(0)), 3.0);
+        assert_eq!(g.incoming_weight(MethodId::new(1)), 5.0);
+        assert_eq!(g.incoming_weight(MethodId::new(9)), 0.0);
+    }
+
+    #[test]
+    fn site_distribution_sorts_by_weight() {
+        let mut g = DynamicCallGraph::new();
+        g.record(e(0, 5, 1), 1.0);
+        g.record(e(0, 5, 2), 9.0);
+        g.record(e(0, 6, 3), 100.0);
+        let d = g.site_distribution(CallSiteId::new(5));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0], (MethodId::new(2), 9.0));
+        assert_eq!(g.site_weight(CallSiteId::new(5)), 10.0);
+        assert_eq!(g.sites(), vec![CallSiteId::new(5), CallSiteId::new(6)]);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let g: DynamicCallGraph = vec![(e(0, 0, 1), 2.0), (e(0, 0, 1), 3.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(g.weight(&e(0, 0, 1)), 5.0);
+        let mut g2 = DynamicCallGraph::new();
+        g2.extend(g.iter().map(|(e, w)| (*e, w)));
+        assert_eq!(g2.total_weight(), 5.0);
+    }
+}

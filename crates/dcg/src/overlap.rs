@@ -1,0 +1,140 @@
+//! The overlap accuracy metric (paper §6.2).
+//!
+//! ```text
+//! overlap(DCG1, DCG2) = Σ_{e ∈ CallEdges} min(Weight(e, DCG1), Weight(e, DCG2))
+//! ```
+//!
+//! where `CallEdges` is the set of edges present in both graphs and
+//! `Weight(e, DCG)` is the *percentage* of total weight attributed to `e`.
+//! The result ranges from 0 (no common information) to 100 (identical
+//! profiles). A sampled profile's *accuracy* is its overlap with a perfect
+//! (exhaustively counted) profile.
+
+use crate::graph::DynamicCallGraph;
+
+/// Computes the overlap percentage between two dynamic call graphs.
+///
+/// Symmetric in its arguments: the denominator of each weight is its own
+/// graph's total, so `overlap(a, b) == overlap(b, a)`.
+///
+/// Returns 0 when either graph is empty.
+///
+/// ```
+/// use cbs_dcg::{CallEdge, DynamicCallGraph, overlap};
+/// use cbs_bytecode::{CallSiteId, MethodId};
+///
+/// let e = CallEdge::new(MethodId::new(0), CallSiteId::new(0), MethodId::new(1));
+/// let mut a = DynamicCallGraph::new();
+/// a.record(e, 10.0);
+/// let mut b = DynamicCallGraph::new();
+/// b.record(e, 3.0); // different counts, same distribution
+/// assert!((overlap(&a, &b) - 100.0).abs() < 1e-9);
+/// ```
+pub fn overlap(a: &DynamicCallGraph, b: &DynamicCallGraph) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    // Iterate the smaller graph; only shared edges contribute.
+    let (outer, inner) = if a.num_edges() <= b.num_edges() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    for (edge, _) in outer.iter() {
+        let wi = inner.weight_percent(edge);
+        if wi > 0.0 {
+            sum += wi.min(outer.weight_percent(edge));
+        }
+    }
+    sum
+}
+
+/// Accuracy of a sampled profile with respect to a perfect profile
+/// (`accuracy(DCG_samp) = overlap(DCG_samp, DCG_perfect)`).
+pub fn accuracy(sampled: &DynamicCallGraph, perfect: &DynamicCallGraph) -> f64 {
+    overlap(sampled, perfect)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::CallEdge;
+    use cbs_bytecode::{CallSiteId, MethodId};
+
+    fn e(caller: u32, site: u32, callee: u32) -> CallEdge {
+        CallEdge::new(
+            MethodId::new(caller),
+            CallSiteId::new(site),
+            MethodId::new(callee),
+        )
+    }
+
+    fn graph(entries: &[(CallEdge, f64)]) -> DynamicCallGraph {
+        entries.iter().copied().collect()
+    }
+
+    #[test]
+    fn identical_profiles_overlap_100() {
+        let g = graph(&[(e(0, 0, 1), 5.0), (e(0, 1, 2), 15.0)]);
+        assert!((overlap(&g, &g) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_profiles_overlap_0() {
+        let a = graph(&[(e(0, 0, 1), 5.0)]);
+        let b = graph(&[(e(2, 2, 3), 5.0)]);
+        assert_eq!(overlap(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_overlap_0() {
+        let a = graph(&[(e(0, 0, 1), 5.0)]);
+        let b = DynamicCallGraph::new();
+        assert_eq!(overlap(&a, &b), 0.0);
+        assert_eq!(overlap(&b, &a), 0.0);
+        assert_eq!(overlap(&b, &b), 0.0);
+    }
+
+    #[test]
+    fn scale_invariance() {
+        // Overlap compares *distributions*: scaling all weights of one
+        // profile changes nothing.
+        let a = graph(&[(e(0, 0, 1), 1.0), (e(0, 1, 2), 3.0)]);
+        let b = graph(&[(e(0, 0, 1), 10.0), (e(0, 1, 2), 30.0)]);
+        assert!((overlap(&a, &b) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_overlap_is_min_of_percentages() {
+        // a: 50/50 across two edges; b: 100% on the first edge.
+        let a = graph(&[(e(0, 0, 1), 1.0), (e(0, 1, 2), 1.0)]);
+        let b = graph(&[(e(0, 0, 1), 7.0)]);
+        assert!((overlap(&a, &b) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = graph(&[(e(0, 0, 1), 2.0), (e(0, 1, 2), 8.0), (e(1, 2, 3), 1.0)]);
+        let b = graph(&[(e(0, 0, 1), 6.0), (e(1, 2, 3), 4.0)]);
+        assert!((overlap(&a, &b) - overlap(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_by_100() {
+        let a = graph(&[(e(0, 0, 1), 1.0), (e(0, 1, 2), 2.0), (e(1, 2, 3), 3.0)]);
+        let b = graph(&[(e(0, 0, 1), 3.0), (e(0, 1, 2), 2.0), (e(1, 2, 3), 1.0)]);
+        let o = overlap(&a, &b);
+        assert!(o > 0.0 && o <= 100.0, "overlap {o} out of range");
+    }
+
+    #[test]
+    fn accuracy_is_overlap_with_perfect() {
+        let perfect = graph(&[(e(0, 0, 1), 90.0), (e(0, 1, 2), 10.0)]);
+        let sampled = graph(&[(e(0, 0, 1), 9.0), (e(0, 1, 2), 1.0)]);
+        assert!((accuracy(&sampled, &perfect) - 100.0).abs() < 1e-9);
+        let biased = graph(&[(e(0, 0, 1), 1.0), (e(0, 1, 2), 1.0)]);
+        // min(50,90) + min(50,10) = 60
+        assert!((accuracy(&biased, &perfect) - 60.0).abs() < 1e-9);
+    }
+}

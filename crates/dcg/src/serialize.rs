@@ -1,0 +1,189 @@
+//! Plain-text serialization of dynamic call graphs.
+//!
+//! Profiles are often collected in one process and consumed in another
+//! (offline analysis, cross-run comparison, feeding a later compilation);
+//! this module defines a stable line-oriented format:
+//!
+//! ```text
+//! # cbs-dcg v1
+//! <caller> <site> <callee> <weight>
+//! ```
+//!
+//! one edge per line, ids as decimal integers, weight as a float.
+//! Round-tripping is exact for weights representable in `f64`.
+
+use crate::edge::CallEdge;
+use crate::graph::DynamicCallGraph;
+use cbs_bytecode::{CallSiteId, MethodId};
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Magic first line of the format.
+const HEADER: &str = "# cbs-dcg v1";
+
+/// A failure to parse the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseDcgError {
+    /// The header line is missing or wrong.
+    BadHeader,
+    /// A data line does not have four fields.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A field failed to parse as a number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// Offending field text.
+        field: String,
+    },
+    /// A weight was negative or non-finite.
+    BadWeight {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for ParseDcgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDcgError::BadHeader => write!(f, "missing `{HEADER}` header"),
+            ParseDcgError::BadLine { line } => {
+                write!(f, "line {line}: expected `caller site callee weight`")
+            }
+            ParseDcgError::BadNumber { line, field } => {
+                write!(f, "line {line}: `{field}` is not a number")
+            }
+            ParseDcgError::BadWeight { line } => {
+                write!(f, "line {line}: weight must be finite and non-negative")
+            }
+        }
+    }
+}
+
+impl Error for ParseDcgError {}
+
+/// Serializes a graph to the text format, edges in deterministic
+/// (descending-weight) order.
+pub fn to_text(dcg: &DynamicCallGraph) -> String {
+    let mut out = String::with_capacity(16 + dcg.num_edges() * 24);
+    out.push_str(HEADER);
+    out.push('\n');
+    for (edge, weight) in dcg.edges_by_weight() {
+        let _ = writeln!(
+            out,
+            "{} {} {} {}",
+            edge.caller.index(),
+            edge.site.index(),
+            edge.callee.index(),
+            weight
+        );
+    }
+    out
+}
+
+/// Parses the text format back into a graph.
+///
+/// # Errors
+///
+/// Returns a [`ParseDcgError`] describing the first malformed line.
+/// Blank lines and `#` comments after the header are ignored.
+pub fn from_text(text: &str) -> Result<DynamicCallGraph, ParseDcgError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, first)) if first.trim() == HEADER => {}
+        _ => return Err(ParseDcgError::BadHeader),
+    }
+    let mut dcg = DynamicCallGraph::new();
+    for (idx, raw) in lines {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(ParseDcgError::BadLine { line: line_no });
+        }
+        let num = |s: &str| -> Result<u32, ParseDcgError> {
+            s.parse().map_err(|_| ParseDcgError::BadNumber {
+                line: line_no,
+                field: s.to_owned(),
+            })
+        };
+        let caller = MethodId::new(num(fields[0])?);
+        let site = CallSiteId::new(num(fields[1])?);
+        let callee = MethodId::new(num(fields[2])?);
+        let weight: f64 = fields[3].parse().map_err(|_| ParseDcgError::BadNumber {
+            line: line_no,
+            field: fields[3].to_owned(),
+        })?;
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(ParseDcgError::BadWeight { line: line_no });
+        }
+        dcg.record(CallEdge::new(caller, site, callee), weight);
+    }
+    Ok(dcg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DynamicCallGraph {
+        let mut g = DynamicCallGraph::new();
+        g.record(
+            CallEdge::new(MethodId::new(0), CallSiteId::new(1), MethodId::new(2)),
+            12.5,
+        );
+        g.record(
+            CallEdge::new(MethodId::new(3), CallSiteId::new(4), MethodId::new(5)),
+            1.0,
+        );
+        g
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let g = sample();
+        let parsed = from_text(&to_text(&g)).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = format!("{HEADER}\n\n# hot edge\n0 1 2 3.5\n");
+        let g = from_text(&text).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.total_weight(), 3.5);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(from_text("0 1 2 3\n"), Err(ParseDcgError::BadHeader));
+        assert_eq!(from_text(""), Err(ParseDcgError::BadHeader));
+    }
+
+    #[test]
+    fn malformed_lines_pinpointed() {
+        let text = format!("{HEADER}\n0 1 2\n");
+        assert_eq!(from_text(&text), Err(ParseDcgError::BadLine { line: 2 }));
+        let text = format!("{HEADER}\n0 x 2 3\n");
+        assert!(matches!(
+            from_text(&text),
+            Err(ParseDcgError::BadNumber { line: 2, .. })
+        ));
+        let text = format!("{HEADER}\n0 1 2 -3\n");
+        assert_eq!(from_text(&text), Err(ParseDcgError::BadWeight { line: 2 }));
+        let text = format!("{HEADER}\n0 1 2 inf\n");
+        assert_eq!(from_text(&text), Err(ParseDcgError::BadWeight { line: 2 }));
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = DynamicCallGraph::new();
+        assert_eq!(from_text(&to_text(&g)).unwrap(), g);
+    }
+}

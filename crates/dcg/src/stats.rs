@@ -1,0 +1,132 @@
+//! Profile-shape statistics.
+//!
+//! The accuracy a sampling profiler can reach on a program depends on the
+//! *shape* of its true edge-weight distribution: a concentrated profile
+//! (compress) converges in a few hundred samples, a long-tailed one
+//! (javac, daikon) does not. These statistics characterize that shape and
+//! are used by EXPERIMENTS.md to validate that the synthetic workloads
+//! have realistic profiles.
+
+use crate::graph::DynamicCallGraph;
+
+/// Summary statistics of one profile's weight distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileShape {
+    /// Number of distinct edges.
+    pub edges: usize,
+    /// Fraction of total weight in the heaviest 10% of edges.
+    pub top_decile_share: f64,
+    /// Smallest number of edges covering 90% of the weight.
+    pub edges_for_90pct: usize,
+    /// Gini coefficient of the weight distribution (0 = uniform,
+    /// → 1 = maximally concentrated).
+    pub gini: f64,
+}
+
+/// Computes the shape statistics of a profile.
+///
+/// Returns a zeroed shape for an empty graph.
+pub fn shape(dcg: &DynamicCallGraph) -> ProfileShape {
+    let edges = dcg.edges_by_weight();
+    let n = edges.len();
+    if n == 0 {
+        return ProfileShape {
+            edges: 0,
+            top_decile_share: 0.0,
+            edges_for_90pct: 0,
+            gini: 0.0,
+        };
+    }
+    let total: f64 = dcg.total_weight();
+
+    let decile = (n / 10).max(1);
+    let top_decile_share: f64 = edges.iter().take(decile).map(|(_, w)| w).sum::<f64>() / total;
+
+    let mut covered = 0.0;
+    let mut edges_for_90pct = n;
+    for (i, (_, w)) in edges.iter().enumerate() {
+        covered += w;
+        if covered >= 0.9 * total {
+            edges_for_90pct = i + 1;
+            break;
+        }
+    }
+
+    // Gini over the (descending-sorted) weights.
+    let mut ascending: Vec<f64> = edges.iter().map(|(_, w)| *w).collect();
+    ascending.reverse();
+    let sum: f64 = ascending.iter().sum();
+    let weighted: f64 = ascending
+        .iter()
+        .enumerate()
+        .map(|(i, w)| (i as f64 + 1.0) * w)
+        .sum();
+    let gini = if sum > 0.0 {
+        (2.0 * weighted / (n as f64 * sum)) - (n as f64 + 1.0) / n as f64
+    } else {
+        0.0
+    };
+
+    ProfileShape {
+        edges: n,
+        top_decile_share,
+        edges_for_90pct,
+        gini,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CallEdge;
+    use cbs_bytecode::{CallSiteId, MethodId};
+
+    fn graph(weights: &[f64]) -> DynamicCallGraph {
+        let mut g = DynamicCallGraph::new();
+        for (i, &w) in weights.iter().enumerate() {
+            g.record(
+                CallEdge::new(
+                    MethodId::new(0),
+                    CallSiteId::new(i as u32),
+                    MethodId::new(i as u32 + 1),
+                ),
+                w,
+            );
+        }
+        g
+    }
+
+    #[test]
+    fn uniform_distribution_has_low_gini() {
+        let s = shape(&graph(&[1.0; 100]));
+        assert_eq!(s.edges, 100);
+        assert!(s.gini.abs() < 0.02, "gini {}", s.gini);
+        assert!((s.top_decile_share - 0.1).abs() < 0.01);
+        assert_eq!(s.edges_for_90pct, 90);
+    }
+
+    #[test]
+    fn concentrated_distribution_has_high_gini() {
+        let mut weights = vec![1.0; 99];
+        weights.insert(0, 1000.0);
+        let s = shape(&graph(&weights));
+        assert!(s.gini > 0.8, "gini {}", s.gini);
+        assert!(s.top_decile_share > 0.9);
+        assert!(s.edges_for_90pct <= 2);
+    }
+
+    #[test]
+    fn empty_graph_is_zeroed() {
+        let s = shape(&DynamicCallGraph::new());
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.gini, 0.0);
+    }
+
+    #[test]
+    fn single_edge() {
+        let s = shape(&graph(&[5.0]));
+        assert_eq!(s.edges, 1);
+        assert_eq!(s.edges_for_90pct, 1);
+        assert!((s.top_decile_share - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,660 @@
+//! The bytecode inlining transform.
+//!
+//! Splices a callee body into its caller in place of a call instruction.
+//! Three shapes are supported:
+//!
+//! * **Direct** — a `call` instruction is replaced by the callee body;
+//! * **Devirtualized** — a `callvirt` whose slot has exactly one static
+//!   implementation is replaced by that body with no guard;
+//! * **Guarded** — a polymorphic `callvirt` is replaced by a chain of
+//!   class-test guards, one per predicted receiver class, each protecting
+//!   an inlined body; the final fallthrough re-executes the original
+//!   virtual call (preserving its [`CallSiteId`] so profile attribution
+//!   survives).
+//!
+//! Arguments are spilled into fresh caller locals, the body's locals are
+//! remapped above them, every `return` becomes a jump to the join point
+//! (the returned value stays on the operand stack), and the argument-
+//! marshalling traffic is subsequently removed by `cbs-opt`'s passes.
+
+use cbs_bytecode::{verify, CallSiteId, ClassId, MethodId, Op, Program};
+use std::error::Error;
+use std::fmt;
+
+/// What to do at one call instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InlineKind {
+    /// Inline the statically bound callee of a `call`.
+    Direct {
+        /// The callee to splice in.
+        callee: MethodId,
+    },
+    /// Inline the single static implementation of a `callvirt` slot,
+    /// without a guard.
+    Devirtualized {
+        /// The unique implementation.
+        callee: MethodId,
+    },
+    /// Guard-inline one or more predicted receivers of a `callvirt`.
+    Guarded {
+        /// `(exact receiver class, implementation)` pairs, tested in
+        /// order.
+        targets: Vec<(ClassId, MethodId)>,
+    },
+}
+
+/// One planned inlining action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InlineDecision {
+    /// Method containing the call instruction.
+    pub caller: MethodId,
+    /// Instruction index of the call within the caller (valid for the
+    /// program state the plan was computed against).
+    pub pc: u32,
+    /// The action.
+    pub kind: InlineKind,
+}
+
+/// Why an inlining action was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InlineError {
+    /// The instruction at the decision's pc is not the expected kind of
+    /// call.
+    NotThatCall {
+        /// The decision's caller.
+        caller: MethodId,
+        /// The decision's pc.
+        pc: u32,
+    },
+    /// Direct self-inlining is not supported.
+    Recursive {
+        /// The method that would be inlined into itself.
+        method: MethodId,
+    },
+    /// A guarded decision listed no targets.
+    EmptyGuardList,
+    /// The spliced method failed re-verification (a transform bug;
+    /// surfaced as an error for debuggability).
+    Verify(String),
+}
+
+impl fmt::Display for InlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InlineError::NotThatCall { caller, pc } => {
+                write!(f, "{caller}@{pc}: instruction is not the expected call")
+            }
+            InlineError::Recursive { method } => {
+                write!(f, "{method}: cannot inline a method into itself")
+            }
+            InlineError::EmptyGuardList => write!(f, "guarded inline with no targets"),
+            InlineError::Verify(msg) => write!(f, "inlined code failed verification: {msg}"),
+        }
+    }
+}
+
+impl Error for InlineError {}
+
+/// Applies one inlining decision to the program.
+///
+/// # Errors
+///
+/// Returns an [`InlineError`] if the decision no longer matches the code
+/// (e.g. the plan was computed against a different program state) or would
+/// inline a method into itself.
+pub fn apply_decision(program: &mut Program, decision: &InlineDecision) -> Result<(), InlineError> {
+    let caller_id = decision.caller;
+    let pc = decision.pc as usize;
+    let caller = program.method(caller_id);
+    let op = caller
+        .code()
+        .get(pc)
+        .copied()
+        .ok_or(InlineError::NotThatCall {
+            caller: caller_id,
+            pc: decision.pc,
+        })?;
+
+    match &decision.kind {
+        InlineKind::Direct { callee } => {
+            let Op::Call { target, .. } = op else {
+                return Err(InlineError::NotThatCall {
+                    caller: caller_id,
+                    pc: decision.pc,
+                });
+            };
+            if target != *callee {
+                return Err(InlineError::NotThatCall {
+                    caller: caller_id,
+                    pc: decision.pc,
+                });
+            }
+            splice_unguarded(program, caller_id, pc, *callee)
+        }
+        InlineKind::Devirtualized { callee } => {
+            let Op::CallVirtual { .. } = op else {
+                return Err(InlineError::NotThatCall {
+                    caller: caller_id,
+                    pc: decision.pc,
+                });
+            };
+            splice_unguarded(program, caller_id, pc, *callee)
+        }
+        InlineKind::Guarded { targets } => {
+            let Op::CallVirtual { site, slot, arity } = op else {
+                return Err(InlineError::NotThatCall {
+                    caller: caller_id,
+                    pc: decision.pc,
+                });
+            };
+            splice_guarded(program, caller_id, pc, site, slot, arity, targets)
+        }
+    }
+}
+
+/// Remaps one callee body for splicing: locals shifted by `local_base`,
+/// jump targets shifted by `body_start`, `return`s turned into jumps to
+/// `join`.
+fn remap_body(code: &[Op], local_base: u16, body_start: u32, join: u32) -> Vec<Op> {
+    code.iter()
+        .map(|op| match *op {
+            Op::Load(n) => Op::Load(n + local_base),
+            Op::Store(n) => Op::Store(n + local_base),
+            Op::Return => Op::Jump(join),
+            other => match other.jump_target() {
+                Some(t) => other.with_jump_target(t + body_start),
+                None => other,
+            },
+        })
+        .collect()
+}
+
+/// Rebuilds the caller around a replacement sequence for the instruction
+/// at `pc`, shifting jump targets that point past the call.
+fn splice_into_caller(
+    program: &mut Program,
+    caller_id: MethodId,
+    pc: usize,
+    replacement: Vec<Op>,
+) -> Result<(), InlineError> {
+    let old = program.method(caller_id).code().to_vec();
+    let delta = replacement.len() as u32 - 1;
+    let mut new_code = Vec::with_capacity(old.len() + replacement.len());
+    for (i, op) in old.iter().enumerate() {
+        if i == pc {
+            new_code.extend(replacement.iter().copied());
+            continue;
+        }
+        let adjusted = match op.jump_target() {
+            Some(t) if t as usize > pc => op.with_jump_target(t + delta),
+            _ => *op,
+        };
+        new_code.push(adjusted);
+    }
+    program.replace_method(caller_id, new_code);
+    verify::verify_method(program, caller_id)
+        .map_err(|e| InlineError::Verify(e.to_string()))?;
+    Ok(())
+}
+
+/// Splices a callee with no guard (direct call or statically monomorphic
+/// virtual call).
+fn splice_unguarded(
+    program: &mut Program,
+    caller_id: MethodId,
+    pc: usize,
+    callee_id: MethodId,
+) -> Result<(), InlineError> {
+    if caller_id == callee_id {
+        return Err(InlineError::Recursive { method: caller_id });
+    }
+    let local_base = program.method(caller_id).num_locals();
+    let callee = program.method(callee_id).clone();
+    let arity = callee.num_params();
+
+    let start = pc as u32;
+    let mut replacement: Vec<Op> = Vec::with_capacity(usize::from(arity) + callee.len() + 1);
+    // Spill arguments: the last argument is on top, so the highest slot is
+    // stored first.
+    for i in (0..arity).rev() {
+        replacement.push(Op::Store(local_base + i));
+    }
+    let body_start = start + u32::from(arity);
+    let join = body_start + callee.len() as u32;
+    replacement.extend(remap_body(callee.code(), local_base, body_start, join));
+
+    program
+        .method_mut(caller_id)
+        .ensure_locals(local_base + callee.num_locals());
+    splice_into_caller(program, caller_id, pc, replacement)
+}
+
+/// Splices a guard chain for a polymorphic virtual call.
+fn splice_guarded(
+    program: &mut Program,
+    caller_id: MethodId,
+    pc: usize,
+    site: CallSiteId,
+    slot: cbs_bytecode::VirtualSlot,
+    arity: u16,
+    targets: &[(ClassId, MethodId)],
+) -> Result<(), InlineError> {
+    if targets.is_empty() {
+        return Err(InlineError::EmptyGuardList);
+    }
+    if targets.iter().any(|(_, m)| *m == caller_id) {
+        return Err(InlineError::Recursive { method: caller_id });
+    }
+    let local_base = program.method(caller_id).num_locals();
+    let bodies: Vec<(ClassId, cbs_bytecode::Method)> = targets
+        .iter()
+        .map(|(k, m)| (*k, program.method(*m).clone()))
+        .collect();
+
+    // Layout:
+    //   spills (arity ops)
+    //   per target: load receiver; guard -> next; body (return -> join)
+    //   slow path: reload args; callvirt (original site); fall into join
+    let start = pc as u32;
+    let spills = u32::from(arity);
+    let mut body_lens = Vec::new();
+    for (_, m) in &bodies {
+        body_lens.push(m.len() as u32);
+    }
+    // Compute section offsets.
+    let mut offsets = Vec::new(); // start of each target's load+guard
+    let mut cursor = start + spills;
+    for len in &body_lens {
+        offsets.push(cursor);
+        cursor += 2 + len; // load, guard, body
+    }
+    let slow_start = cursor;
+    let join = slow_start + u32::from(arity) + 1;
+
+    let mut replacement: Vec<Op> =
+        Vec::with_capacity((spills + (cursor - start - spills) + u32::from(arity) + 1) as usize);
+    for i in (0..arity).rev() {
+        replacement.push(Op::Store(local_base + i));
+    }
+    let mut max_callee_locals = 0u16;
+    for (idx, (class, method)) in bodies.iter().enumerate() {
+        let not_taken = offsets.get(idx + 1).copied().unwrap_or(slow_start);
+        replacement.push(Op::Load(local_base)); // receiver
+        replacement.push(Op::GuardClass {
+            class: *class,
+            not_taken,
+        });
+        let body_start = offsets[idx] + 2;
+        replacement.extend(remap_body(method.code(), local_base, body_start, join));
+        max_callee_locals = max_callee_locals.max(method.num_locals());
+    }
+    // Slow path: restore arguments and perform the original dispatch.
+    for i in 0..arity {
+        replacement.push(Op::Load(local_base + i));
+    }
+    replacement.push(Op::CallVirtual { site, slot, arity });
+
+    program
+        .method_mut(caller_id)
+        .ensure_locals(local_base + max_callee_locals.max(arity));
+    splice_into_caller(program, caller_id, pc, replacement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_bytecode::{ProgramBuilder, VirtualSlot};
+    use cbs_vm::{Value, Vm, VmConfig};
+
+    fn run(program: &Program) -> Value {
+        Vm::new(program, VmConfig::default())
+            .run_unprofiled()
+            .unwrap()
+            .return_values[0]
+    }
+
+    /// Build a program, record its result, apply `decide`, and check the
+    /// transformed program computes the same result with fewer calls.
+    fn check_semantics_preserved(program: &mut Program, decision: &InlineDecision) {
+        let before = run(program);
+        let calls_before = Vm::new(program, VmConfig::default())
+            .run_unprofiled()
+            .unwrap()
+            .calls;
+        apply_decision(program, decision).unwrap();
+        let after = run(program);
+        let calls_after = Vm::new(program, VmConfig::default())
+            .run_unprofiled()
+            .unwrap()
+            .calls;
+        assert_eq!(before, after, "inlining changed program semantics");
+        assert!(calls_after < calls_before, "inlining must remove dynamic calls");
+    }
+
+    #[test]
+    fn direct_inline_preserves_semantics() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let add3 = b
+            .function("add3", cls, 2, 1, |c| {
+                c.load(0).load(1).add().store(2).load(2).const_(3).add().ret();
+            })
+            .unwrap();
+        let main = b
+            .function("main", cls, 0, 1, |c| {
+                c.const_(10).const_(20).call(add3).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let mut p = b.build().unwrap();
+        // The call is at pc 2.
+        check_semantics_preserved(
+            &mut p,
+            &InlineDecision {
+                caller: main,
+                pc: 2,
+                kind: InlineKind::Direct { callee: add3 },
+            },
+        );
+        assert_eq!(run(&p), Value::Int(33));
+    }
+
+    #[test]
+    fn direct_inline_inside_loop() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let twice = b
+            .function("twice", cls, 1, 0, |c| {
+                c.load(0).const_(2).mul().ret();
+            })
+            .unwrap();
+        let main = b
+            .function("main", cls, 0, 2, |c| {
+                c.counted_loop(0, 10, |c| {
+                    c.load(1).const_(1).add().call(twice).store(1);
+                    c.load(1).const_(2).div().store(1);
+                    c.load(1).const_(1).add().store(1);
+                });
+                c.load(1).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let mut p = b.build().unwrap();
+        let (pc, _, _) = p.method(main).call_instructions().next().unwrap();
+        check_semantics_preserved(
+            &mut p,
+            &InlineDecision {
+                caller: main,
+                pc,
+                kind: InlineKind::Direct { callee: twice },
+            },
+        );
+    }
+
+    #[test]
+    fn callee_with_control_flow_inlines() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let abs = b
+            .function("abs", cls, 1, 0, |c| {
+                let neg = c.label();
+                c.load(0).const_(0).cmp_lt().jump_if_non_zero(neg);
+                c.load(0).ret();
+                c.bind(neg).load(0).neg().ret();
+            })
+            .unwrap();
+        let main = b
+            .function("main", cls, 0, 0, |c| {
+                c.const_(-5).call(abs).const_(7).call(abs).add().ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let mut p = b.build().unwrap();
+        assert_eq!(run(&p), Value::Int(12));
+        // Inline both calls, highest pc first.
+        let pcs: Vec<u32> = p
+            .method(main)
+            .call_instructions()
+            .map(|(pc, _, _)| pc)
+            .collect();
+        for pc in pcs.into_iter().rev() {
+            apply_decision(
+                &mut p,
+                &InlineDecision {
+                    caller: main,
+                    pc,
+                    kind: InlineKind::Direct { callee: abs },
+                },
+            )
+            .unwrap();
+        }
+        assert_eq!(run(&p), Value::Int(12));
+        assert_eq!(
+            Vm::new(&p, VmConfig::default()).run_unprofiled().unwrap().calls,
+            0,
+            "all calls inlined"
+        );
+    }
+
+    fn polymorphic_program() -> (Program, MethodId, MethodId, MethodId, ClassId, ClassId) {
+        let mut b = ProgramBuilder::new();
+        let base = b.add_class("Base", 1);
+        let f_base = b
+            .function("Base.f", base, 1, 0, |c| {
+                c.load(0).get_field(0).const_(1).add().ret();
+            })
+            .unwrap();
+        b.set_vtable(base, VirtualSlot::new(0), f_base);
+        let sub = b.add_subclass("Sub", base, 0);
+        let f_sub = b
+            .function("Sub.f", sub, 1, 0, |c| {
+                c.load(0).get_field(0).const_(100).add().ret();
+            })
+            .unwrap();
+        b.set_vtable(sub, VirtualSlot::new(0), f_sub);
+        let main = b
+            .function("main", base, 0, 2, |c| {
+                c.new_object(base).store(0);
+                c.new_object(sub).store(1);
+                c.load(0).call_virtual(VirtualSlot::new(0), 1);
+                c.load(1).call_virtual(VirtualSlot::new(0), 1);
+                c.add().ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        (b.build().unwrap(), main, f_base, f_sub, base, sub)
+    }
+
+    #[test]
+    fn guarded_inline_takes_fast_path_on_match() {
+        let (mut p, main, f_base, _f_sub, base, _sub) = polymorphic_program();
+        assert_eq!(run(&p), Value::Int(101));
+        // Guard-inline Base.f at the first virtual call.
+        let (pc, _, _) = p
+            .method(main)
+            .call_instructions()
+            .next()
+            .expect("virtual call");
+        apply_decision(
+            &mut p,
+            &InlineDecision {
+                caller: main,
+                pc,
+                kind: InlineKind::Guarded {
+                    targets: vec![(base, f_base)],
+                },
+            },
+        )
+        .unwrap();
+        assert_eq!(run(&p), Value::Int(101), "semantics preserved");
+        let calls = Vm::new(&p, VmConfig::default()).run_unprofiled().unwrap().calls;
+        assert_eq!(calls, 1, "first dispatch devirtualized, second remains");
+    }
+
+    #[test]
+    fn guarded_inline_falls_back_on_mismatch() {
+        let (mut p, main, f_base, _f_sub, base, _sub) = polymorphic_program();
+        // Guard the SECOND call (receiver is Sub) with a Base guard: the
+        // guard must miss and the slow path must dispatch correctly.
+        let (pc, _, _) = p
+            .method(main)
+            .call_instructions()
+            .nth(1)
+            .expect("second virtual call");
+        apply_decision(
+            &mut p,
+            &InlineDecision {
+                caller: main,
+                pc,
+                kind: InlineKind::Guarded {
+                    targets: vec![(base, f_base)],
+                },
+            },
+        )
+        .unwrap();
+        assert_eq!(run(&p), Value::Int(101), "slow path preserved semantics");
+        let calls = Vm::new(&p, VmConfig::default()).run_unprofiled().unwrap().calls;
+        assert_eq!(calls, 2, "guard missed: the dispatch still happens");
+    }
+
+    #[test]
+    fn guard_chain_covers_both_classes() {
+        let (mut p, main, f_base, f_sub, base, sub) = polymorphic_program();
+        for idx in [1usize, 0] {
+            let (pc, _, _) = p.method(main).call_instructions().nth(idx).unwrap();
+            apply_decision(
+                &mut p,
+                &InlineDecision {
+                    caller: main,
+                    pc,
+                    kind: InlineKind::Guarded {
+                        targets: vec![(base, f_base), (sub, f_sub)],
+                    },
+                },
+            )
+            .unwrap();
+        }
+        assert_eq!(run(&p), Value::Int(101));
+        let calls = Vm::new(&p, VmConfig::default()).run_unprofiled().unwrap().calls;
+        assert_eq!(calls, 0, "both dispatches fully devirtualized");
+    }
+
+    #[test]
+    fn recursive_inline_rejected() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let rec = b.declare("rec", cls, 1);
+        b.define(rec, 0, |c| {
+            let done = c.label();
+            c.load(0).jump_if_zero(done);
+            c.load(0).const_(1).sub().call(rec).ret();
+            c.bind(done).const_(0).ret();
+        })
+        .unwrap();
+        let main = b
+            .function("main", cls, 0, 0, |c| {
+                c.const_(3).call(rec).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let mut p = b.build().unwrap();
+        let (pc, _, _) = p.method(rec).call_instructions().next().unwrap();
+        let err = apply_decision(
+            &mut p,
+            &InlineDecision {
+                caller: rec,
+                pc,
+                kind: InlineKind::Direct { callee: rec },
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, InlineError::Recursive { method: rec });
+    }
+
+    #[test]
+    fn mismatched_decision_rejected() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let f = b
+            .function("f", cls, 0, 0, |c| {
+                c.const_(0).ret();
+            })
+            .unwrap();
+        let main = b
+            .function("main", cls, 0, 0, |c| {
+                c.call(f).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let mut p = b.build().unwrap();
+        // pc 1 is the return, not a call.
+        let err = apply_decision(
+            &mut p,
+            &InlineDecision {
+                caller: main,
+                pc: 1,
+                kind: InlineKind::Direct { callee: f },
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, InlineError::NotThatCall { .. }));
+        // Empty guard list is rejected up front.
+        let err = apply_decision(
+            &mut p,
+            &InlineDecision {
+                caller: main,
+                pc: 0,
+                kind: InlineKind::Guarded { targets: vec![] },
+            },
+        )
+        .unwrap_err();
+        // pc 0 is a direct call, so the kind mismatch fires first — both
+        // are acceptable rejections; assert it failed.
+        assert!(matches!(
+            err,
+            InlineError::NotThatCall { .. } | InlineError::EmptyGuardList
+        ));
+    }
+
+    #[test]
+    fn inner_call_sites_keep_their_identity() {
+        // f calls g; inlining f into main must keep g's call-site id so
+        // profile data stays attributable.
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let g = b
+            .function("g", cls, 0, 0, |c| {
+                c.const_(5).ret();
+            })
+            .unwrap();
+        let f = b
+            .function("f", cls, 0, 0, |c| {
+                c.call(g).const_(1).add().ret();
+            })
+            .unwrap();
+        let main = b
+            .function("main", cls, 0, 0, |c| {
+                c.call(f).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let mut p = b.build().unwrap();
+        let (_, g_site, _) = p.method(f).call_instructions().next().unwrap();
+        apply_decision(
+            &mut p,
+            &InlineDecision {
+                caller: main,
+                pc: 0,
+                kind: InlineKind::Direct { callee: f },
+            },
+        )
+        .unwrap();
+        let sites: Vec<CallSiteId> = p
+            .method(main)
+            .call_instructions()
+            .map(|(_, s, _)| s)
+            .collect();
+        assert_eq!(sites, vec![g_site], "g's site id survives the splice");
+        assert_eq!(run(&p), Value::Int(6));
+    }
+}

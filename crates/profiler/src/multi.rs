@@ -1,0 +1,150 @@
+//! Attach many profiler configurations to one run.
+//!
+//! Because every profiler accounts for its own *simulated* overhead and
+//! the VM's base clock is profiler-independent, a whole grid of sampler
+//! configurations (e.g. Table 2's Stride × Samples sweep) can observe a
+//! single deterministic interpretation. Each attached profiler behaves
+//! exactly as it would alone — asserted by integration tests.
+
+use crate::traits::CallGraphProfiler;
+use cbs_bytecode::MethodId;
+use cbs_vm::{CallEvent, Profiler, StackSlice, ThreadId};
+
+/// A fan-out profiler delivering every event to each attached profiler.
+#[derive(Default)]
+pub struct MultiProfiler {
+    profilers: Vec<Box<dyn CallGraphProfiler>>,
+}
+
+impl std::fmt::Debug for MultiProfiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiProfiler")
+            .field("profilers", &self.names())
+            .finish()
+    }
+}
+
+impl MultiProfiler {
+    /// Creates an empty fan-out.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a profiler, returning its index.
+    pub fn attach(&mut self, profiler: Box<dyn CallGraphProfiler>) -> usize {
+        self.profilers.push(profiler);
+        self.profilers.len() - 1
+    }
+
+    /// Number of attached profilers.
+    pub fn len(&self) -> usize {
+        self.profilers.len()
+    }
+
+    /// Returns `true` when nothing is attached.
+    pub fn is_empty(&self) -> bool {
+        self.profilers.is_empty()
+    }
+
+    /// Shared access to one attached profiler.
+    pub fn get(&self, index: usize) -> Option<&dyn CallGraphProfiler> {
+        self.profilers.get(index).map(|b| b.as_ref())
+    }
+
+    /// Mutable access to one attached profiler.
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut (dyn CallGraphProfiler + 'static)> {
+        self.profilers.get_mut(index).map(|b| b.as_mut())
+    }
+
+    /// Names of all attached profilers, in attachment order.
+    pub fn names(&self) -> Vec<String> {
+        self.profilers.iter().map(|p| p.name()).collect()
+    }
+
+    /// Iterates over the attached profilers.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn CallGraphProfiler> + '_ {
+        self.profilers.iter().map(|b| b.as_ref())
+    }
+
+    /// Consumes the fan-out, returning the attached profilers.
+    pub fn into_inner(self) -> Vec<Box<dyn CallGraphProfiler>> {
+        self.profilers
+    }
+}
+
+impl Profiler for MultiProfiler {
+    fn on_tick(&mut self, clock: u64, thread: ThreadId, stack: StackSlice<'_>) {
+        for p in &mut self.profilers {
+            p.on_tick(clock, thread, stack);
+        }
+    }
+
+    fn on_entry(&mut self, event: &CallEvent<'_>) {
+        for p in &mut self.profilers {
+            p.on_entry(event);
+        }
+    }
+
+    fn on_exit(&mut self, event: &CallEvent<'_>) {
+        for p in &mut self.profilers {
+            p.on_exit(event);
+        }
+    }
+
+    fn on_backedge(&mut self, method: MethodId, clock: u64, thread: ThreadId) {
+        for p in &mut self.profilers {
+            p.on_backedge(method, clock, thread);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cbs::{CbsConfig, CounterBasedSampler};
+    use crate::exhaustive::ExhaustiveProfiler;
+    use crate::timer::TimerSampler;
+    use cbs_bytecode::{CallSiteId, MethodId};
+    use cbs_dcg::CallEdge;
+    use cbs_vm::Frame;
+
+    #[test]
+    fn fan_out_reaches_all() {
+        let mut m = MultiProfiler::new();
+        let a = m.attach(Box::new(ExhaustiveProfiler::new()));
+        let b = m.attach(Box::new(TimerSampler::new()));
+        let c = m.attach(Box::new(CounterBasedSampler::new(CbsConfig::new(1, 1))));
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+
+        let frames = vec![Frame::new(MethodId::new(0), 0)];
+        m.on_tick(0, ThreadId(0), StackSlice::for_testing(&frames));
+        let ev = CallEvent {
+            edge: CallEdge::new(MethodId::new(0), CallSiteId::new(0), MethodId::new(1)),
+            clock: 1,
+            thread: ThreadId(0),
+            stack: StackSlice::for_testing(&frames),
+        };
+        m.on_entry(&ev);
+        assert_eq!(m.get(a).unwrap().dcg().total_weight(), 1.0);
+        assert_eq!(m.get(b).unwrap().dcg().total_weight(), 1.0);
+        assert_eq!(m.get(c).unwrap().dcg().total_weight(), 1.0);
+        assert!(m.get(99).is_none());
+    }
+
+    #[test]
+    fn names_in_attachment_order() {
+        let mut m = MultiProfiler::new();
+        m.attach(Box::new(TimerSampler::new()));
+        m.attach(Box::new(CounterBasedSampler::new(CbsConfig::new(3, 16))));
+        assert_eq!(m.names(), vec!["timer", "cbs(stride=3,samples=16)"]);
+    }
+
+    #[test]
+    fn into_inner_returns_profilers() {
+        let mut m = MultiProfiler::new();
+        m.attach(Box::new(TimerSampler::new()));
+        let inner = m.into_inner();
+        assert_eq!(inner.len(), 1);
+    }
+}

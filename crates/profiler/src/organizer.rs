@@ -1,0 +1,362 @@
+//! The listener/organizer split of the Jikes RVM adaptive optimization
+//! system (§5.1).
+//!
+//! In Jikes RVM, profile-gathering *listeners* run inside the sampled
+//! thread and must be cheap: they append raw samples to a buffer and
+//! return. An *organizer* thread periodically drains the buffer into the
+//! profile repository, applying exponential decay so the DCG tracks the
+//! program's current behavior ("the organizers that process the raw
+//! profile data were unchanged: they simply process samples without
+//! needing to know if the samples came from a listener that was
+//! responding to time-based or counter-based events").
+//!
+//! This module reproduces that architecture deterministically: a
+//! [`SampleBuffer`] collects raw edges, and a [`DcgOrganizer`] drains it
+//! on a cadence, decaying old weight first.
+
+use crate::costs::{OverheadMeter, ProfilingCosts};
+use crate::traits::CallGraphProfiler;
+use cbs_dcg::{CallEdge, DynamicCallGraph};
+use cbs_vm::{CallEvent, Profiler, StackSlice, ThreadId};
+
+/// A bounded buffer of raw edge samples.
+///
+/// When full, further samples are dropped and counted — exactly the
+/// back-pressure behavior of a real lock-free sample buffer.
+#[derive(Debug, Clone)]
+pub struct SampleBuffer {
+    samples: Vec<CallEdge>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl SampleBuffer {
+    /// Creates a buffer holding at most `capacity` samples between
+    /// drains.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            samples: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a sample, dropping it if the buffer is full.
+    pub fn push(&mut self, edge: CallEdge) {
+        if self.samples.len() < self.capacity {
+            self.samples.push(edge);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of buffered samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples dropped due to back-pressure since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Removes and returns all buffered samples.
+    pub fn drain(&mut self) -> Vec<CallEdge> {
+        std::mem::take(&mut self.samples)
+    }
+}
+
+/// Drains sample buffers into a decayed profile repository.
+#[derive(Debug, Clone)]
+pub struct DcgOrganizer {
+    dcg: DynamicCallGraph,
+    /// Multiplier applied to existing weight at each drain.
+    decay: f64,
+    /// Weights below this are pruned after decay.
+    min_weight: f64,
+    drains: u64,
+}
+
+impl DcgOrganizer {
+    /// Creates an organizer with the given per-drain decay factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decay` is not within `(0, 1]`.
+    pub fn new(decay: f64) -> Self {
+        assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0,1]");
+        Self {
+            dcg: DynamicCallGraph::new(),
+            decay,
+            min_weight: 1e-3,
+            drains: 0,
+        }
+    }
+
+    /// The current (decayed) profile.
+    pub fn dcg(&self) -> &DynamicCallGraph {
+        &self.dcg
+    }
+
+    /// Number of drains performed.
+    pub fn drains(&self) -> u64 {
+        self.drains
+    }
+
+    /// Decays the repository and folds in everything buffered.
+    pub fn process(&mut self, buffer: &mut SampleBuffer) {
+        self.drains += 1;
+        if self.decay < 1.0 {
+            self.dcg.decay(self.decay, self.min_weight);
+        }
+        for edge in buffer.drain() {
+            self.dcg.record_sample(edge);
+        }
+    }
+}
+
+/// A CBS-style sampler wired through the listener/organizer split: the
+/// listener only buffers; the organizer drains once per timer tick.
+///
+/// Functionally equivalent to [`CounterBasedSampler`] when `decay = 1`,
+/// but with recency weighting when `decay < 1` — the configuration that
+/// makes the profile track phase shifts.
+///
+/// [`CounterBasedSampler`]: crate::CounterBasedSampler
+#[derive(Debug)]
+pub struct OrganizedSampler {
+    stride: u32,
+    samples_per_tick: u32,
+    buffer: SampleBuffer,
+    organizer: DcgOrganizer,
+    enabled: Vec<bool>,
+    skipped: Vec<u32>,
+    samples_left: Vec<u32>,
+    costs: ProfilingCosts,
+    meter: OverheadMeter,
+    taken: u64,
+}
+
+impl OrganizedSampler {
+    /// Creates a sampler with the given CBS parameters and per-tick
+    /// decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` or `samples_per_tick` is zero, or `decay` is
+    /// outside `(0, 1]`.
+    pub fn new(stride: u32, samples_per_tick: u32, decay: f64) -> Self {
+        assert!(stride >= 1 && samples_per_tick >= 1);
+        Self {
+            stride,
+            samples_per_tick,
+            buffer: SampleBuffer::new(4096),
+            organizer: DcgOrganizer::new(decay),
+            enabled: Vec::new(),
+            skipped: Vec::new(),
+            samples_left: Vec::new(),
+            costs: ProfilingCosts::default(),
+            meter: OverheadMeter::new(),
+            taken: 0,
+        }
+    }
+
+    /// The organizer (for inspecting drains and the decayed profile).
+    pub fn organizer(&self) -> &DcgOrganizer {
+        &self.organizer
+    }
+
+    fn grow(&mut self, thread: ThreadId) {
+        let idx = thread.index();
+        if idx >= self.enabled.len() {
+            self.enabled.resize(idx + 1, false);
+            self.skipped.resize(idx + 1, 0);
+            self.samples_left.resize(idx + 1, 0);
+        }
+    }
+
+    fn on_event(&mut self, event: &CallEvent<'_>) {
+        self.grow(event.thread);
+        let idx = event.thread.index();
+        if !self.enabled[idx] {
+            return;
+        }
+        self.meter.charge(self.costs.countdown_millicycles);
+        self.skipped[idx] = self.skipped[idx].saturating_sub(1);
+        if self.skipped[idx] > 0 {
+            return;
+        }
+        // Listener duty only: buffer the raw sample and get out.
+        self.meter
+            .charge(self.costs.sample_cost_millicycles(event.stack.depth()));
+        self.buffer.push(event.edge);
+        self.taken += 1;
+        self.skipped[idx] = self.stride;
+        self.samples_left[idx] = self.samples_left[idx].saturating_sub(1);
+        if self.samples_left[idx] == 0 {
+            self.enabled[idx] = false;
+        }
+    }
+}
+
+impl Profiler for OrganizedSampler {
+    fn on_tick(&mut self, _clock: u64, thread: ThreadId, _stack: StackSlice<'_>) {
+        self.meter.charge(self.costs.tick_service_millicycles);
+        // Organizer cadence: drain the buffer collected since last tick.
+        self.organizer.process(&mut self.buffer);
+        self.grow(thread);
+        let idx = thread.index();
+        if !self.enabled[idx] {
+            self.enabled[idx] = true;
+            self.samples_left[idx] = self.samples_per_tick;
+            self.skipped[idx] = self.stride;
+        }
+    }
+
+    fn on_entry(&mut self, event: &CallEvent<'_>) {
+        self.on_event(event);
+    }
+
+    fn on_exit(&mut self, event: &CallEvent<'_>) {
+        self.on_event(event);
+    }
+}
+
+impl CallGraphProfiler for OrganizedSampler {
+    fn name(&self) -> String {
+        format!(
+            "organized-cbs(stride={},samples={})",
+            self.stride, self.samples_per_tick
+        )
+    }
+
+    fn dcg(&self) -> &DynamicCallGraph {
+        self.organizer.dcg()
+    }
+
+    fn take_dcg(&mut self) -> DynamicCallGraph {
+        // Fold in any tail samples still buffered before handing out.
+        self.organizer.process(&mut self.buffer);
+        std::mem::take(&mut self.organizer.dcg)
+    }
+
+    fn overhead_cycles(&self) -> u64 {
+        self.meter.cycles()
+    }
+
+    fn samples_taken(&self) -> u64 {
+        self.taken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_bytecode::{CallSiteId, MethodId};
+
+    fn edge(callee: u32) -> CallEdge {
+        CallEdge::new(MethodId::new(0), CallSiteId::new(0), MethodId::new(callee))
+    }
+
+    #[test]
+    fn buffer_bounds_and_drops() {
+        let mut b = SampleBuffer::new(2);
+        b.push(edge(1));
+        b.push(edge(2));
+        b.push(edge(3));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.dropped(), 1);
+        let drained = b.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(b.is_empty());
+        assert_eq!(b.dropped(), 1, "drop count persists across drains");
+    }
+
+    #[test]
+    fn organizer_decays_then_accumulates() {
+        let mut org = DcgOrganizer::new(0.5);
+        let mut buf = SampleBuffer::new(16);
+        buf.push(edge(1));
+        buf.push(edge(1));
+        org.process(&mut buf);
+        assert_eq!(org.dcg().weight(&edge(1)), 2.0);
+        // Second drain: old weight halves, one new sample lands.
+        buf.push(edge(1));
+        org.process(&mut buf);
+        assert_eq!(org.dcg().weight(&edge(1)), 2.0);
+        assert_eq!(org.drains(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must be in (0,1]")]
+    fn zero_decay_rejected() {
+        let _ = DcgOrganizer::new(0.0);
+    }
+
+    #[test]
+    fn decayed_profile_tracks_phase_shift() {
+        // Phase A: edge 1 dominates; phase B: edge 2. With decay, the
+        // final profile favors the recent phase.
+        let mut org = DcgOrganizer::new(0.5);
+        let mut buf = SampleBuffer::new(64);
+        for _ in 0..10 {
+            for _ in 0..8 {
+                buf.push(edge(1));
+            }
+            org.process(&mut buf);
+        }
+        for _ in 0..10 {
+            for _ in 0..8 {
+                buf.push(edge(2));
+            }
+            org.process(&mut buf);
+        }
+        let w1 = org.dcg().weight(&edge(1));
+        let w2 = org.dcg().weight(&edge(2));
+        assert!(
+            w2 > 10.0 * w1.max(1e-9),
+            "recent phase must dominate: edge1={w1} edge2={w2}"
+        );
+    }
+
+    #[test]
+    fn undecayed_organized_sampler_matches_plain_cbs() {
+        use crate::cbs::{CbsConfig, CounterBasedSampler, SkipPolicy};
+        use cbs_vm::{Vm, VmConfig};
+
+        let mut b = cbs_bytecode::ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let f = b
+            .function("f", cls, 0, 0, |c| {
+                c.const_(1).ret();
+            })
+            .unwrap();
+        let main = b
+            .function("main", cls, 0, 1, |c| {
+                c.counted_loop(0, 300_000, |c| {
+                    c.call(f).pop();
+                });
+                c.const_(0).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let p = b.build().unwrap();
+
+        let mut plain = CounterBasedSampler::new(CbsConfig {
+            stride: 3,
+            samples_per_tick: 8,
+            skip_policy: SkipPolicy::Fixed,
+            ..CbsConfig::default()
+        });
+        let mut organized = OrganizedSampler::new(3, 8, 1.0);
+        Vm::new(&p, VmConfig::default()).run(&mut plain).unwrap();
+        Vm::new(&p, VmConfig::default()).run(&mut organized).unwrap();
+        assert_eq!(plain.samples_taken(), organized.samples_taken());
+        assert_eq!(plain.dcg().total_weight(), organized.take_dcg().total_weight());
+    }
+}

@@ -1,0 +1,112 @@
+//! Runtime traps.
+
+use cbs_bytecode::MethodId;
+use std::error::Error;
+use std::fmt;
+
+/// A runtime trap terminating execution.
+///
+/// The bytecode verifier excludes structural faults (bad jumps, stack
+/// underflow on verified code), so these are genuine dynamic conditions —
+/// plus defensive variants the interpreter reports instead of panicking if
+/// it is ever handed unverified code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Integer division or remainder by zero.
+    DivisionByZero {
+        /// Trapping method.
+        method: MethodId,
+        /// Trapping instruction index.
+        pc: u32,
+    },
+    /// An operation received a value of the wrong kind (e.g. arithmetic on
+    /// an object reference).
+    TypeMismatch {
+        /// Trapping method.
+        method: MethodId,
+        /// Trapping instruction index.
+        pc: u32,
+        /// What the instruction required.
+        expected: &'static str,
+    },
+    /// Field index outside the receiver's field count.
+    FieldOutOfRange {
+        /// Trapping method.
+        method: MethodId,
+        /// Trapping instruction index.
+        pc: u32,
+    },
+    /// A virtual dispatch found no implementation in the receiver's
+    /// vtable.
+    BadVirtualDispatch {
+        /// Trapping method.
+        method: MethodId,
+        /// Trapping instruction index.
+        pc: u32,
+    },
+    /// Call-stack depth exceeded the configured limit.
+    StackOverflow {
+        /// The configured limit that was exceeded.
+        limit: usize,
+    },
+    /// Operand-stack underflow (only possible on unverified code).
+    OperandUnderflow {
+        /// Trapping method.
+        method: MethodId,
+        /// Trapping instruction index.
+        pc: u32,
+    },
+    /// The configured cycle budget was exhausted.
+    OutOfFuel {
+        /// The configured budget.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::DivisionByZero { method, pc } => {
+                write!(f, "{method}@{pc}: division by zero")
+            }
+            VmError::TypeMismatch {
+                method,
+                pc,
+                expected,
+            } => write!(f, "{method}@{pc}: expected {expected}"),
+            VmError::FieldOutOfRange { method, pc } => {
+                write!(f, "{method}@{pc}: field index out of range")
+            }
+            VmError::BadVirtualDispatch { method, pc } => {
+                write!(f, "{method}@{pc}: unresolvable virtual dispatch")
+            }
+            VmError::StackOverflow { limit } => {
+                write!(f, "call-stack depth exceeded limit of {limit}")
+            }
+            VmError::OperandUnderflow { method, pc } => {
+                write!(f, "{method}@{pc}: operand stack underflow")
+            }
+            VmError::OutOfFuel { budget } => {
+                write!(f, "cycle budget of {budget} exhausted")
+            }
+        }
+    }
+}
+
+impl Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = VmError::DivisionByZero {
+            method: MethodId::new(3),
+            pc: 7,
+        };
+        assert_eq!(e.to_string(), "m3@7: division by zero");
+        assert!(VmError::StackOverflow { limit: 10 }.to_string().contains("10"));
+        assert!(VmError::OutOfFuel { budget: 5 }.to_string().contains("5"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Profiling events and the [`Profiler`] hook trait.
+//!
+//! The interpreter reports every dynamic event a production VM's profiling
+//! hosting mechanism could observe: timer interrupts, method entries
+//! (prologue yieldpoints / entry checks), method exits (epilogue
+//! yieldpoints; Jikes flavor only) and loop backedges. Profilers decide —
+//! exactly as the runtime logic of the paper's Figure 3 does — which events
+//! to act on, and account for their own *simulated* cost, so many profiler
+//! configurations can observe a single run without perturbing it or each
+//! other.
+
+use crate::frame::Frame;
+use cbs_bytecode::{CallSiteId, MethodId};
+use cbs_dcg::{CallEdge, ContextStep};
+use std::fmt;
+
+/// Identifies a VM green thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// Raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Synthetic call site used for the entry frame of each thread, which has
+/// no caller.
+pub const ROOT_SITE: CallSiteId = CallSiteId(u32::MAX);
+
+/// A read-only view of one thread's call stack at an event.
+///
+/// Walking the stack is how a sample is taken; the *simulated* cost of the
+/// walk is charged by the profiler via its cost model, not by this type.
+#[derive(Debug, Clone, Copy)]
+pub struct StackSlice<'a> {
+    frames: &'a [Frame],
+}
+
+/// One frame reported by a stack walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameInfo {
+    /// Executing method.
+    pub method: MethodId,
+    /// Current instruction index.
+    pub pc: u32,
+}
+
+impl<'a> StackSlice<'a> {
+    /// Wraps a frame stack (outermost first, as stored by the VM).
+    pub(crate) fn new(frames: &'a [Frame]) -> Self {
+        Self { frames }
+    }
+
+    /// Builds a stack view from raw frames, for testing profilers without
+    /// running a VM. Real slices are only ever produced by the
+    /// interpreter.
+    #[doc(hidden)]
+    pub fn for_testing(frames: &'a [Frame]) -> Self {
+        Self { frames }
+    }
+
+    /// Number of frames.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Returns frame `i`, where 0 is the **innermost** (currently
+    /// executing) frame. `None` when out of range.
+    pub fn frame(&self, i: usize) -> Option<FrameInfo> {
+        let idx = self.frames.len().checked_sub(i + 1)?;
+        let f = &self.frames[idx];
+        Some(FrameInfo {
+            method: f.method(),
+            pc: f.pc(),
+        })
+    }
+
+    /// The innermost frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty stack, which the VM never reports.
+    pub fn top(&self) -> FrameInfo {
+        self.frame(0).expect("events are never delivered on empty stacks")
+    }
+
+    /// The full calling context as [`ContextStep`]s, outermost first.
+    ///
+    /// The entry frame's step uses the synthetic [`ROOT_SITE`], since it
+    /// has no caller.
+    pub fn context_path(&self) -> Vec<ContextStep> {
+        let mut path = Vec::with_capacity(self.frames.len());
+        for (i, f) in self.frames.iter().enumerate() {
+            let site = if i == 0 {
+                ROOT_SITE
+            } else {
+                self.frames[i - 1]
+                    .pending_site()
+                    .expect("inner frames are reached through a call")
+            };
+            path.push(ContextStep {
+                site,
+                method: f.method(),
+            });
+        }
+        path
+    }
+}
+
+/// A method entry or exit observed by the hosting mechanism.
+#[derive(Debug, Clone, Copy)]
+pub struct CallEvent<'a> {
+    /// The dynamic call edge (for an exit event: the edge being returned
+    /// across).
+    pub edge: CallEdge,
+    /// Virtual clock at the event.
+    pub clock: u64,
+    /// Thread on which the event occurred.
+    pub thread: ThreadId,
+    /// The thread's stack, innermost frame = the callee.
+    pub stack: StackSlice<'a>,
+}
+
+/// A call-graph profiler plugged into the VM.
+///
+/// All methods default to no-ops so a profiler implements only the events
+/// its mechanism can observe. Implementations accumulate their own
+/// simulated overhead (see `cbs-profiler`); the VM charges nothing on
+/// their behalf.
+pub trait Profiler {
+    /// A timer interrupt fired at `clock` while `thread` was executing
+    /// with the given stack.
+    fn on_tick(&mut self, clock: u64, thread: ThreadId, stack: StackSlice<'_>) {
+        let _ = (clock, thread, stack);
+    }
+
+    /// A method was entered (prologue yieldpoint / entry check).
+    fn on_entry(&mut self, event: &CallEvent<'_>) {
+        let _ = event;
+    }
+
+    /// A method is about to return (epilogue yieldpoint). Only delivered
+    /// by the Jikes flavor.
+    fn on_exit(&mut self, event: &CallEvent<'_>) {
+        let _ = event;
+    }
+
+    /// A loop backedge executed. Only delivered by the Jikes flavor.
+    fn on_backedge(&mut self, method: MethodId, clock: u64, thread: ThreadId) {
+        let _ = (method, clock, thread);
+    }
+}
+
+/// A profiler that observes nothing: the baseline configuration against
+/// which overhead is measured.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProfiler;
+
+impl Profiler for NullProfiler {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Frame;
+
+    fn frame(method: u32, pc: u32, pending: Option<u32>) -> Frame {
+        let mut f = Frame::new(MethodId::new(method), 0);
+        f.set_pc(pc);
+        if let Some(s) = pending {
+            f.set_pending_site(Some(CallSiteId::new(s)));
+        }
+        f
+    }
+
+    #[test]
+    fn stack_slice_indexes_innermost_first() {
+        let frames = vec![frame(0, 5, Some(1)), frame(1, 2, Some(3)), frame(2, 0, None)];
+        let s = StackSlice::new(&frames);
+        assert_eq!(s.depth(), 3);
+        assert_eq!(s.top().method, MethodId::new(2));
+        assert_eq!(s.frame(2).unwrap().method, MethodId::new(0));
+        assert!(s.frame(3).is_none());
+    }
+
+    #[test]
+    fn context_path_is_outermost_first_with_root_site() {
+        let frames = vec![frame(0, 5, Some(1)), frame(1, 2, Some(3)), frame(2, 0, None)];
+        let s = StackSlice::new(&frames);
+        let path = s.context_path();
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[0].site, ROOT_SITE);
+        assert_eq!(path[0].method, MethodId::new(0));
+        assert_eq!(path[1].site, CallSiteId::new(1));
+        assert_eq!(path[2].site, CallSiteId::new(3));
+        assert_eq!(path[2].method, MethodId::new(2));
+    }
+
+    #[test]
+    fn null_profiler_ignores_everything() {
+        let mut p = NullProfiler;
+        let frames = vec![frame(0, 0, None)];
+        p.on_tick(1, ThreadId(0), StackSlice::new(&frames));
+        p.on_backedge(MethodId::new(0), 2, ThreadId(0));
+        // No state, nothing to assert beyond "did not panic".
+    }
+}

@@ -1,0 +1,885 @@
+//! The bytecode interpreter: a cycle-accurate simulated VM.
+//!
+//! The interpreter executes a verified [`Program`] on a virtual clock
+//! (every instruction charges its [`CostModel`](crate::CostModel) cycles),
+//! fires timer interrupts at the configured frequency, and reports every
+//! profiler-observable event to the attached [`Profiler`]. Green threads
+//! are scheduled cooperatively: a timer interrupt requests a switch, which
+//! happens at the next yieldpoint (call, return or backedge) — mirroring
+//! how Jikes RVM's thread scheduler interacts with its yieldpoints.
+
+use crate::config::VmConfig;
+use crate::error::VmError;
+use crate::events::{CallEvent, NullProfiler, Profiler, StackSlice, ThreadId};
+use crate::frame::Frame;
+use crate::report::ExecReport;
+use crate::value::{Heap, Value};
+use cbs_bytecode::{MethodId, Op, Program};
+use cbs_dcg::CallEdge;
+
+/// A configured virtual machine, ready to run a program.
+///
+/// `Vm` is stateless across runs: [`Vm::run`] builds all execution state
+/// locally, so one `Vm` can run its program repeatedly (e.g. once per
+/// profiler configuration) with identical results.
+#[derive(Debug)]
+pub struct Vm<'p> {
+    program: &'p Program,
+    config: VmConfig,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    frames: Vec<Frame>,
+    done: bool,
+    result: Value,
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a VM for `program`.
+    ///
+    /// The program is assumed verified (as [`ProgramBuilder::build`]
+    /// guarantees); the interpreter traps rather than panics on dynamic
+    /// faults, but structural faults in unverified code may still panic.
+    ///
+    /// [`ProgramBuilder::build`]: cbs_bytecode::ProgramBuilder::build
+    pub fn new(program: &'p Program, config: VmConfig) -> Self {
+        Self { program, config }
+    }
+
+    /// The program under execution.
+    pub fn program(&self) -> &Program {
+        self.program
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &VmConfig {
+        &self.config
+    }
+
+    /// Runs the program to completion with no profiler attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on any runtime trap.
+    pub fn run_unprofiled(&self) -> Result<ExecReport, VmError> {
+        self.run(&mut NullProfiler)
+    }
+
+    /// Runs the program to completion, reporting events to `profiler`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on division by zero, type mismatch, stack
+    /// overflow, out-of-range field access, unresolvable dispatch, or an
+    /// exhausted cycle budget.
+    pub fn run(&self, profiler: &mut dyn Profiler) -> Result<ExecReport, VmError> {
+        let program = self.program;
+        let cost = &self.config.cost;
+        let flavor = self.config.flavor;
+        let period = self.config.timer_period();
+        let entry = program.entry();
+        let entry_locals = program.method(entry).num_locals();
+
+        let mut heap = Heap::new();
+        let mut invocations = vec![0u64; program.num_methods()];
+        let mut threads: Vec<ThreadState> = (0..self.config.num_threads.max(1))
+            .map(|_| {
+                invocations[entry.index()] += 1;
+                ThreadState {
+                    frames: vec![Frame::new(entry, entry_locals)],
+                    done: false,
+                    result: Value::default(),
+                }
+            })
+            .collect();
+
+        let jitter = self.config.timer_jitter.min(period.saturating_sub(1));
+        let mut jitter_state = self.config.timer_seed | 1;
+        let mut draw_period = move || {
+            if jitter == 0 {
+                return period;
+            }
+            // xorshift64: deterministic, cheap, seeded.
+            jitter_state ^= jitter_state << 13;
+            jitter_state ^= jitter_state >> 7;
+            jitter_state ^= jitter_state << 17;
+            period - jitter + jitter_state % (2 * jitter + 1)
+        };
+
+        let mut clock: u64 = 0;
+        let mut next_tick: u64 = draw_period();
+        let mut ticks: u64 = 0;
+        let mut instructions: u64 = 0;
+        let mut calls: u64 = 0;
+        let mut cur = 0usize;
+
+        while threads.iter().any(|t| !t.done) {
+            if threads[cur].done {
+                cur = (cur + 1) % threads.len();
+                continue;
+            }
+            let tid = ThreadId(cur as u32);
+            let t = &mut threads[cur];
+            let mut pending_switch = false;
+
+            'slice: loop {
+                let (mid, pc) = {
+                    let f = t.frames.last().expect("running thread has frames");
+                    (f.method(), f.pc())
+                };
+                let op = program.method(mid).code()[pc as usize];
+
+                clock += cost.op_cost(&op);
+                instructions += 1;
+                if let Some(budget) = self.config.max_cycles {
+                    if clock > budget {
+                        return Err(VmError::OutOfFuel { budget });
+                    }
+                }
+                while next_tick <= clock {
+                    ticks += 1;
+                    profiler.on_tick(next_tick, tid, StackSlice::new(&t.frames));
+                    next_tick += draw_period();
+                    pending_switch = true;
+                }
+
+                match op {
+                    Op::Const(v) => {
+                        let f = t.frames.last_mut().expect("frame");
+                        f.push(Value::Int(v));
+                        f.set_pc(pc + 1);
+                    }
+                    Op::Load(n) => {
+                        let f = t.frames.last_mut().expect("frame");
+                        let v = f.locals()[usize::from(n)];
+                        f.push(v);
+                        f.set_pc(pc + 1);
+                    }
+                    Op::Store(n) => {
+                        let f = t.frames.last_mut().expect("frame");
+                        let v = pop_val(f, mid, pc)?;
+                        f.locals_mut()[usize::from(n)] = v;
+                        f.set_pc(pc + 1);
+                    }
+                    Op::Dup => {
+                        let f = t.frames.last_mut().expect("frame");
+                        let v = f.peek(0).ok_or(VmError::OperandUnderflow { method: mid, pc })?;
+                        f.push(v);
+                        f.set_pc(pc + 1);
+                    }
+                    Op::Pop => {
+                        let f = t.frames.last_mut().expect("frame");
+                        pop_val(f, mid, pc)?;
+                        f.set_pc(pc + 1);
+                    }
+                    Op::Swap => {
+                        let f = t.frames.last_mut().expect("frame");
+                        let b = pop_val(f, mid, pc)?;
+                        let a = pop_val(f, mid, pc)?;
+                        f.push(b);
+                        f.push(a);
+                        f.set_pc(pc + 1);
+                    }
+                    Op::Add | Op::Sub | Op::Mul | Op::And | Op::Or | Op::Xor | Op::Shl
+                    | Op::Shr | Op::CmpLt | Op::CmpGt => {
+                        let f = t.frames.last_mut().expect("frame");
+                        let b = pop_int(f, mid, pc)?;
+                        let a = pop_int(f, mid, pc)?;
+                        let r = match op {
+                            Op::Add => a.wrapping_add(b),
+                            Op::Sub => a.wrapping_sub(b),
+                            Op::Mul => a.wrapping_mul(b),
+                            Op::And => a & b,
+                            Op::Or => a | b,
+                            Op::Xor => a ^ b,
+                            Op::Shl => a.wrapping_shl(b as u32 & 63),
+                            Op::Shr => a.wrapping_shr(b as u32 & 63),
+                            Op::CmpLt => i64::from(a < b),
+                            Op::CmpGt => i64::from(a > b),
+                            _ => unreachable!(),
+                        };
+                        f.push(Value::Int(r));
+                        f.set_pc(pc + 1);
+                    }
+                    Op::Div | Op::Rem => {
+                        let f = t.frames.last_mut().expect("frame");
+                        let b = pop_int(f, mid, pc)?;
+                        let a = pop_int(f, mid, pc)?;
+                        if b == 0 {
+                            return Err(VmError::DivisionByZero { method: mid, pc });
+                        }
+                        let r = if matches!(op, Op::Div) {
+                            a.wrapping_div(b)
+                        } else {
+                            a.wrapping_rem(b)
+                        };
+                        f.push(Value::Int(r));
+                        f.set_pc(pc + 1);
+                    }
+                    Op::Neg => {
+                        let f = t.frames.last_mut().expect("frame");
+                        let a = pop_int(f, mid, pc)?;
+                        f.push(Value::Int(a.wrapping_neg()));
+                        f.set_pc(pc + 1);
+                    }
+                    Op::CmpEq => {
+                        let f = t.frames.last_mut().expect("frame");
+                        let b = pop_val(f, mid, pc)?;
+                        let a = pop_val(f, mid, pc)?;
+                        f.push(Value::Int(i64::from(a == b)));
+                        f.set_pc(pc + 1);
+                    }
+                    Op::Jump(target) => {
+                        let backedge = target <= pc;
+                        t.frames.last_mut().expect("frame").set_pc(target);
+                        if backedge && flavor.has_backedge_yieldpoints() {
+                            profiler.on_backedge(mid, clock, tid);
+                            if pending_switch {
+                                break 'slice;
+                            }
+                        }
+                    }
+                    Op::JumpIfZero(target) | Op::JumpIfNonZero(target) => {
+                        let f = t.frames.last_mut().expect("frame");
+                        let v = pop_val(f, mid, pc)?;
+                        let jump = if matches!(op, Op::JumpIfZero(_)) {
+                            !v.is_truthy()
+                        } else {
+                            v.is_truthy()
+                        };
+                        if jump {
+                            f.set_pc(target);
+                            if target <= pc && flavor.has_backedge_yieldpoints() {
+                                profiler.on_backedge(mid, clock, tid);
+                                if pending_switch {
+                                    break 'slice;
+                                }
+                            }
+                        } else {
+                            f.set_pc(pc + 1);
+                        }
+                    }
+                    Op::Call { site, target } => {
+                        calls += 1;
+                        invocations[target.index()] += 1;
+                        push_callee(t, program, mid, pc, site, target, self.config.max_stack_depth)?;
+                        profiler.on_entry(&CallEvent {
+                            edge: CallEdge::new(mid, site, target),
+                            clock,
+                            thread: tid,
+                            stack: StackSlice::new(&t.frames),
+                        });
+                        if pending_switch {
+                            break 'slice;
+                        }
+                    }
+                    Op::CallVirtual { site, slot, arity } => {
+                        let receiver = {
+                            let f = t.frames.last().expect("frame");
+                            f.peek(usize::from(arity) - 1)
+                                .ok_or(VmError::OperandUnderflow { method: mid, pc })?
+                        };
+                        let r = receiver.as_ref().ok_or(VmError::TypeMismatch {
+                            method: mid,
+                            pc,
+                            expected: "object receiver",
+                        })?;
+                        let target = self
+                            .program
+                            .class(heap.class_of(r))
+                            .resolve(slot)
+                            .ok_or(VmError::BadVirtualDispatch { method: mid, pc })?;
+                        calls += 1;
+                        invocations[target.index()] += 1;
+                        push_callee(t, program, mid, pc, site, target, self.config.max_stack_depth)?;
+                        profiler.on_entry(&CallEvent {
+                            edge: CallEdge::new(mid, site, target),
+                            clock,
+                            thread: tid,
+                            stack: StackSlice::new(&t.frames),
+                        });
+                        if pending_switch {
+                            break 'slice;
+                        }
+                    }
+                    Op::Return => {
+                        let rv = {
+                            let f = t.frames.last_mut().expect("frame");
+                            pop_val(f, mid, pc)?
+                        };
+                        if t.frames.len() == 1 {
+                            t.done = true;
+                            t.result = rv;
+                            break 'slice;
+                        }
+                        if flavor.samples_exits() {
+                            let caller = &t.frames[t.frames.len() - 2];
+                            let edge = CallEdge::new(
+                                caller.method(),
+                                caller.pending_site().expect("caller has in-flight site"),
+                                mid,
+                            );
+                            profiler.on_exit(&CallEvent {
+                                edge,
+                                clock,
+                                thread: tid,
+                                stack: StackSlice::new(&t.frames),
+                            });
+                        }
+                        t.frames.pop();
+                        let caller = t.frames.last_mut().expect("caller frame");
+                        caller.set_pending_site(None);
+                        caller.push(rv);
+                        if pending_switch {
+                            break 'slice;
+                        }
+                    }
+                    Op::GetField(n) => {
+                        let f = t.frames.last_mut().expect("frame");
+                        let r = pop_obj(f, mid, pc)?;
+                        let v = heap
+                            .get_field(r, n)
+                            .ok_or(VmError::FieldOutOfRange { method: mid, pc })?;
+                        f.push(v);
+                        f.set_pc(pc + 1);
+                    }
+                    Op::PutField(n) => {
+                        let f = t.frames.last_mut().expect("frame");
+                        let v = pop_val(f, mid, pc)?;
+                        let r = pop_obj(f, mid, pc)?;
+                        if !heap.put_field(r, n, v) {
+                            return Err(VmError::FieldOutOfRange { method: mid, pc });
+                        }
+                        f.set_pc(pc + 1);
+                    }
+                    Op::New(class) => {
+                        let num_fields = program.class(class).num_fields();
+                        let r = heap.alloc(class, num_fields);
+                        let f = t.frames.last_mut().expect("frame");
+                        f.push(Value::Ref(r));
+                        f.set_pc(pc + 1);
+                    }
+                    Op::GuardClass { class, not_taken } => {
+                        let f = t.frames.last_mut().expect("frame");
+                        let r = pop_obj(f, mid, pc)?;
+                        if heap.class_of(r) == class {
+                            f.set_pc(pc + 1);
+                        } else {
+                            f.set_pc(not_taken);
+                        }
+                    }
+                    Op::Io(_) => {
+                        // Cost was charged above; the "result" is a dummy.
+                        let f = t.frames.last_mut().expect("frame");
+                        f.push(Value::Int(0));
+                        f.set_pc(pc + 1);
+                    }
+                    Op::Nop => {
+                        t.frames.last_mut().expect("frame").set_pc(pc + 1);
+                    }
+                }
+            }
+
+            cur = (cur + 1) % threads.len();
+        }
+
+        Ok(ExecReport {
+            cycles: clock,
+            seconds: self.config.cycles_to_seconds(clock),
+            instructions,
+            calls,
+            ticks,
+            invocations,
+            return_values: threads.into_iter().map(|t| t.result).collect(),
+        })
+    }
+}
+
+/// Pops the callee's arguments from the caller, pushes the callee frame.
+fn push_callee(
+    t: &mut ThreadState,
+    program: &Program,
+    caller: MethodId,
+    pc: u32,
+    site: cbs_bytecode::CallSiteId,
+    target: MethodId,
+    max_depth: usize,
+) -> Result<(), VmError> {
+    if t.frames.len() >= max_depth {
+        return Err(VmError::StackOverflow { limit: max_depth });
+    }
+    let callee = program.method(target);
+    let mut frame = Frame::new(target, callee.num_locals());
+    let arity = usize::from(callee.num_params());
+    {
+        let caller_frame = t.frames.last_mut().expect("caller frame");
+        for i in (0..arity).rev() {
+            let v = caller_frame
+                .pop()
+                .ok_or(VmError::OperandUnderflow { method: caller, pc })?;
+            frame.locals_mut()[i] = v;
+        }
+        caller_frame.set_pc(pc + 1); // return address
+        caller_frame.set_pending_site(Some(site));
+    }
+    t.frames.push(frame);
+    Ok(())
+}
+
+fn pop_val(f: &mut Frame, method: MethodId, pc: u32) -> Result<Value, VmError> {
+    f.pop().ok_or(VmError::OperandUnderflow { method, pc })
+}
+
+fn pop_int(f: &mut Frame, method: MethodId, pc: u32) -> Result<i64, VmError> {
+    pop_val(f, method, pc)?.as_int().ok_or(VmError::TypeMismatch {
+        method,
+        pc,
+        expected: "integer",
+    })
+}
+
+fn pop_obj(f: &mut Frame, method: MethodId, pc: u32) -> Result<crate::value::ObjRef, VmError> {
+    pop_val(f, method, pc)?.as_ref().ok_or(VmError::TypeMismatch {
+        method,
+        pc,
+        expected: "object reference",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_bytecode::{ProgramBuilder, VirtualSlot};
+
+    fn run_program(b: ProgramBuilder) -> ExecReport {
+        let p = b.build().unwrap();
+        Vm::new(&p, VmConfig::default()).run_unprofiled().unwrap()
+    }
+
+    #[test]
+    fn arithmetic_program_computes() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let main = b
+            .function("main", cls, 0, 0, |c| {
+                // (3 + 4) * 5 - 1 = 34
+                c.const_(3).const_(4).add().const_(5).mul().const_(1).sub().ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let r = run_program(b);
+        assert_eq!(r.return_values, vec![Value::Int(34)]);
+        assert!(r.cycles > 0);
+        assert!(r.instructions >= 7);
+    }
+
+    #[test]
+    fn calls_pass_arguments_and_return() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let sub2 = b
+            .function("sub2", cls, 2, 0, |c| {
+                c.load(0).load(1).sub().ret();
+            })
+            .unwrap();
+        let main = b
+            .function("main", cls, 0, 0, |c| {
+                c.const_(10).const_(3).call(sub2).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let r = run_program(b);
+        assert_eq!(r.return_values, vec![Value::Int(7)]);
+        assert_eq!(r.calls, 1);
+        assert_eq!(r.invocations_of(sub2), 1);
+        assert_eq!(r.methods_executed(), 2);
+    }
+
+    #[test]
+    fn loop_iterates_correct_count() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let main = b
+            .function("main", cls, 0, 2, |c| {
+                // sum 1..=5 via a counted loop (slot 0 counter, slot 1 acc)
+                c.counted_loop(0, 5, |c| {
+                    c.load(1).load(0).add().store(1);
+                });
+                c.load(1).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let r = run_program(b);
+        assert_eq!(r.return_values, vec![Value::Int(15)]);
+    }
+
+    #[test]
+    fn virtual_dispatch_selects_by_receiver_class() {
+        let mut b = ProgramBuilder::new();
+        let base = b.add_class("Base", 0);
+        let f_base = b
+            .function("Base.f", base, 1, 0, |c| {
+                c.const_(1).ret();
+            })
+            .unwrap();
+        b.set_vtable(base, VirtualSlot::new(0), f_base);
+        let sub = b.add_subclass("Sub", base, 0);
+        let f_sub = b
+            .function("Sub.f", sub, 1, 0, |c| {
+                c.const_(2).ret();
+            })
+            .unwrap();
+        b.set_vtable(sub, VirtualSlot::new(0), f_sub);
+        let main = b
+            .function("main", base, 0, 0, |c| {
+                c.new_object(base)
+                    .call_virtual(VirtualSlot::new(0), 1)
+                    .new_object(sub)
+                    .call_virtual(VirtualSlot::new(0), 1)
+                    .const_(10)
+                    .mul()
+                    .add()
+                    .ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let r = run_program(b);
+        // base.f()=1 + sub.f()=2 * 10 = 21
+        assert_eq!(r.return_values, vec![Value::Int(21)]);
+    }
+
+    #[test]
+    fn fields_store_and_load() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 2);
+        let main = b
+            .function("main", cls, 0, 1, |c| {
+                c.new_object(cls).store(0);
+                c.load(0).const_(5).put_field(1);
+                c.load(0).get_field(1).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let r = run_program(b);
+        assert_eq!(r.return_values, vec![Value::Int(5)]);
+    }
+
+    #[test]
+    fn guard_class_branches_on_exact_class() {
+        let mut b = ProgramBuilder::new();
+        let base = b.add_class("Base", 0);
+        let sub = b.add_subclass("Sub", base, 0);
+        // Dummy virtual method so classes are realistic (not required).
+        let main = b
+            .function("main", base, 0, 1, |c| {
+                let miss = c.label();
+                let done = c.label();
+                c.new_object(sub).store(0);
+                c.load(0).guard_class(base, miss);
+                c.const_(1).jump(done);
+                c.bind(miss).const_(2);
+                c.bind(done).ret();
+            })
+            .unwrap();
+        let _ = sub;
+        b.set_entry(main);
+        let r = run_program(b);
+        assert_eq!(r.return_values, vec![Value::Int(2)], "guard must miss: Sub != Base");
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let main = b
+            .function("main", cls, 0, 0, |c| {
+                c.const_(1).const_(0).div().ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let p = b.build().unwrap();
+        let err = Vm::new(&p, VmConfig::default()).run_unprofiled().unwrap_err();
+        assert!(matches!(err, VmError::DivisionByZero { .. }));
+    }
+
+    #[test]
+    fn stack_overflow_traps() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let rec = b.declare("rec", cls, 0);
+        b.define(rec, 0, |c| {
+            c.call(rec).ret();
+        })
+        .unwrap();
+        b.set_entry(rec);
+        let p = b.build().unwrap();
+        let config = VmConfig {
+            max_stack_depth: 64,
+            ..VmConfig::default()
+        };
+        let err = Vm::new(&p, config).run_unprofiled().unwrap_err();
+        assert_eq!(err, VmError::StackOverflow { limit: 64 });
+    }
+
+    #[test]
+    fn out_of_fuel_traps() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let main = b
+            .function("main", cls, 0, 1, |c| {
+                c.counted_loop(0, 1_000_000, |c| {
+                    c.nop();
+                });
+                c.const_(0).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let p = b.build().unwrap();
+        let config = VmConfig {
+            max_cycles: Some(10_000),
+            ..VmConfig::default()
+        };
+        let err = Vm::new(&p, config).run_unprofiled().unwrap_err();
+        assert_eq!(err, VmError::OutOfFuel { budget: 10_000 });
+    }
+
+    #[test]
+    fn arithmetic_on_reference_traps() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let main = b
+            .function("main", cls, 0, 0, |c| {
+                c.new_object(cls).const_(1).add().ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let p = b.build().unwrap();
+        let err = Vm::new(&p, VmConfig::default()).run_unprofiled().unwrap_err();
+        assert!(matches!(err, VmError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn timer_ticks_fire_at_configured_rate() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let main = b
+            .function("main", cls, 0, 1, |c| {
+                c.counted_loop(0, 100_000, |c| {
+                    c.nop();
+                });
+                c.const_(0).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let p = b.build().unwrap();
+        let vm = Vm::new(&p, VmConfig::default());
+        let r = vm.run_unprofiled().unwrap();
+        let expected = r.cycles / vm.config().timer_period();
+        assert!(r.ticks > 0, "program long enough to see ticks");
+        // Jittered periods average out to the configured rate.
+        assert!(
+            r.ticks.abs_diff(expected) <= expected / 4 + 1,
+            "ticks {} vs expected {expected}",
+            r.ticks
+        );
+        // With jitter disabled the rate is exact.
+        let exact_cfg = VmConfig {
+            timer_jitter: 0,
+            ..VmConfig::default()
+        };
+        let exact_vm = Vm::new(&p, exact_cfg);
+        let r2 = exact_vm.run_unprofiled().unwrap();
+        assert_eq!(r2.ticks, r2.cycles / exact_vm.config().timer_period());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let f = b
+            .function("f", cls, 1, 0, |c| {
+                c.load(0).const_(3).mul().ret();
+            })
+            .unwrap();
+        let main = b
+            .function("main", cls, 0, 1, |c| {
+                c.const_(0).store(0);
+                c.counted_loop(0, 1000, |c| {
+                    c.const_(2).call(f).pop();
+                });
+                c.const_(0).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let p = b.build().unwrap();
+        let vm = Vm::new(&p, VmConfig::default());
+        let a = vm.run_unprofiled().unwrap();
+        let b2 = vm.run_unprofiled().unwrap();
+        assert_eq!(a, b2);
+    }
+
+    #[test]
+    fn multithreaded_run_completes_all_threads() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let main = b
+            .function("main", cls, 0, 1, |c| {
+                c.counted_loop(0, 50_000, |c| {
+                    c.nop();
+                });
+                c.const_(7).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let p = b.build().unwrap();
+        let config = VmConfig {
+            num_threads: 3,
+            ..VmConfig::default()
+        };
+        let r = Vm::new(&p, config).run_unprofiled().unwrap();
+        assert_eq!(r.return_values, vec![Value::Int(7); 3]);
+        assert_eq!(r.invocations_of(main), 3);
+    }
+}
+
+#[cfg(test)]
+mod op_semantics_tests {
+    use super::*;
+    use cbs_bytecode::ProgramBuilder;
+
+    /// Runs a straight-line body and returns its result.
+    fn eval(build: impl FnOnce(&mut cbs_bytecode::CodeBuilder<'_>)) -> Value {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 2);
+        let main = b.function("main", cls, 0, 4, build).unwrap();
+        b.set_entry(main);
+        let p = b.build().unwrap();
+        Vm::new(&p, VmConfig::default())
+            .run_unprofiled()
+            .unwrap()
+            .return_values[0]
+    }
+
+    #[test]
+    fn division_and_remainder() {
+        assert_eq!(eval(|c| { c.const_(17).const_(5).div().ret(); }), Value::Int(3));
+        assert_eq!(eval(|c| { c.const_(17).const_(5).rem().ret(); }), Value::Int(2));
+        assert_eq!(eval(|c| { c.const_(-17).const_(5).div().ret(); }), Value::Int(-3));
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        assert_eq!(eval(|c| { c.const_(0b1100).const_(0b1010).band().ret(); }), Value::Int(0b1000));
+        assert_eq!(eval(|c| { c.const_(0b1100).const_(0b1010).bor().ret(); }), Value::Int(0b1110));
+        assert_eq!(eval(|c| { c.const_(0b1100).const_(0b1010).bxor().ret(); }), Value::Int(0b0110));
+    }
+
+    #[test]
+    fn shifts_mask_their_amount() {
+        assert_eq!(eval(|c| { c.const_(1).const_(4).shl().ret(); }), Value::Int(16));
+        assert_eq!(eval(|c| { c.const_(-16).const_(2).shr().ret(); }), Value::Int(-4));
+        // Shift amounts are masked to 6 bits, like real hardware.
+        assert_eq!(eval(|c| { c.const_(1).const_(64).shl().ret(); }), Value::Int(1));
+    }
+
+    #[test]
+    fn comparisons_produce_zero_one() {
+        assert_eq!(eval(|c| { c.const_(3).const_(3).cmp_eq().ret(); }), Value::Int(1));
+        assert_eq!(eval(|c| { c.const_(3).const_(4).cmp_eq().ret(); }), Value::Int(0));
+        assert_eq!(eval(|c| { c.const_(3).const_(4).cmp_lt().ret(); }), Value::Int(1));
+        assert_eq!(eval(|c| { c.const_(4).const_(3).cmp_gt().ret(); }), Value::Int(1));
+        assert_eq!(eval(|c| { c.const_(-1).const_(1).cmp_gt().ret(); }), Value::Int(0));
+    }
+
+    #[test]
+    fn stack_shuffles() {
+        assert_eq!(
+            eval(|c| { c.const_(2).const_(5).swap().sub().ret(); }),
+            Value::Int(3),
+            "swap: 5 - 2"
+        );
+        assert_eq!(
+            eval(|c| { c.const_(6).dup().mul().ret(); }),
+            Value::Int(36)
+        );
+        assert_eq!(
+            eval(|c| { c.const_(1).const_(9).pop().ret(); }),
+            Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn negation_and_wrapping() {
+        assert_eq!(eval(|c| { c.const_(5).neg().ret(); }), Value::Int(-5));
+        assert_eq!(
+            eval(|c| { c.const_(i64::MAX).const_(1).add().ret(); }),
+            Value::Int(i64::MIN),
+            "two's-complement wrap-around"
+        );
+    }
+
+    #[test]
+    fn io_pushes_dummy_and_charges_cycles() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let main = b
+            .function("main", cls, 0, 0, |c| {
+                c.io(50).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let p = b.build().unwrap();
+        let vm = Vm::new(&p, VmConfig::default());
+        let r = vm.run_unprofiled().unwrap();
+        assert_eq!(r.return_values[0], Value::Int(0));
+        assert!(
+            r.cycles >= 50 * vm.config().cost.io_unit,
+            "I/O must dominate the cycle count: {}",
+            r.cycles
+        );
+    }
+
+    #[test]
+    fn comparing_distinct_refs_is_false_same_ref_true() {
+        assert_eq!(
+            eval(|c| {
+                let cls = cbs_bytecode::ClassId::new(0);
+                c.new_object(cls).new_object(cls).cmp_eq().ret();
+            }),
+            Value::Int(0)
+        );
+        assert_eq!(
+            eval(|c| {
+                let cls = cbs_bytecode::ClassId::new(0);
+                c.new_object(cls).dup().cmp_eq().ret();
+            }),
+            Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn recursion_with_depth_within_limit() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let fib = b.declare("fib", cls, 1);
+        b.define(fib, 0, |c| {
+            let base = c.label();
+            c.load(0).const_(2).cmp_lt().jump_if_non_zero(base);
+            c.load(0).const_(1).sub().call(fib);
+            c.load(0).const_(2).sub().call(fib);
+            c.add().ret();
+            c.bind(base).load(0).ret();
+        })
+        .unwrap();
+        let main = b
+            .function("main", cls, 0, 0, |c| {
+                c.const_(15).call(fib).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let p = b.build().unwrap();
+        let r = Vm::new(&p, VmConfig::default()).run_unprofiled().unwrap();
+        assert_eq!(r.return_values[0], Value::Int(610), "fib(15)");
+    }
+}

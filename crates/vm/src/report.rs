@@ -1,0 +1,93 @@
+//! Execution reports.
+
+use crate::value::Value;
+use cbs_bytecode::{MethodId, Program};
+
+/// Summary of one VM run: the quantities the study's tables are built
+/// from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecReport {
+    /// Total virtual cycles consumed by the program (the *base* cost —
+    /// profiler overhead is accounted separately by each profiler).
+    pub cycles: u64,
+    /// Simulated wall-clock seconds (`cycles / cycles_per_second`).
+    pub seconds: f64,
+    /// Bytecode instructions executed.
+    pub instructions: u64,
+    /// Dynamic calls executed (direct + virtual).
+    pub calls: u64,
+    /// Timer interrupts fired.
+    pub ticks: u64,
+    /// Per-method invocation counts, indexed by [`MethodId`].
+    pub invocations: Vec<u64>,
+    /// Value returned by each thread's entry invocation.
+    pub return_values: Vec<Value>,
+}
+
+impl ExecReport {
+    /// Number of methods executed at least once (Table 1, "Meth exe").
+    pub fn methods_executed(&self) -> usize {
+        self.invocations.iter().filter(|&&n| n > 0).count()
+    }
+
+    /// Total bytecode size of executed methods, in bytes (Table 1,
+    /// "Size").
+    pub fn executed_bytecode_bytes(&self, program: &Program) -> u64 {
+        self.invocations
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, _)| u64::from(program.method(MethodId::new(i as u32)).size_bytes()))
+            .sum()
+    }
+
+    /// Invocation count of one method.
+    pub fn invocations_of(&self, method: MethodId) -> u64 {
+        self.invocations.get(method.index()).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_bytecode::ProgramBuilder;
+
+    #[test]
+    fn derived_quantities() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let f = b
+            .function("f", cls, 0, 0, |c| {
+                c.const_(0).ret();
+            })
+            .unwrap();
+        let main = b
+            .function("main", cls, 0, 0, |c| {
+                c.call(f).ret();
+            })
+            .unwrap();
+        let unused = b
+            .function("unused", cls, 0, 0, |c| {
+                c.const_(0).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let p = b.build().unwrap();
+
+        let report = ExecReport {
+            cycles: 100,
+            seconds: 0.5,
+            instructions: 4,
+            calls: 1,
+            ticks: 0,
+            invocations: vec![1, 1, 0],
+            return_values: vec![Value::Int(0)],
+        };
+        assert_eq!(report.methods_executed(), 2);
+        let expected = u64::from(p.method(f).size_bytes()) + u64::from(p.method(main).size_bytes());
+        assert_eq!(report.executed_bytecode_bytes(&p), expected);
+        assert_eq!(report.invocations_of(unused), 0);
+        assert_eq!(report.invocations_of(main), 1);
+        assert_eq!(report.invocations_of(MethodId::new(99)), 0);
+    }
+}

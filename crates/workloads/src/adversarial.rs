@@ -1,0 +1,279 @@
+//! Adversarial programs demonstrating the sampling pathologies of §3.3.
+
+use cbs_bytecode::{BuildError, MethodId, Program, ProgramBuilder};
+
+/// Handles to the interesting methods of the Figure 1 program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Figure1Program {
+    /// The generated program.
+    pub call_1: MethodId,
+    /// The second short method (`call_2`).
+    pub call_2: MethodId,
+    /// The loop method `M`.
+    pub m: MethodId,
+}
+
+/// Builds the paper's Figure 1 program: a loop whose body is a long
+/// sequence of non-call instructions (`getfield`/`putfield` traffic)
+/// followed by **two** calls to short methods.
+///
+/// Timer-based sampling almost always lands in the non-call region, so
+/// the first yieldpoint it observes is `call_1`'s prologue — `call_1`
+/// looks hot and `call_2` looks cold, although both execute exactly
+/// `iterations` times. CBS's stride decorrelates the sample from the
+/// timer and recovers the 50/50 truth.
+///
+/// # Errors
+///
+/// Never fails for valid `non_call_length`/`iterations`; the `Result`
+/// propagates the builder's verification step.
+pub fn figure1(
+    non_call_length: u32,
+    iterations: i64,
+) -> Result<(Program, Figure1Program), BuildError> {
+    let mut b = ProgramBuilder::new();
+    let cls = b.add_class("Fig1", 2);
+    let call_1 = b.function("call_1", cls, 1, 0, |c| {
+        c.load(0).const_(1).add().ret();
+    })?;
+    let call_2 = b.function("call_2", cls, 1, 0, |c| {
+        c.load(0).const_(2).add().ret();
+    })?;
+    let m = b.declare("M", cls, 1);
+    b.define(m, 2, |c| {
+        // locals: 0 = receiver-ish object, 1 = loop counter, 2 = acc
+        c.counted_loop(1, iterations, |c| {
+            // Long sequence of non-calls (the paper uses
+            // getfield/putfield; the choice is arbitrary).
+            for i in 0..non_call_length {
+                if i % 2 == 0 {
+                    c.load(0).get_field(0).store(2);
+                } else {
+                    c.load(0).load(2).put_field(0);
+                }
+            }
+            // Two short calls.
+            c.load(2).call(call_1).store(2);
+            c.load(2).call(call_2).store(2);
+        });
+        c.load(2).ret();
+    })?;
+    let main = b.function("main", cls, 0, 0, |c| {
+        c.new_object(cls).call(m).ret();
+    })?;
+    b.set_entry(main);
+    let program = b.build()?;
+    Ok((program, Figure1Program { call_1, call_2, m }))
+}
+
+/// A variant where the non-call region is a single long-latency I/O
+/// operation — "any time-consuming operation, such as an I/O operation,
+/// can create similar inaccuracies".
+///
+/// # Errors
+///
+/// Propagates the builder's verification step.
+pub fn io_variant(io_cost: u32, iterations: i64) -> Result<(Program, Figure1Program), BuildError> {
+    let mut b = ProgramBuilder::new();
+    let cls = b.add_class("IoFig", 1);
+    let call_1 = b.function("call_1", cls, 1, 0, |c| {
+        c.load(0).const_(1).add().ret();
+    })?;
+    let call_2 = b.function("call_2", cls, 1, 0, |c| {
+        c.load(0).const_(2).add().ret();
+    })?;
+    let m = b.declare("M", cls, 1);
+    b.define(m, 2, |c| {
+        c.counted_loop(1, iterations, |c| {
+            c.io(io_cost).pop();
+            c.load(2).call(call_1).store(2);
+            c.load(2).call(call_2).store(2);
+        });
+        c.load(2).ret();
+    })?;
+    let main = b.function("main", cls, 0, 0, |c| {
+        c.new_object(cls).call(m).ret();
+    })?;
+    b.set_entry(main);
+    let program = b.build()?;
+    Ok((program, Figure1Program { call_1, call_2, m }))
+}
+
+/// Handles for the phase-shift program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseShiftProgram {
+    /// Callee invoked from both phases.
+    pub shared: MethodId,
+    /// Phase-A caller.
+    pub caller_a: MethodId,
+    /// Phase-B caller.
+    pub caller_b: MethodId,
+}
+
+/// A two-phase program defeating burst profilers: `shared` is called
+/// `warm_calls` times from `caller_a` (enough to trigger a warmup-based
+/// listener and consume its entire burst), then `hot_calls` times from
+/// `caller_b`. A burst profiler attributes ~everything to `caller_a`;
+/// continuous sampling attributes weight ∝ true frequencies.
+///
+/// # Errors
+///
+/// Propagates the builder's verification step.
+pub fn phase_shift(
+    warm_calls: i64,
+    hot_calls: i64,
+) -> Result<(Program, PhaseShiftProgram), BuildError> {
+    let mut b = ProgramBuilder::new();
+    let cls = b.add_class("Phase", 0);
+    let shared = b.function("shared", cls, 1, 0, |c| {
+        c.load(0).const_(3).mul().ret();
+    })?;
+    let caller_a = b.function("caller_a", cls, 1, 0, |c| {
+        c.load(0).call(shared).ret();
+    })?;
+    let caller_b = b.function("caller_b", cls, 1, 0, |c| {
+        c.load(0).call(shared).ret();
+    })?;
+    let main = b.function("main", cls, 0, 2, |c| {
+        c.counted_loop(0, warm_calls, |c| {
+            c.load(1).call(caller_a).store(1);
+        });
+        c.counted_loop(0, hot_calls, |c| {
+            c.load(1).call(caller_b).store(1);
+        });
+        c.load(1).ret();
+    })?;
+    b.set_entry(main);
+    let program = b.build()?;
+    Ok((
+        program,
+        PhaseShiftProgram {
+            shared,
+            caller_a,
+            caller_b,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_builds_and_has_expected_shape() {
+        let (p, handles) = figure1(40, 100).unwrap();
+        let m = p.method(handles.m);
+        assert!(m.has_loop());
+        let calls: Vec<_> = m.call_instructions().collect();
+        assert_eq!(calls.len(), 2, "exactly call_1 and call_2");
+        // Non-call region dominates the body.
+        assert!(m.len() > 80);
+    }
+
+    #[test]
+    fn io_variant_contains_io() {
+        let (p, handles) = io_variant(100, 10).unwrap();
+        let has_io = p
+            .method(handles.m)
+            .code()
+            .iter()
+            .any(|op| matches!(op, cbs_bytecode::Op::Io(_)));
+        assert!(has_io);
+    }
+
+    #[test]
+    fn phase_shift_orders_phases() {
+        let (p, h) = phase_shift(100, 10_000).unwrap();
+        // caller_a appears before caller_b in main.
+        let main = p.method(p.entry());
+        let order: Vec<MethodId> = main
+            .call_instructions()
+            .filter_map(|(_, _, op)| match op {
+                cbs_bytecode::Op::Call { target, .. } => Some(*target),
+                _ => None,
+            })
+            .collect();
+        let a_pos = order.iter().position(|&m| m == h.caller_a).unwrap();
+        let b_pos = order.iter().position(|&m| m == h.caller_b).unwrap();
+        assert!(a_pos < b_pos);
+    }
+}
+
+/// Handles for the stride-aliasing program.
+#[derive(Debug, Clone)]
+pub struct StrideAliasingProgram {
+    /// The `k` short methods called once each per iteration, in order.
+    pub callees: Vec<MethodId>,
+}
+
+/// A loop calling `k` distinct short methods once each per iteration —
+/// the adversary §4 warns about: "For any fixed values of the parameters
+/// STRIDE and SAMPLES_PER_TIMER_INTERRUPT, an adversary program can be
+/// constructed for which our technique will collect an inaccurate
+/// profile."
+///
+/// When the number of invocation events per iteration is a multiple of
+/// the stride, a `Fixed` skip policy samples the same position in the
+/// pattern forever; the paper's randomized/round-robin initial skip
+/// breaks the alignment.
+///
+/// # Errors
+///
+/// Propagates the builder's verification step.
+pub fn stride_aliasing(
+    k: u32,
+    iterations: i64,
+    pad_nops: u32,
+) -> Result<(Program, StrideAliasingProgram), BuildError> {
+    assert!(k >= 1, "need at least one callee");
+    let mut b = ProgramBuilder::new();
+    let cls = b.add_class("Alias", 0);
+    let callees: Vec<MethodId> = (0..k)
+        .map(|i| {
+            b.function(format!("short_{i}"), cls, 1, 0, |c| {
+                c.load(0).const_(i64::from(i) + 1).add().ret();
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let main = b.declare("main", cls, 0);
+    b.define(main, 2, |c| {
+        c.counted_loop(0, iterations, |c| {
+            for &callee in &callees {
+                c.load(1).call(callee).store(1);
+            }
+            // Padding lets callers tune the iteration cost to divide the
+            // timer period exactly, pinning every window to the same
+            // phase of the call pattern (the worst case for Fixed).
+            c.nops(pad_nops as usize);
+        });
+        c.load(1).ret();
+    })?;
+    b.set_entry(main);
+    let program = b.build()?;
+    Ok((program, StrideAliasingProgram { callees }))
+}
+
+#[cfg(test)]
+mod aliasing_tests {
+    use super::*;
+
+    #[test]
+    fn stride_aliasing_builds_with_padding() {
+        let (p, h) = stride_aliasing(3, 100, 33).unwrap();
+        assert_eq!(h.callees.len(), 3);
+        let main = p.method(p.entry());
+        assert!(main.has_loop());
+        let nops = main
+            .code()
+            .iter()
+            .filter(|op| matches!(op, cbs_bytecode::Op::Nop))
+            .count();
+        assert_eq!(nops, 33);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one callee")]
+    fn zero_callees_rejected() {
+        let _ = stride_aliasing(0, 10, 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! The named benchmark suite mirroring the paper's Table 1.
+//!
+//! Each benchmark is a seeded synthetic program whose *shape* matches the
+//! corresponding real program's published characteristics (methods
+//! executed, bytecode volume, qualitative behavior) — see DESIGN.md for
+//! the substitution argument. The "small" input targets the running time
+//! Table 1 reports on the paper's hardware (rescaled to the simulated
+//! 10 MHz clock); "large" runs [`LARGE_SCALE`]× longer.
+
+use crate::generator;
+use crate::spec::{InputSize, WorkloadSpec};
+use cbs_bytecode::{BuildError, Program};
+use std::fmt;
+
+/// How much longer the "large" input runs than the "small" one.
+pub const LARGE_SCALE: f64 = 6.0;
+
+/// The thirteen benchmarks of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// SPECjvm98 `compress`: tight numeric kernels, tiny call graph.
+    Compress,
+    /// SPECjvm98 `jess`: expert-system rule dispatch, very virtual.
+    Jess,
+    /// SPECjvm98 `db`: small in-memory database operations.
+    Db,
+    /// SPECjvm98 `javac`: the Java compiler — large, flat, polymorphic.
+    Javac,
+    /// SPECjvm98 `mpegaudio`: numeric decoding loops.
+    Mpegaudio,
+    /// SPECjvm98 `mtrt`: multithreaded ray tracer, skewed dispatch.
+    Mtrt,
+    /// SPECjvm98 `jack`: parser generator — phasey with I/O.
+    Jack,
+    /// Persistent XML database services.
+    Ipsixql,
+    /// Apache Xerces XML parsing.
+    Xerces,
+    /// MIT's dynamic invariant detector — very many methods.
+    Daikon,
+    /// Java-based Scheme system — huge method count, short run.
+    Kawa,
+    /// SPECjbb2000-style business transactions.
+    Jbb,
+    /// McGill bytecode analysis framework — large and flat.
+    Soot,
+}
+
+impl Benchmark {
+    /// All benchmarks in Table 1 order.
+    pub const fn all() -> [Benchmark; 13] {
+        use Benchmark::*;
+        [
+            Compress, Jess, Db, Javac, Mpegaudio, Mtrt, Jack, Ipsixql, Xerces, Daikon, Kawa,
+            Jbb, Soot,
+        ]
+    }
+
+    /// Lowercase benchmark name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Compress => "compress",
+            Benchmark::Jess => "jess",
+            Benchmark::Db => "db",
+            Benchmark::Javac => "javac",
+            Benchmark::Mpegaudio => "mpegaudio",
+            Benchmark::Mtrt => "mtrt",
+            Benchmark::Jack => "jack",
+            Benchmark::Ipsixql => "ipsixql",
+            Benchmark::Xerces => "xerces",
+            Benchmark::Daikon => "daikon",
+            Benchmark::Kawa => "kawa",
+            Benchmark::Jbb => "jbb",
+            Benchmark::Soot => "soot",
+        }
+    }
+
+    /// The workload specification for one input size.
+    pub fn spec(self, size: InputSize) -> WorkloadSpec {
+        let s = self.small_spec();
+        match size {
+            InputSize::Small => s,
+            InputSize::Large => s.scaled(LARGE_SCALE),
+        }
+    }
+
+    /// Builds the benchmark program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] from generation (indicates a generator
+    /// bug; the shipped specs always build).
+    pub fn build(self, size: InputSize) -> Result<Program, BuildError> {
+        generator::build(&self.spec(size))
+    }
+
+    fn small_spec(self) -> WorkloadSpec {
+        let (num_methods, families, fanout, poly, mask, work, leaf_loop, leaf_work, tiers, hot_repeat, phases, chain, io_sites, io_cost, secs) =
+            match self {
+                // compress: few, loopy numeric methods; one dominant edge.
+                Benchmark::Compress => (243, 3, 2, 0.15, 15, 8, 6, (4, 10), 2, 8, 1, 0.10, 0, 0, 1.38),
+                // jess: rule dispatch — many virtual sites, skewed.
+                Benchmark::Jess => (662, 14, 3, 0.60, 7, 3, 0, (2, 6), 4, 3, 1, 0.25, 0, 0, 0.92),
+                // db: small and loop-dominated.
+                Benchmark::Db => (258, 5, 2, 0.30, 7, 5, 2, (2, 6), 3, 5, 1, 0.15, 0, 0, 0.46),
+                // javac: flat profile, 50/50 receiver splits, deep chains.
+                Benchmark::Javac => (939, 24, 3, 0.50, 1, 4, 0, (2, 8), 6, 2, 1, 0.35, 0, 0, 0.80),
+                // mpegaudio: numeric kernels with some dispatch.
+                Benchmark::Mpegaudio => (416, 6, 2, 0.20, 15, 10, 8, (4, 9), 3, 6, 1, 0.10, 0, 0, 1.90),
+                // mtrt: intersect() everywhere — hot, heavily skewed virtuals.
+                Benchmark::Mtrt => (368, 10, 3, 0.65, 15, 3, 0, (2, 6), 3, 5, 1, 0.20, 0, 0, 0.91),
+                // jack: two parse phases, token I/O.
+                Benchmark::Jack => (477, 10, 3, 0.40, 7, 4, 0, (2, 6), 4, 3, 2, 0.25, 6, 4, 0.85),
+                // ipsixql: query phases over a persistent store.
+                Benchmark::Ipsixql => (459, 10, 3, 0.45, 7, 4, 0, (2, 6), 4, 3, 2, 0.25, 4, 4, 1.34),
+                // xerces: three-phase parse/validate/serialize.
+                Benchmark::Xerces => (719, 15, 3, 0.50, 3, 3, 0, (2, 6), 5, 3, 3, 0.30, 2, 3, 3.28),
+                // daikon: enormous flat method population.
+                Benchmark::Daikon => (1671, 28, 3, 0.40, 3, 3, 0, (2, 7), 7, 2, 1, 0.35, 0, 0, 4.51),
+                // kawa: even more methods, short run — hard to converge.
+                Benchmark::Kawa => (1794, 30, 3, 0.45, 3, 2, 0, (1, 4), 7, 2, 1, 0.35, 0, 0, 0.95),
+                // jbb: transaction mix over warehouse objects.
+                Benchmark::Jbb => (597, 12, 3, 0.50, 7, 4, 0, (2, 6), 3, 4, 1, 0.20, 3, 3, 2.00),
+                // soot: large flat analysis framework.
+                Benchmark::Soot => (1215, 24, 3, 0.45, 3, 3, 0, (2, 6), 6, 2, 1, 0.35, 0, 0, 1.67),
+            };
+        WorkloadSpec {
+            name: self.name().to_owned(),
+            seed: 0x5EED_0000 + self as u64,
+            num_methods,
+            families,
+            fanout,
+            polymorphic_fraction: poly,
+            receiver_mask: mask,
+            work_per_call: work,
+            leaf_loop,
+            leaf_work,
+            tiers,
+            hot_repeat,
+            phases,
+            chain_fraction: chain,
+            io_sites,
+            io_cost,
+            target_seconds: secs,
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_are_internally_consistent() {
+        for b in Benchmark::all() {
+            let s = b.spec(InputSize::Small);
+            let virtual_leaves = 2 * s.families;
+            assert!(s.num_methods > virtual_leaves + 2, "{b}");
+            let rest = s.num_methods - 1 - virtual_leaves;
+            let mids = (f64::from(rest) * 0.45).ceil() as u32;
+            let leaves = rest - mids;
+            assert!(
+                mids * s.fanout.max(2) >= leaves + s.families,
+                "{b}: sites cannot cover leaves"
+            );
+        }
+    }
+
+    #[test]
+    fn every_benchmark_builds_small() {
+        for b in Benchmark::all() {
+            let p = b.build(InputSize::Small).unwrap_or_else(|e| panic!("{b}: {e}"));
+            assert_eq!(p.num_methods() as u32, b.spec(InputSize::Small).num_methods, "{b}");
+        }
+    }
+
+    #[test]
+    fn method_counts_match_table1() {
+        let expected = [
+            (Benchmark::Compress, 243),
+            (Benchmark::Jess, 662),
+            (Benchmark::Db, 258),
+            (Benchmark::Javac, 939),
+            (Benchmark::Mpegaudio, 416),
+            (Benchmark::Mtrt, 368),
+            (Benchmark::Jack, 477),
+            (Benchmark::Ipsixql, 459),
+            (Benchmark::Xerces, 719),
+            (Benchmark::Daikon, 1671),
+            (Benchmark::Kawa, 1794),
+            (Benchmark::Jbb, 597),
+            (Benchmark::Soot, 1215),
+        ];
+        for (b, n) in expected {
+            assert_eq!(b.spec(InputSize::Small).num_methods, n, "{b}");
+        }
+    }
+
+    #[test]
+    fn large_input_targets_longer_run() {
+        for b in Benchmark::all() {
+            let small = b.spec(InputSize::Small);
+            let large = b.spec(InputSize::Large);
+            assert!(large.target_seconds > small.target_seconds * 2.0, "{b}");
+        }
+    }
+
+    #[test]
+    fn names_are_stable_and_displayable() {
+        assert_eq!(Benchmark::Javac.to_string(), "javac");
+        let names: Vec<_> = Benchmark::all().iter().map(|b| b.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "names unique");
+    }
+}

@@ -1,0 +1,42 @@
+//! # cbs-workloads
+//!
+//! Synthetic benchmark programs for the Arnold–Grove CGO'05 reproduction.
+//!
+//! The paper evaluates on SPECjvm98, SPECjbb2000, ipsixql, xerces, daikon,
+//! kawa and soot; those inputs and programs are not reproducible here, so
+//! this crate substitutes seeded synthetic programs whose *dynamic call
+//! stream* has the published shape of each benchmark (method counts and
+//! code volume from Table 1; qualitative character — loopy numeric
+//! kernels, flat polymorphic compilers, phasey parsers — from the
+//! benchmark descriptions). See `DESIGN.md` §2 for the substitution
+//! argument.
+//!
+//! * [`Benchmark`] / [`InputSize`] — the 13-benchmark suite, small and
+//!   large inputs;
+//! * [`WorkloadSpec`] / [`generator::build`] — the parameterized program
+//!   generator, for custom workloads;
+//! * [`adversarial`] — the Figure 1 pathology, its I/O variant, and a
+//!   phase-shift program that defeats burst profilers.
+//!
+//! ## Example
+//!
+//! ```
+//! use cbs_workloads::{Benchmark, InputSize};
+//!
+//! # fn main() -> Result<(), cbs_bytecode::BuildError> {
+//! let program = Benchmark::Compress.build(InputSize::Small)?;
+//! assert_eq!(program.num_methods(), 243); // Table 1: "Meth exe"
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adversarial;
+mod benchmarks;
+pub mod generator;
+mod spec;
+
+pub use benchmarks::{Benchmark, LARGE_SCALE};
+pub use spec::{InputSize, WorkloadSpec};

@@ -1,0 +1,134 @@
+//! Workload specifications.
+
+/// Input size of a benchmark run (Table 1 reports both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputSize {
+    /// The paper's "small" input.
+    Small,
+    /// The paper's "large" input (longer-running; accuracy converges
+    /// further).
+    Large,
+}
+
+impl InputSize {
+    /// Both sizes, small first.
+    pub const fn both() -> [InputSize; 2] {
+        [InputSize::Small, InputSize::Large]
+    }
+
+    /// Lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            InputSize::Small => "small",
+            InputSize::Large => "large",
+        }
+    }
+}
+
+/// Everything the generator needs to synthesize one benchmark program.
+///
+/// The knobs control exactly the dynamic-call-stream properties the
+/// paper's accuracy anomalies depend on: how much straight-line work
+/// separates calls (timer-bias), how skewed receiver distributions are
+/// (the 40% rule), how heavy the cold tail of methods is (convergence
+/// speed), and whether behavior shifts between phases (burst-profiling
+/// hazard).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Benchmark name (used in generated method names and reports).
+    pub name: String,
+    /// Deterministic generation seed.
+    pub seed: u64,
+    /// Total method count to generate (matches Table 1's "Meth exe").
+    pub num_methods: u32,
+    /// Virtual-dispatch families (each is a base class + override
+    /// subclass implementing vtable slot 0).
+    pub families: u32,
+    /// Calls emitted per mid-tier method.
+    pub fanout: u32,
+    /// Fraction of mid-method call sites that dispatch virtually.
+    pub polymorphic_fraction: f64,
+    /// Receiver-skew mask: at a virtual site the dominant receiver is
+    /// used unless `i & mask == 0`. Mask 7 → 87.5% dominant; mask 1 →
+    /// 50/50.
+    pub receiver_mask: i64,
+    /// Straight-line work (arithmetic/field ops) emitted before each call
+    /// site — the "long sequence of non-calls" knob from Figure 1.
+    pub work_per_call: u32,
+    /// Extra inner-loop repetitions inside leaf methods (numeric kernels
+    /// like compress/mpegaudio run hot loops between calls).
+    pub leaf_loop: u32,
+    /// Body size range for non-trivial leaves, in work units.
+    pub leaf_work: (u32, u32),
+    /// Frequency tiers in the driver: tier `t` runs every `2^t`
+    /// iterations, and deeper tiers hold more methods — a long-tailed
+    /// edge-weight distribution.
+    pub tiers: u32,
+    /// Inner repetitions of the hottest tier per driver iteration.
+    /// Concentrates profile weight on the hot edges (real profiles put
+    /// most weight on a few dozen edges).
+    pub hot_repeat: u32,
+    /// Sequential phases in the driver, each favoring a different method
+    /// subset (burst-profiler hazard; parsers/transformers are phasey).
+    pub phases: u32,
+    /// Fraction of a mid method's call sites that chain to another
+    /// (deeper) mid method instead of a leaf.
+    pub chain_fraction: f64,
+    /// Simulated-I/O sites sprinkled into hot mids, and their unit cost.
+    pub io_sites: u32,
+    /// Cost units per I/O site.
+    pub io_cost: u32,
+    /// Target simulated running time in seconds on the default 10 MHz
+    /// clock; the generator derives the iteration count from a coarse
+    /// per-iteration cost estimate.
+    pub target_seconds: f64,
+}
+
+impl WorkloadSpec {
+    /// Returns a copy whose running time is scaled by `factor` (tests use
+    /// small factors; "large" inputs use >1).
+    pub fn scaled(&self, factor: f64) -> WorkloadSpec {
+        WorkloadSpec {
+            target_seconds: self.target_seconds * factor,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_size_labels() {
+        assert_eq!(InputSize::Small.label(), "small");
+        assert_eq!(InputSize::Large.label(), "large");
+        assert_eq!(InputSize::both().len(), 2);
+    }
+
+    #[test]
+    fn scaling_changes_only_duration() {
+        let spec = WorkloadSpec {
+            name: "x".into(),
+            seed: 1,
+            num_methods: 100,
+            families: 5,
+            fanout: 2,
+            polymorphic_fraction: 0.5,
+            receiver_mask: 7,
+            work_per_call: 10,
+            leaf_loop: 0,
+            leaf_work: (4, 10),
+            tiers: 3,
+            hot_repeat: 1,
+            phases: 1,
+            chain_fraction: 0.2,
+            io_sites: 0,
+            io_cost: 0,
+            target_seconds: 1.0,
+        };
+        let big = spec.scaled(8.0);
+        assert_eq!(big.num_methods, spec.num_methods);
+        assert!((big.target_seconds - 8.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,37 @@
+//! The full adaptive-optimization feedback loop: run, sample, promote,
+//! recompile — watch the VM warm up across iterations.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_vm
+//! ```
+
+use cbs_core::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = Benchmark::Jess.build(InputSize::Small)?;
+    let mut system = AdaptiveSystem::new(program, AdaptiveConfig::default());
+
+    println!("iter  cycles      promotions  compile-cycles  profile-oh");
+    let mut first = None;
+    let mut last = 0;
+    for i in 0..6 {
+        let r = system.run_iteration()?;
+        first.get_or_insert(r.exec.cycles);
+        last = r.exec.cycles;
+        println!(
+            "{:>4}  {:>10}  {:>10}  {:>14.0}  {:>9}",
+            i,
+            r.exec.cycles,
+            r.promotions.len(),
+            r.compile_cycles,
+            r.profile_overhead_cycles
+        );
+    }
+    let first = first.expect("at least one iteration ran");
+    println!(
+        "\nwarmup speedup: {:+.1}% (DCG: {} edges accumulated)",
+        100.0 * (first as f64 / last as f64 - 1.0),
+        system.dcg().num_edges()
+    );
+    Ok(())
+}

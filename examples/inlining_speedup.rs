@@ -1,0 +1,58 @@
+//! End-to-end profile-directed inlining: profile a benchmark with both
+//! the timer baseline and CBS, feed each profile to the paper's new
+//! inliner, and measure the resulting steady-state speedups.
+//!
+//! ```sh
+//! cargo run --release --example inlining_speedup
+//! ```
+
+use cbs_core::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = Benchmark::Javac;
+    let program = bench.build(InputSize::Small)?;
+    println!(
+        "{} small: {} methods, {} call sites",
+        bench,
+        program.num_methods(),
+        program.num_call_sites()
+    );
+
+    // Profile one run with both mechanisms attached.
+    let m = measure(
+        &program,
+        VmConfig::default(),
+        vec![
+            Box::new(TimerSampler::new()),
+            Box::new(CounterBasedSampler::new(CbsConfig::new(3, 16))),
+        ],
+    )?;
+    let base_cycles = m.exec.cycles;
+    for outcome in &m.outcomes {
+        println!(
+            "{:<26} accuracy {:5.1}%  overhead {:.3}%",
+            outcome.name, outcome.accuracy, outcome.overhead_pct
+        );
+    }
+
+    // Inline with each profile and re-measure.
+    for outcome in &m.outcomes {
+        let mut optimized = program.clone();
+        let report = inline_program(
+            &mut optimized,
+            Some(&outcome.dcg),
+            &NewLinearPolicy::default(),
+            &InlineBudget::default(),
+            true,
+        );
+        let after = Vm::new(&optimized, VmConfig::default()).run_unprofiled()?;
+        println!(
+            "{:<26} {} inlines ({} guarded) -> {:+.1}% speedup",
+            outcome.name,
+            report.total_inlines(),
+            report.guarded_inlines,
+            100.0 * (base_cycles as f64 / after.cycles as f64 - 1.0),
+        );
+    }
+    Ok(())
+}

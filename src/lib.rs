@@ -1,0 +1,6 @@
+//! Workspace facade crate: hosts the runnable examples (`examples/`) and
+//! the cross-crate integration tests (`tests/`). The library surface
+//! simply re-exports [`cbs_core`]; depend on `cbs-core` directly in real
+//! code.
+
+pub use cbs_core::*;

@@ -1,0 +1,52 @@
+//! The adaptive optimization system over real workloads: warmup must
+//! converge, semantics must hold, and the continuously collected DCG must
+//! remain accurate enough to drive inlining.
+
+use cbs_repro::prelude::*;
+
+#[test]
+fn adaptive_warmup_speeds_up_jess() {
+    let program = Benchmark::Jess
+        .spec(InputSize::Small)
+        .scaled(0.3)
+        .pipe(|s| cbs_repro::workloads::generator::build(&s).unwrap());
+    let mut sys = AdaptiveSystem::new(program, AdaptiveConfig::default());
+    let first = sys.run_iteration().unwrap().exec;
+    for _ in 0..4 {
+        sys.run_iteration().unwrap();
+    }
+    let last = sys.run_iteration().unwrap().exec;
+    assert_eq!(first.return_values, last.return_values, "semantics drifted");
+    assert!(
+        last.cycles < first.cycles,
+        "no warmup speedup: {} -> {}",
+        first.cycles,
+        last.cycles
+    );
+    assert!(sys.total_compile_cycles() > 0.0);
+    assert!(sys.dcg().num_edges() > 10, "continuous DCG accumulated");
+}
+
+#[test]
+fn adaptive_is_deterministic() {
+    let build = || {
+        Benchmark::Db
+            .spec(InputSize::Small)
+            .scaled(0.2)
+            .pipe(|s| cbs_repro::workloads::generator::build(&s).unwrap())
+    };
+    let run = || {
+        let mut sys = AdaptiveSystem::new(build(), AdaptiveConfig::default());
+        (0..3)
+            .map(|_| sys.run_iteration().unwrap().exec.cycles)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run(), "adaptive pipeline must be reproducible");
+}
+
+trait Pipe: Sized {
+    fn pipe<R>(self, f: impl FnOnce(Self) -> R) -> R {
+        f(self)
+    }
+}
+impl<T> Pipe for T {}

@@ -1,0 +1,137 @@
+//! The text assembler feeding the full pipeline: assemble → verify → run
+//! → profile → inline → run again.
+
+use cbs_repro::bytecode::assemble;
+use cbs_repro::prelude::*;
+use cbs_repro::vm::Value;
+
+const PROGRAM: &str = r#"
+# Polymorphic accumulator with a hot helper.
+class Ctx fields=2
+class Node fields=1
+class Leaf extends=Node fields=0
+
+method Node.visit class=Node params=1 locals=0 {
+    load 0
+    getfield 0
+    const 2
+    mul
+    ret
+}
+
+method Leaf.visit class=Leaf params=1 locals=0 {
+    load 0
+    getfield 0
+    const 1
+    add
+    ret
+}
+
+method helper class=Ctx params=1 locals=0 {
+    load 0
+    const 3
+    add
+    ret
+}
+
+method main class=Ctx params=0 locals=3 {
+    new Leaf
+    store 1
+    const 20000
+    store 0
+loop:
+    load 0
+    jz done
+    load 1
+    callvirt 0 1
+    call helper
+    store 2
+    load 0
+    const 1
+    sub
+    store 0
+    jump loop
+done:
+    load 2
+    ret
+}
+
+vtable Node 0 Node.visit
+vtable Leaf 0 Leaf.visit
+entry main
+"#;
+
+#[test]
+fn assembled_program_runs_and_profiles() {
+    let program = assemble(PROGRAM).unwrap();
+    let m = measure(
+        &program,
+        VmConfig::default(),
+        vec![Box::new(CounterBasedSampler::new(CbsConfig::new(1, 32)))],
+    )
+    .unwrap();
+    // Leaf.visit: 0 + 1 = 1; helper: 1 + 3 = 4.
+    assert_eq!(m.exec.return_values, vec![Value::Int(4)]);
+    assert_eq!(m.exec.calls, 40_000);
+    let cbs = &m.outcomes[0];
+    assert!(cbs.samples > 0);
+    assert!(cbs.accuracy > 80.0, "two-edge profile converges: {}", cbs.accuracy);
+}
+
+#[test]
+fn assembled_program_inlines_correctly() {
+    let mut program = assemble(PROGRAM).unwrap();
+    let before = Vm::new(&program, VmConfig::default()).run_unprofiled().unwrap();
+    let m = measure(
+        &program,
+        VmConfig::default(),
+        vec![Box::new(CounterBasedSampler::new(CbsConfig::new(1, 32)))],
+    )
+    .unwrap();
+    let report = inline_program(
+        &mut program,
+        Some(&m.outcomes[0].dcg),
+        &NewLinearPolicy::default(),
+        &InlineBudget::default(),
+        true,
+    );
+    assert!(report.total_inlines() >= 2, "{report:?}");
+    let after = Vm::new(&program, VmConfig::default()).run_unprofiled().unwrap();
+    assert_eq!(before.return_values, after.return_values);
+    assert!(after.calls < before.calls);
+    assert!(after.cycles < before.cycles);
+}
+
+#[test]
+fn disassembly_of_assembled_program_is_readable() {
+    let program = assemble(PROGRAM).unwrap();
+    let listing = cbs_repro::bytecode::disasm::program(&program);
+    assert!(listing.contains("Leaf.visit"));
+    assert!(listing.contains("callvirt"));
+    assert!(listing.contains("backedge"));
+}
+
+#[test]
+fn generated_benchmark_round_trips_through_assembly() {
+    // A full synthetic benchmark survives disassemble → assemble with
+    // identical behavior (call-site numbering may differ, which the
+    // execution report does not observe).
+    let spec = Benchmark::Db.spec(InputSize::Small).scaled(0.02);
+    let original = cbs_repro::workloads::generator::build(&spec).unwrap();
+    let text = cbs_repro::bytecode::disassemble(&original);
+    let rebuilt = cbs_repro::bytecode::assemble(&text)
+        .unwrap_or_else(|e| panic!("reassembly failed: {e}"));
+    assert_eq!(rebuilt.num_methods(), original.num_methods());
+    assert_eq!(rebuilt.num_classes(), original.num_classes());
+
+    let run = |p: &cbs_repro::bytecode::Program| {
+        Vm::new(p, VmConfig::default()).run_unprofiled().unwrap()
+    };
+    let a = run(&original);
+    let b = run(&rebuilt);
+    assert_eq!(a.return_values, b.return_values);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.calls, b.calls);
+    assert_eq!(a.invocations, b.invocations);
+}

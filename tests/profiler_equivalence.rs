@@ -1,0 +1,141 @@
+//! Cross-crate invariants of the profiling harness:
+//!
+//! * attaching many profilers to one run gives each exactly the results
+//!   it would get alone (the Table 2 grid optimization is sound);
+//! * the timer baseline coincides with CBS(stride=1, samples=1), the
+//!   degenerate corner the paper identifies;
+//! * profiling never perturbs program results or base cycle counts.
+
+use cbs_repro::prelude::*;
+
+fn workload() -> Program {
+    Benchmark::Jess
+        .spec(InputSize::Small)
+        .scaled(0.05)
+        .build_program()
+}
+
+trait BuildExt {
+    fn build_program(&self) -> Program;
+}
+impl BuildExt for cbs_repro::workloads::WorkloadSpec {
+    fn build_program(&self) -> Program {
+        cbs_repro::workloads::generator::build(self).expect("spec builds")
+    }
+}
+
+#[test]
+fn multi_attach_equals_solo_runs() {
+    let program = workload();
+
+    // Solo runs.
+    let solo_timer = measure(
+        &program,
+        VmConfig::default(),
+        vec![Box::new(TimerSampler::new())],
+    )
+    .unwrap();
+    let solo_cbs = measure(
+        &program,
+        VmConfig::default(),
+        vec![Box::new(CounterBasedSampler::new(CbsConfig::new(3, 16)))],
+    )
+    .unwrap();
+
+    // Combined run.
+    let both = measure(
+        &program,
+        VmConfig::default(),
+        vec![
+            Box::new(TimerSampler::new()),
+            Box::new(CounterBasedSampler::new(CbsConfig::new(3, 16))),
+        ],
+    )
+    .unwrap();
+
+    assert_eq!(solo_timer.exec, both.exec, "base run must be identical");
+    let t_solo = &solo_timer.outcomes[0];
+    let t_both = &both.outcomes[0];
+    assert_eq!(t_solo.dcg, t_both.dcg, "timer DCG differs when co-attached");
+    assert_eq!(t_solo.samples, t_both.samples);
+    let c_solo = &solo_cbs.outcomes[0];
+    let c_both = &both.outcomes[1];
+    assert_eq!(c_solo.dcg, c_both.dcg, "cbs DCG differs when co-attached");
+    assert!((c_solo.overhead_pct - c_both.overhead_pct).abs() < 1e-12);
+}
+
+#[test]
+fn timer_equals_cbs_1_1() {
+    // The paper: the original Jikes mechanism *is* the stride=1,
+    // samples=1 corner of CBS. With a fixed initial skip of 1 event, the
+    // two implementations must collect identical profiles.
+    let program = workload();
+    let m = measure(
+        &program,
+        VmConfig::default(),
+        vec![
+            Box::new(TimerSampler::new()),
+            Box::new(CounterBasedSampler::new(CbsConfig {
+                stride: 1,
+                samples_per_tick: 1,
+                skip_policy: SkipPolicy::Fixed,
+                ..CbsConfig::default()
+            })),
+        ],
+    )
+    .unwrap();
+    assert_eq!(
+        m.outcomes[0].dcg, m.outcomes[1].dcg,
+        "timer sampler and CBS(1,1) must see the same edges"
+    );
+    assert_eq!(m.outcomes[0].samples, m.outcomes[1].samples);
+}
+
+#[test]
+fn profiling_does_not_perturb_execution() {
+    let program = workload();
+    let bare = Vm::new(&program, VmConfig::default()).run_unprofiled().unwrap();
+    let mut grid = MultiProfiler::new();
+    for stride in [1, 3, 7] {
+        for samples in [1, 8, 64] {
+            grid.attach(Box::new(CounterBasedSampler::new(CbsConfig::new(
+                stride, samples,
+            ))));
+        }
+    }
+    let profiled = Vm::new(&program, VmConfig::default()).run(&mut grid).unwrap();
+    assert_eq!(bare, profiled, "observers must not change the observation");
+}
+
+#[test]
+fn exhaustive_profile_counts_every_call() {
+    let program = workload();
+    let m = measure(&program, VmConfig::default(), vec![]).unwrap();
+    assert_eq!(
+        m.perfect.total_weight(),
+        m.exec.calls as f64,
+        "ground truth must count exactly the dynamic calls"
+    );
+}
+
+#[test]
+fn j9_flavor_sees_fewer_events_than_jikes() {
+    // Jikes samples entries and exits; J9 entries only. Same program,
+    // same CBS config: the Jikes-hosted sampler takes its window quota
+    // from a denser event stream.
+    let program = workload();
+    let run = |flavor| {
+        let m = measure(
+            &program,
+            VmConfig::with_flavor(flavor),
+            vec![Box::new(CounterBasedSampler::new(CbsConfig::new(3, 16)))],
+        )
+        .unwrap();
+        (m.outcomes[0].samples, m.outcomes[0].accuracy)
+    };
+    let (jikes_samples, jikes_acc) = run(VmFlavor::Jikes);
+    let (j9_samples, j9_acc) = run(VmFlavor::J9);
+    assert!(jikes_samples > 0 && j9_samples > 0);
+    assert!((0.0..=100.0).contains(&jikes_acc));
+    assert!((0.0..=100.0).contains(&j9_acc));
+}
