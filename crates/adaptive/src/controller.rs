@@ -205,9 +205,7 @@ impl AdaptiveSystem {
                 ds.sort_unstable_by_key(|d| std::cmp::Reverse(d.pc));
                 for d in ds {
                     if let cbs_inliner::InlineKind::Guarded { .. } = d.kind {
-                        if let Some(op) =
-                            self.program.method(d.caller).code().get(d.pc as usize)
-                        {
+                        if let Some(op) = self.program.method(d.caller).code().get(d.pc as usize) {
                             if let Some(site) = op.call_site() {
                                 self.guarded_sites.insert(site);
                             }
@@ -310,7 +308,10 @@ mod tests {
         let first = sys.run_iteration().unwrap().exec.return_values;
         for _ in 0..3 {
             let r = sys.run_iteration().unwrap();
-            assert_eq!(r.exec.return_values, first, "recompilation changed semantics");
+            assert_eq!(
+                r.exec.return_values, first,
+                "recompilation changed semantics"
+            );
         }
     }
 
@@ -392,7 +393,10 @@ mod config_tests {
         b.set_entry(main);
         let mut sys = AdaptiveSystem::new(b.build().unwrap(), AdaptiveConfig::default());
         let r = sys.run_iteration().unwrap();
-        assert!(r.profile_overhead_cycles > 0, "CBS sampled, so it cost something");
+        assert!(
+            r.profile_overhead_cycles > 0,
+            "CBS sampled, so it cost something"
+        );
         assert!(
             (r.profile_overhead_cycles as f64) < r.exec.cycles as f64 * 0.02,
             "profiling stays under 2%: {} of {}",

@@ -70,7 +70,10 @@ mod tests {
     #[test]
     fn attributes_ticks_to_top_of_stack() {
         let mut s = HotMethodSampler::new();
-        let frames = vec![Frame::new(MethodId::new(0), 0), Frame::new(MethodId::new(3), 0)];
+        let frames = vec![
+            Frame::new(MethodId::new(0), 0),
+            Frame::new(MethodId::new(3), 0),
+        ];
         for _ in 0..5 {
             s.on_tick(0, ThreadId(0), StackSlice::for_testing(&frames));
         }

@@ -1,28 +1,24 @@
 //! Benchmarks the Figure 5 pipeline: profile → inline → re-measure.
 //! Also exercises the Figure 1 demonstration.
 
+use cbs_bench::BenchGroup;
 use cbs_core::experiments::{figure1_demo, figure5};
 use cbs_core::vm::VmFlavor;
 use cbs_core::workloads::Benchmark;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn figure_benches(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.bench_function("figure5_jikes_two_benchmarks", |b| {
-        b.iter(|| {
-            figure5(
-                VmFlavor::Jikes,
-                0.05,
-                Some(&[Benchmark::Jess, Benchmark::Mtrt]),
-            )
-            .expect("figure5 runs")
-        });
+fn main() {
+    let mut group = BenchGroup::new("figures", 10);
+    group.bench("figure5_jikes_two_benchmarks", || {
+        figure5(
+            VmFlavor::Jikes,
+            0.05,
+            Some(&[Benchmark::Jess, Benchmark::Mtrt]),
+        )
+        .expect("figure5 runs")
     });
-    group.bench_function("figure1_demo", |b| {
-        b.iter(|| figure1_demo(120, 20_000).expect("figure1 runs"));
+    group.bench("figure1_demo", || {
+        figure1_demo(120, 20_000).expect("figure1 runs")
     });
-    group.finish();
 
     let f = figure5(
         VmFlavor::Jikes,
@@ -34,6 +30,3 @@ fn figure_benches(c: &mut Criterion) {
     let d = figure1_demo(200, 50_000).expect("figure1 runs");
     println!("\n{}", d.render());
 }
-
-criterion_group!(benches, figure_benches);
-criterion_main!(benches);

@@ -3,9 +3,9 @@
 //! call event, the sampling path, the overlap metric, and raw interpreter
 //! throughput.
 
+use cbs_bench::BenchGroup;
 use cbs_core::prelude::*;
 use cbs_core::vm::{Profiler, StackSlice, ThreadId};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 fn bench_program() -> Program {
     Benchmark::Jess
@@ -21,72 +21,59 @@ trait Pipe: Sized {
 }
 impl<T> Pipe for T {}
 
-fn interpreter_throughput(c: &mut Criterion) {
+fn interpreter_throughput(group: &mut BenchGroup) {
     let program = bench_program();
-    c.bench_function("interpret_jess_small_2pct", |b| {
-        b.iter(|| {
-            Vm::new(&program, VmConfig::default())
-                .run_unprofiled()
-                .expect("runs")
-        });
+    group.bench("interpret_jess_small_2pct", || {
+        Vm::new(&program, VmConfig::default())
+            .run_unprofiled()
+            .expect("runs")
     });
 }
 
-fn cbs_event_paths(c: &mut Criterion) {
+fn cbs_event_paths(group: &mut BenchGroup) {
     let program = bench_program();
-    c.bench_function("interpret_with_idle_cbs", |b| {
-        b.iter_batched(
-            || CounterBasedSampler::new(CbsConfig::new(3, 16)),
-            |mut cbs| {
-                Vm::new(&program, VmConfig::default())
-                    .run(&mut cbs)
-                    .expect("runs")
-            },
-            BatchSize::SmallInput,
-        );
+    // Fresh profiler state is rebuilt inside each timed iteration; its
+    // construction cost is negligible next to the interpretation it gates.
+    group.bench("interpret_with_idle_cbs", || {
+        let mut cbs = CounterBasedSampler::new(CbsConfig::new(3, 16));
+        Vm::new(&program, VmConfig::default())
+            .run(&mut cbs)
+            .expect("runs")
     });
-    c.bench_function("interpret_with_grid_of_8_samplers", |b| {
-        b.iter_batched(
-            || {
-                let mut multi = MultiProfiler::new();
-                for stride in [1, 3, 7, 15] {
-                    for samples in [1, 16] {
-                        multi.attach(Box::new(CounterBasedSampler::new(CbsConfig::new(
-                            stride, samples,
-                        ))));
-                    }
-                }
-                multi
-            },
-            |mut multi| {
-                Vm::new(&program, VmConfig::default())
-                    .run(&mut multi)
-                    .expect("runs")
-            },
-            BatchSize::SmallInput,
-        );
+    group.bench("interpret_with_grid_of_8_samplers", || {
+        let mut multi = MultiProfiler::new();
+        for stride in [1, 3, 7, 15] {
+            for samples in [1, 16] {
+                multi.attach(Box::new(CounterBasedSampler::new(CbsConfig::new(
+                    stride, samples,
+                ))));
+            }
+        }
+        Vm::new(&program, VmConfig::default())
+            .run(&mut multi)
+            .expect("runs")
     });
 }
 
-fn overlap_metric(c: &mut Criterion) {
+fn overlap_metric(group: &mut BenchGroup) {
     let program = bench_program();
     let mut ex = ExhaustiveProfiler::new();
     let mut cbs = CounterBasedSampler::new(CbsConfig::new(3, 16));
-    {
-        let mut multi = MultiProfiler::new();
-        // Throwaway run to fill a sampled profile for the metric bench.
-        Vm::new(&program, VmConfig::default()).run(&mut ex).expect("runs");
-        Vm::new(&program, VmConfig::default()).run(&mut cbs).expect("runs");
-        let _ = &mut multi;
-    }
+    // Throwaway runs to fill a sampled profile for the metric bench.
+    Vm::new(&program, VmConfig::default())
+        .run(&mut ex)
+        .expect("runs");
+    Vm::new(&program, VmConfig::default())
+        .run(&mut cbs)
+        .expect("runs");
     let perfect = ex.take_dcg();
     let sampled = cbs.take_dcg();
-    c.bench_function("overlap_metric", |b| {
-        b.iter(|| cbs_core::dcg::overlap(std::hint::black_box(&sampled), &perfect));
+    group.bench("overlap_metric", || {
+        cbs_core::dcg::overlap(std::hint::black_box(&sampled), &perfect)
     });
 }
 
-fn stack_walk(c: &mut Criterion) {
+fn stack_walk(group: &mut BenchGroup) {
     // Measure the host cost of a context-path walk through the event
     // machinery on a deep synthetic stack.
     use cbs_core::vm::Frame;
@@ -96,19 +83,16 @@ fn stack_walk(c: &mut Criterion) {
         f.set_pending_site(Some(cbs_core::bytecode::CallSiteId::new(i)));
         frames.push(f);
     }
-    c.bench_function("pc_sampler_tick_on_depth_64", |b| {
-        let mut pc = PcSampler::new();
-        b.iter(|| {
-            pc.on_tick(0, ThreadId(0), StackSlice::for_testing(&frames));
-        });
+    let mut pc = PcSampler::new();
+    group.bench("pc_sampler_tick_on_depth_64", || {
+        pc.on_tick(0, ThreadId(0), StackSlice::for_testing(&frames));
     });
 }
 
-criterion_group!(
-    benches,
-    interpreter_throughput,
-    cbs_event_paths,
-    overlap_metric,
-    stack_walk
-);
-criterion_main!(benches);
+fn main() {
+    let mut group = BenchGroup::new("mechanisms", 20);
+    interpreter_throughput(&mut group);
+    cbs_event_paths(&mut group);
+    overlap_metric(&mut group);
+    stack_walk(&mut group);
+}

@@ -1,0 +1,48 @@
+//! Serial vs parallel experiment-runner comparison on the Table 2 quick
+//! grid, plus a byte-identity check between the two renditions.
+//!
+//! The 2× speedup assertion only fires on hosts with ≥4 CPUs — on
+//! smaller machines (including single-core CI) the speedup is reported
+//! but cannot physically manifest, so it is not asserted.
+
+use cbs_bench::BenchGroup;
+use cbs_core::experiments::{table2, Table2Options};
+use cbs_core::parallel::Parallelism;
+use cbs_core::vm::VmFlavor;
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let opts = |jobs| Table2Options::quick(VmFlavor::Jikes, 0.05).with_jobs(jobs);
+
+    let mut group = BenchGroup::new("parallelism", 5);
+    group.bench("table2_quick_jobs1", || {
+        table2(&opts(Parallelism::SERIAL)).expect("table2 runs")
+    });
+    group.bench("table2_quick_jobs4", || {
+        table2(&opts(Parallelism::jobs(4))).expect("table2 runs")
+    });
+
+    let serial = group.result("table2_quick_jobs1").expect("ran").median();
+    let parallel = group.result("table2_quick_jobs4").expect("ran").median();
+    let speedup = serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9);
+    println!("\nhost cores: {cores}");
+    println!("table2 quick grid: jobs=1 {serial:?}  jobs=4 {parallel:?}  speedup {speedup:.2}x");
+
+    let a = table2(&opts(Parallelism::SERIAL))
+        .expect("table2 runs")
+        .render();
+    let b = table2(&opts(Parallelism::jobs(4)))
+        .expect("table2 runs")
+        .render();
+    assert_eq!(a, b, "jobs=4 must render byte-identically to jobs=1");
+    println!("determinism: jobs=1 and jobs=4 renditions are byte-identical");
+
+    if cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "expected >=2x speedup with 4 jobs on a {cores}-core host, got {speedup:.2}x"
+        );
+    } else {
+        println!("(speedup not asserted: only {cores} core(s) available)");
+    }
+}

@@ -2,25 +2,20 @@
 //! prints a quick-grid rendition, so `cargo bench` regenerates the
 //! artifact while timing its cost.
 
+use cbs_bench::BenchGroup;
 use cbs_core::experiments::{table2, Table2Options};
 use cbs_core::vm::VmFlavor;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn table2_quick(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("table2", 10);
     for flavor in [VmFlavor::Jikes, VmFlavor::J9] {
         let opts = Table2Options::quick(flavor, 0.02);
-        group.bench_function(format!("{flavor:?}_quick_grid"), |b| {
-            b.iter(|| table2(&opts).expect("table2 runs"));
+        group.bench(&format!("{flavor:?}_quick_grid"), || {
+            table2(&opts).expect("table2 runs")
         });
     }
-    group.finish();
 
     // Emit the artifact once so bench output doubles as a report.
     let t = table2(&Table2Options::quick(VmFlavor::Jikes, 0.05)).expect("table2 runs");
     println!("\n{}", t.render());
 }
-
-criterion_group!(benches, table2_quick);
-criterion_main!(benches);

@@ -2,26 +2,17 @@
 //! characteristics run, which shares the same full-suite execution
 //! pattern).
 
+use cbs_bench::BenchGroup;
 use cbs_core::experiments::{table1, table3};
 use cbs_core::workloads::Benchmark;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn table_benches(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tables");
-    group.sample_size(10);
-    group.bench_function("table1_quick", |b| {
-        b.iter(|| table1(0.02).expect("table1 runs"));
+fn main() {
+    let mut group = BenchGroup::new("tables", 10);
+    group.bench("table1_quick", || table1(0.02).expect("table1 runs"));
+    group.bench("table3_quick", || {
+        table3(0.02, Some(&[Benchmark::Jess, Benchmark::Mtrt])).expect("table3 runs")
     });
-    group.bench_function("table3_quick", |b| {
-        b.iter(|| {
-            table3(0.02, Some(&[Benchmark::Jess, Benchmark::Mtrt])).expect("table3 runs")
-        });
-    });
-    group.finish();
 
     let t = table3(0.05, Some(&[Benchmark::Jess, Benchmark::Mtrt])).expect("table3 runs");
     println!("\n{}", t.render());
 }
-
-criterion_group!(benches, table_benches);
-criterion_main!(benches);

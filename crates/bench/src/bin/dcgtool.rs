@@ -3,12 +3,19 @@
 //!
 //! ```text
 //! dcgtool collect <benchmark> <small|large> <out.dcg> [stride samples]
-//! dcgtool compare <a.dcg> <b.dcg>        # overlap percentage
-//! dcgtool shape   <a.dcg>                # distribution statistics
-//! dcgtool dot     <a.dcg> [max_edges]    # DOT digraph on stdout
+//! dcgtool collect-all <dir> [--jobs <n|auto>] [stride samples]
+//! dcgtool merge   <out.dcg> <in.dcg>...   # deterministic shard merge
+//! dcgtool compare <a.dcg> <b.dcg>         # overlap percentage
+//! dcgtool shape   <a.dcg>                 # distribution statistics
+//! dcgtool dot     <a.dcg> [max_edges]     # DOT digraph on stdout
 //! ```
+//!
+//! `collect-all` profiles the whole suite (small inputs), sharding
+//! benchmarks across `--jobs` worker threads; the written profiles are
+//! identical for every jobs value.
 
-use cbs_core::dcg::{dot, overlap, serialize, stats};
+use cbs_core::dcg::{dot, overlap, serialize, stats, DynamicCallGraph};
+use cbs_core::parallel::{run_cells, Parallelism};
 use cbs_core::prelude::*;
 use std::process::ExitCode;
 
@@ -23,9 +30,27 @@ fn main() -> ExitCode {
     }
 }
 
-fn load(path: &str) -> Result<cbs_core::dcg::DynamicCallGraph, Box<dyn std::error::Error>> {
+fn load(path: &str) -> Result<DynamicCallGraph, Box<dyn std::error::Error>> {
     let text = std::fs::read_to_string(path)?;
     Ok(serialize::from_text(&text)?)
+}
+
+fn collect_one(
+    bench: Benchmark,
+    size: InputSize,
+    stride: u32,
+    samples: u32,
+) -> Result<(DynamicCallGraph, f64, f64), Box<dyn std::error::Error + Send + Sync>> {
+    let program = bench.build(size)?;
+    let mut m = measure(
+        &program,
+        VmConfig::default(),
+        vec![Box::new(CounterBasedSampler::new(CbsConfig::new(
+            stride, samples,
+        )))],
+    )?;
+    let o = m.outcomes.remove(0);
+    Ok((o.dcg, o.accuracy, o.overhead_pct))
 }
 
 fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
@@ -44,20 +69,64 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 .into_iter()
                 .find(|b| b.name() == bench_name)
                 .ok_or_else(|| format!("unknown benchmark `{bench_name}`"))?;
-            let program = bench.build(size)?;
-            let m = measure(
-                &program,
-                VmConfig::default(),
-                vec![Box::new(CounterBasedSampler::new(CbsConfig::new(
-                    stride, samples,
-                )))],
-            )?;
-            std::fs::write(out, serialize::to_text(&m.outcomes[0].dcg))?;
+            let (dcg, accuracy, overhead) = collect_one(bench, size, stride, samples)
+                .map_err(|e| -> Box<dyn std::error::Error> { e })?;
+            std::fs::write(out, serialize::to_text(&dcg))?;
             eprintln!(
-                "wrote {out}: {} edges, accuracy {:.1}%, overhead {:.3}%",
-                m.outcomes[0].dcg.num_edges(),
-                m.outcomes[0].accuracy,
-                m.outcomes[0].overhead_pct
+                "wrote {out}: {} edges, accuracy {accuracy:.1}%, overhead {overhead:.3}%",
+                dcg.num_edges(),
+            );
+            Ok(())
+        }
+        Some("collect-all") => {
+            let dir = args.get(1).ok_or("collect-all needs an output directory")?;
+            let mut jobs = Parallelism::SERIAL;
+            let mut rest: Vec<&String> = Vec::new();
+            let mut it = args[2..].iter();
+            while let Some(a) = it.next() {
+                if a == "--jobs" || a == "-j" {
+                    jobs = it
+                        .next()
+                        .ok_or("--jobs requires a positive integer or `auto`")?
+                        .parse()?;
+                } else {
+                    rest.push(a);
+                }
+            }
+            let stride: u32 = rest.first().map_or(Ok(3), |s| s.parse())?;
+            let samples: u32 = rest.get(1).map_or(Ok(16), |s| s.parse())?;
+            std::fs::create_dir_all(dir)?;
+            let profiles = run_cells(Benchmark::all().to_vec(), jobs, |bench| {
+                collect_one(bench, InputSize::Small, stride, samples)
+                    .map(|(dcg, accuracy, _)| (bench, dcg, accuracy))
+            })
+            .map_err(|e| e.to_string())?;
+            for (bench, dcg, accuracy) in profiles {
+                let path = format!("{dir}/{}.dcg", bench.name());
+                std::fs::write(&path, serialize::to_text(&dcg))?;
+                eprintln!(
+                    "wrote {path}: {} edges, accuracy {accuracy:.1}%",
+                    dcg.num_edges()
+                );
+            }
+            Ok(())
+        }
+        Some("merge") => {
+            let out = args.get(1).ok_or("merge needs an output path")?;
+            if args.len() < 3 {
+                return Err("merge needs at least one input profile".into());
+            }
+            let shards = args[2..]
+                .iter()
+                .map(|p| load(p))
+                .collect::<Result<Vec<_>, _>>()?;
+            let merged = DynamicCallGraph::merge_all(&shards);
+            std::fs::write(out, serialize::to_text(&merged))?;
+            eprintln!(
+                "wrote {out}: {} edges from {} shards, total weight {}",
+                merged.num_edges(),
+                shards.len(),
+                merged.total_weight()
             );
             Ok(())
         }
@@ -92,6 +161,6 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             );
             Ok(())
         }
-        _ => Err("usage: dcgtool collect|compare|shape|dot …".into()),
+        _ => Err("usage: dcgtool collect|collect-all|merge|compare|shape|dot …".into()),
     }
 }

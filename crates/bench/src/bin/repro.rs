@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of Arnold & Grove (CGO 2005).
 //!
 //! ```text
-//! repro [--scale <f64>] [artifact...]
+//! repro [--scale <f64>] [--jobs <n|auto>] [artifact...]
 //!
 //! artifacts: table1 table2a table2b table3 figure1 figure5-jikes
 //!            figure5-j9 inliner-ablation exhaustive-overhead patching
@@ -11,18 +11,23 @@
 //!
 //! `--scale 1.0` (default) runs benchmarks at the paper's running times
 //! on the simulated clock; smaller scales give quicker, noisier versions.
+//! `--jobs` shards each experiment's cells across worker threads; the
+//! rendered artifacts are byte-identical for every value (serial
+//! reduction order is preserved — see `cbs_core::parallel`).
 
 use cbs_core::experiments::{
-    context_sensitivity, exhaustive_overhead, figure1_demo, figure5, frequency_sweep,
-    hardware_vs_cbs, inline_depth_ablation, inliner_ablation, patching_vs_cbs, table1, table2,
-    table3, workload_shapes, Table2Options,
+    context_sensitivity_with, exhaustive_overhead_with, figure1_demo, figure5_with,
+    frequency_sweep, hardware_vs_cbs_with, inline_depth_ablation_with, inliner_ablation_with,
+    patching_vs_cbs_with, table1_with, table2, table3_with, workload_shapes_with, Table2Options,
 };
+use cbs_core::parallel::Parallelism;
 use cbs_core::vm::VmFlavor;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
+    let mut jobs = Parallelism::SERIAL;
     let mut artifacts: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -34,11 +39,23 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--jobs" | "-j" => match it.next().map(|v| v.parse()) {
+                Some(Ok(v)) => jobs = v,
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--jobs requires a positive integer or `auto`");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--scale <f64>] [table1|table2a|table2b|table3|figure1|\
-                     figure5-jikes|figure5-j9|inliner-ablation|exhaustive-overhead|patching|\
-                     frequency-sweep|hardware|context|inline-depth|shapes|all]"
+                    "usage: repro [--scale <f64>] [--jobs <n|auto>] [table1|table2a|table2b|\
+                     table3|figure1|figure5-jikes|figure5-j9|inliner-ablation|\
+                     exhaustive-overhead|patching|frequency-sweep|hardware|context|\
+                     inline-depth|shapes|all]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -50,7 +67,7 @@ fn main() -> ExitCode {
     }
 
     for a in &artifacts {
-        if let Err(e) = run(a, scale) {
+        if let Err(e) = run(a, scale, jobs) {
             eprintln!("{a}: {e}");
             return ExitCode::FAILURE;
         }
@@ -58,7 +75,7 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn run(artifact: &str, scale: f64) -> Result<(), Box<dyn std::error::Error>> {
+fn run(artifact: &str, scale: f64, jobs: Parallelism) -> Result<(), Box<dyn std::error::Error>> {
     let known = [
         "all",
         "table1",
@@ -82,12 +99,13 @@ fn run(artifact: &str, scale: f64) -> Result<(), Box<dyn std::error::Error>> {
     }
     let all = artifact == "all";
     if all || artifact == "table1" {
-        println!("{}", table1(scale)?.render());
+        println!("{}", table1_with(scale, jobs)?.render());
     }
     if all || artifact == "table2a" {
         let opts = Table2Options {
             scale,
             flavor: VmFlavor::Jikes,
+            jobs,
             ..Table2Options::default()
         };
         println!("{}", table2(&opts)?.render());
@@ -96,45 +114,55 @@ fn run(artifact: &str, scale: f64) -> Result<(), Box<dyn std::error::Error>> {
         let opts = Table2Options {
             scale,
             flavor: VmFlavor::J9,
+            jobs,
             ..Table2Options::default()
         };
         println!("{}", table2(&opts)?.render());
     }
     if all || artifact == "table3" {
-        println!("{}", table3(scale, None)?.render());
+        println!("{}", table3_with(scale, None, jobs)?.render());
     }
     if all || artifact == "figure1" {
         println!("{}", figure1_demo(200, 100_000)?.render());
     }
     if all || artifact == "figure5-jikes" {
-        println!("{}", figure5(VmFlavor::Jikes, scale, None)?.render());
+        println!(
+            "{}",
+            figure5_with(VmFlavor::Jikes, scale, None, jobs)?.render()
+        );
     }
     if all || artifact == "figure5-j9" {
-        println!("{}", figure5(VmFlavor::J9, scale, None)?.render());
+        println!(
+            "{}",
+            figure5_with(VmFlavor::J9, scale, None, jobs)?.render()
+        );
     }
     if all || artifact == "inliner-ablation" {
-        println!("{}", inliner_ablation(scale, None)?.render());
+        println!("{}", inliner_ablation_with(scale, None, jobs)?.render());
     }
     if all || artifact == "exhaustive-overhead" {
-        println!("{}", exhaustive_overhead(scale, None)?.render());
+        println!("{}", exhaustive_overhead_with(scale, None, jobs)?.render());
     }
     if all || artifact == "patching" {
-        println!("{}", patching_vs_cbs(scale, None)?.render());
+        println!("{}", patching_vs_cbs_with(scale, None, jobs)?.render());
     }
     if all || artifact == "frequency-sweep" {
         println!("{}", frequency_sweep()?.render());
     }
     if all || artifact == "hardware" {
-        println!("{}", hardware_vs_cbs(scale, None)?.render());
+        println!("{}", hardware_vs_cbs_with(scale, None, jobs)?.render());
     }
     if all || artifact == "context" {
-        println!("{}", context_sensitivity(scale, None)?.render());
+        println!("{}", context_sensitivity_with(scale, None, jobs)?.render());
     }
     if all || artifact == "inline-depth" {
-        println!("{}", inline_depth_ablation(scale, None)?.render());
+        println!(
+            "{}",
+            inline_depth_ablation_with(scale, None, jobs)?.render()
+        );
     }
     if all || artifact == "shapes" {
-        println!("{}", workload_shapes(scale)?.render());
+        println!("{}", workload_shapes_with(scale, jobs)?.render());
     }
     Ok(())
 }

@@ -1,0 +1,153 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The build environment is offline, so the workspace cannot depend on
+//! `criterion`; this module provides the small subset the benches need —
+//! named timed runs with warmup, min/median/mean reporting, and grouped
+//! output — on top of `std::time::Instant`. Benches are ordinary
+//! `harness = false` binaries: run them with `cargo bench`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::time::{Duration, Instant};
+
+/// Result of one named benchmark: per-iteration wall times.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Per-iteration durations, in run order.
+    pub times: Vec<Duration>,
+}
+
+impl BenchResult {
+    /// Fastest iteration.
+    pub fn min(&self) -> Duration {
+        self.times.iter().copied().min().unwrap_or_default()
+    }
+
+    /// Median iteration (lower middle for even counts).
+    pub fn median(&self) -> Duration {
+        let mut v = self.times.clone();
+        v.sort_unstable();
+        v.get(v.len() / 2).copied().unwrap_or_default()
+    }
+
+    /// Mean iteration time.
+    pub fn mean(&self) -> Duration {
+        if self.times.is_empty() {
+            return Duration::ZERO;
+        }
+        self.times.iter().sum::<Duration>() / self.times.len() as u32
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of benchmarks with shared iteration counts.
+#[derive(Debug)]
+pub struct BenchGroup {
+    name: String,
+    warmup: u32,
+    iters: u32,
+    results: Vec<BenchResult>,
+}
+
+impl BenchGroup {
+    /// Creates a group running `iters` timed iterations per bench after
+    /// one warmup iteration.
+    pub fn new(name: &str, iters: u32) -> Self {
+        eprintln!("== bench group `{name}` ({iters} iters) ==");
+        Self {
+            name: name.to_owned(),
+            warmup: 1,
+            iters: iters.max(1),
+            results: Vec::new(),
+        }
+    }
+
+    /// Sets the number of (untimed) warmup iterations.
+    pub fn warmup(mut self, warmup: u32) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Times `f`, printing a summary line, and records the result.
+    ///
+    /// The closure's return value is passed through `std::hint::black_box`
+    /// so the work cannot be optimized away.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &BenchResult {
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        let mut times = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            times.push(start.elapsed());
+        }
+        let result = BenchResult {
+            name: format!("{}/{name}", self.name),
+            times,
+        };
+        eprintln!(
+            "{:<48} min {:>10}  median {:>10}  mean {:>10}",
+            result.name,
+            fmt_duration(result.min()),
+            fmt_duration(result.median()),
+            fmt_duration(result.mean()),
+        );
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All recorded results.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Finds a recorded result by its bench name (without group prefix).
+    pub fn result(&self, name: &str) -> Option<&BenchResult> {
+        let full = format!("{}/{name}", self.name);
+        self.results.iter().find(|r| r.name == full)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_and_reports() {
+        let mut g = BenchGroup::new("unit", 3).warmup(0);
+        let mut calls = 0u32;
+        g.bench("counts", || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 3, "3 timed iterations, no warmup");
+        let r = g.result("counts").expect("recorded");
+        assert_eq!(r.times.len(), 3);
+        assert!(r.min() <= r.median() && r.median() <= r.times.iter().copied().max().unwrap());
+        assert!(g.result("missing").is_none());
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

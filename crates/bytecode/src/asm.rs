@@ -145,8 +145,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                         return Err(err(line_no, format!("unexpected `{token}`")));
                     }
                 }
-                let fields =
-                    fields.ok_or_else(|| err(line_no, "class is missing `fields=N`"))?;
+                let fields = fields.ok_or_else(|| err(line_no, "class is missing `fields=N`"))?;
                 let id = match parent {
                     Some(parent) => b.add_subclass(name, parent, fields),
                     None => b.add_class(name, fields),
@@ -157,10 +156,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             }
             "method" => {
                 if tokens.len() < 6 || tokens[5] != "{" {
-                    return Err(err(
-                        line_no,
-                        "method NAME class=CLS params=N locals=M {",
-                    ));
+                    return Err(err(line_no, "method NAME class=CLS params=N locals=M {"));
                 }
                 let name = tokens[1];
                 let cls_name = kv(tokens[2], "class", line_no)?;
@@ -534,7 +530,8 @@ entry main
 
     #[test]
     fn unclosed_method_rejected() {
-        let e = assemble("class C fields=0\nmethod m class=C params=0 locals=0 {\n  ret\n").unwrap_err();
+        let e = assemble("class C fields=0\nmethod m class=C params=0 locals=0 {\n  ret\n")
+            .unwrap_err();
         assert!(e.message.contains('}'));
     }
 

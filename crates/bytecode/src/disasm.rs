@@ -103,8 +103,14 @@ mod tests {
         b.set_entry(main);
         let p = b.build().unwrap();
         let text = program(&p);
-        assert!(text.contains("-> helper"), "call annotation missing:\n{text}");
-        assert!(text.contains("backedge"), "backedge annotation missing:\n{text}");
+        assert!(
+            text.contains("-> helper"),
+            "call annotation missing:\n{text}"
+        );
+        assert!(
+            text.contains("backedge"),
+            "backedge annotation missing:\n{text}"
+        );
         assert!(text.contains("class c0"));
     }
 }

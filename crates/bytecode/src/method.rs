@@ -115,9 +115,10 @@ impl Method {
     /// Iterates over the call instructions in this body as
     /// `(pc, site, op)` triples.
     pub fn call_instructions(&self) -> impl Iterator<Item = (u32, CallSiteId, &Op)> + '_ {
-        self.code.iter().enumerate().filter_map(|(pc, op)| {
-            op.call_site().map(|site| (pc as u32, site, op))
-        })
+        self.code
+            .iter()
+            .enumerate()
+            .filter_map(|(pc, op)| op.call_site().map(|site| (pc as u32, site, op)))
     }
 
     /// Returns `true` if this method is "trivial" under the study's

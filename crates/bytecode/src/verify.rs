@@ -302,7 +302,14 @@ mod tests {
     use crate::method::Method;
 
     fn raw_program(code: Vec<Op>, num_locals: u16) -> Program {
-        let m = Method::new(MethodId::new(0), "main", ClassId::new(0), 0, num_locals, code);
+        let m = Method::new(
+            MethodId::new(0),
+            "main",
+            ClassId::new(0),
+            0,
+            num_locals,
+            code,
+        );
         let c = Class::new(ClassId::new(0), "C", None, 1, vec![]);
         Program::from_parts(vec![c], vec![m], MethodId::new(0), 0)
     }
@@ -352,7 +359,10 @@ mod tests {
     #[test]
     fn rejects_stack_underflow() {
         let p = raw_program(vec![Op::Add, Op::Return], 0);
-        assert!(matches!(verify(&p), Err(VerifyError::StackUnderflow { .. })));
+        assert!(matches!(
+            verify(&p),
+            Err(VerifyError::StackUnderflow { .. })
+        ));
     }
 
     #[test]

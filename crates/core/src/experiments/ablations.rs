@@ -2,6 +2,7 @@
 
 use super::ExperimentError;
 use crate::measure::measure;
+use crate::parallel::{run_cells, Parallelism};
 use crate::render::{f1, TextTable};
 use cbs_inliner::{inline_program, InlineBudget, NewLinearPolicy, OldJikesPolicy};
 use cbs_profiler::{
@@ -67,6 +68,20 @@ pub fn inliner_ablation(
     scale: f64,
     benchmarks: Option<&[Benchmark]>,
 ) -> Result<InlinerAblation, ExperimentError> {
+    inliner_ablation_with(scale, benchmarks, Parallelism::SERIAL)
+}
+
+/// [`inliner_ablation`] with benchmarks sharded across `jobs` worker
+/// threads.
+///
+/// # Errors
+///
+/// Propagates generation or VM failures.
+pub fn inliner_ablation_with(
+    scale: f64,
+    benchmarks: Option<&[Benchmark]>,
+    jobs: Parallelism,
+) -> Result<InlinerAblation, ExperimentError> {
     let default = [
         Benchmark::Jess,
         Benchmark::Javac,
@@ -74,8 +89,7 @@ pub fn inliner_ablation(
         Benchmark::Db,
     ];
     let benchmarks = benchmarks.unwrap_or(&default);
-    let mut rows = Vec::new();
-    for &bench in benchmarks {
+    let rows = run_cells(benchmarks.to_vec(), jobs, |bench| {
         let spec = bench.spec(InputSize::Small).scaled(scale);
         let program = cbs_workloads::generator::build(&spec)?;
         // Steady-state protocol: the profile accumulates over a run ten
@@ -114,11 +128,11 @@ pub fn inliner_ablation(
         let old = run_with(&OldJikesPolicy::default());
         let new = run_with(&NewLinearPolicy::default());
         let speedup = |c: u64| 100.0 * (base as f64 / c as f64 - 1.0);
-        rows.push(AblationRow {
+        Ok::<_, ExperimentError>(AblationRow {
             benchmark: bench,
             values: vec![speedup(old), speedup(new)],
-        });
-    }
+        })
+    })?;
     Ok(InlinerAblation { rows })
 }
 
@@ -154,10 +168,23 @@ pub fn exhaustive_overhead(
     scale: f64,
     benchmarks: Option<&[Benchmark]>,
 ) -> Result<ExhaustiveOverhead, ExperimentError> {
+    exhaustive_overhead_with(scale, benchmarks, Parallelism::SERIAL)
+}
+
+/// [`exhaustive_overhead`] with benchmarks sharded across `jobs` worker
+/// threads.
+///
+/// # Errors
+///
+/// Propagates generation or VM failures.
+pub fn exhaustive_overhead_with(
+    scale: f64,
+    benchmarks: Option<&[Benchmark]>,
+    jobs: Parallelism,
+) -> Result<ExhaustiveOverhead, ExperimentError> {
     let default = [Benchmark::Jess, Benchmark::Javac, Benchmark::Compress];
     let benchmarks = benchmarks.unwrap_or(&default);
-    let mut rows = Vec::new();
-    for &bench in benchmarks {
+    let rows = run_cells(benchmarks.to_vec(), jobs, |bench| {
         let spec = bench.spec(InputSize::Small).scaled(scale);
         let program = cbs_workloads::generator::build(&spec)?;
         let m = measure(
@@ -168,11 +195,11 @@ pub fn exhaustive_overhead(
                 ProfilingCosts::default(),
             ))],
         )?;
-        rows.push(AblationRow {
+        Ok::<_, ExperimentError>(AblationRow {
             benchmark: bench,
             values: vec![m.outcomes[0].overhead_pct],
-        });
-    }
+        })
+    })?;
     Ok(ExhaustiveOverhead { rows })
 }
 
@@ -211,10 +238,23 @@ pub fn patching_vs_cbs(
     scale: f64,
     benchmarks: Option<&[Benchmark]>,
 ) -> Result<PatchingComparison, ExperimentError> {
+    patching_vs_cbs_with(scale, benchmarks, Parallelism::SERIAL)
+}
+
+/// [`patching_vs_cbs`] with benchmarks sharded across `jobs` worker
+/// threads.
+///
+/// # Errors
+///
+/// Propagates generation or VM failures.
+pub fn patching_vs_cbs_with(
+    scale: f64,
+    benchmarks: Option<&[Benchmark]>,
+    jobs: Parallelism,
+) -> Result<PatchingComparison, ExperimentError> {
     let default = [Benchmark::Jess, Benchmark::Kawa, Benchmark::Javac];
     let benchmarks = benchmarks.unwrap_or(&default);
-    let mut rows = Vec::new();
-    for &bench in benchmarks {
+    let rows = run_cells(benchmarks.to_vec(), jobs, |bench| {
         let spec = bench.spec(InputSize::Small).scaled(scale);
         let program = cbs_workloads::generator::build(&spec)?;
         let m = measure(
@@ -225,11 +265,11 @@ pub fn patching_vs_cbs(
                 Box::new(CounterBasedSampler::new(CbsConfig::new(3, 16))),
             ],
         )?;
-        rows.push(AblationRow {
+        Ok::<_, ExperimentError>(AblationRow {
             benchmark: bench,
             values: vec![m.outcomes[0].accuracy, m.outcomes[1].accuracy],
-        });
-    }
+        })
+    })?;
     Ok(PatchingComparison { rows })
 }
 
@@ -328,7 +368,10 @@ pub fn frequency_sweep() -> Result<FrequencySweep, ExperimentError> {
         vec![Box::new(CounterBasedSampler::new(CbsConfig::new(3, 16)))],
     )?;
     let cbs_row = (m.outcomes[0].overhead_pct, m.outcomes[0].accuracy);
-    Ok(FrequencySweep { timer_rows, cbs_row })
+    Ok(FrequencySweep {
+        timer_rows,
+        cbs_row,
+    })
 }
 
 /// §7 hardware-assist comparison.
@@ -370,11 +413,24 @@ pub fn hardware_vs_cbs(
     scale: f64,
     benchmarks: Option<&[Benchmark]>,
 ) -> Result<HardwareComparison, ExperimentError> {
+    hardware_vs_cbs_with(scale, benchmarks, Parallelism::SERIAL)
+}
+
+/// [`hardware_vs_cbs`] with benchmarks sharded across `jobs` worker
+/// threads.
+///
+/// # Errors
+///
+/// Propagates generation or VM failures.
+pub fn hardware_vs_cbs_with(
+    scale: f64,
+    benchmarks: Option<&[Benchmark]>,
+    jobs: Parallelism,
+) -> Result<HardwareComparison, ExperimentError> {
     use cbs_profiler::{HardwareConfig, HardwareSampler};
     let default = [Benchmark::Jess, Benchmark::Mtrt, Benchmark::Javac];
     let benchmarks = benchmarks.unwrap_or(&default);
-    let mut rows = Vec::new();
-    for &bench in benchmarks {
+    let rows = run_cells(benchmarks.to_vec(), jobs, |bench| {
         let spec = bench.spec(InputSize::Small).scaled(scale);
         let program = cbs_workloads::generator::build(&spec)?;
         let m = measure(
@@ -385,7 +441,7 @@ pub fn hardware_vs_cbs(
                 Box::new(CounterBasedSampler::new(CbsConfig::new(3, 16))),
             ],
         )?;
-        rows.push(AblationRow {
+        Ok::<_, ExperimentError>(AblationRow {
             benchmark: bench,
             values: vec![
                 m.outcomes[0].accuracy,
@@ -393,8 +449,8 @@ pub fn hardware_vs_cbs(
                 m.outcomes[1].accuracy,
                 m.outcomes[1].overhead_pct,
             ],
-        });
-    }
+        })
+    })?;
     Ok(HardwareComparison { rows })
 }
 
@@ -439,13 +495,26 @@ pub fn context_sensitivity(
     scale: f64,
     benchmarks: Option<&[Benchmark]>,
 ) -> Result<ContextSensitivity, ExperimentError> {
+    context_sensitivity_with(scale, benchmarks, Parallelism::SERIAL)
+}
+
+/// [`context_sensitivity`] with benchmarks sharded across `jobs` worker
+/// threads.
+///
+/// # Errors
+///
+/// Propagates generation or VM failures.
+pub fn context_sensitivity_with(
+    scale: f64,
+    benchmarks: Option<&[Benchmark]>,
+    jobs: Parallelism,
+) -> Result<ContextSensitivity, ExperimentError> {
     use cbs_dcg::overlap_cct;
     use cbs_profiler::ExhaustiveCctProfiler;
 
     let default = [Benchmark::Jess, Benchmark::Javac, Benchmark::Mtrt];
     let benchmarks = benchmarks.unwrap_or(&default);
-    let mut rows = Vec::new();
-    for &bench in benchmarks {
+    let rows = run_cells(benchmarks.to_vec(), jobs, |bench| {
         let spec = bench.spec(InputSize::Small).scaled(scale);
         let program = cbs_workloads::generator::build(&spec)?;
 
@@ -457,10 +526,7 @@ pub fn context_sensitivity(
         let mut flat_truth = ExhaustiveProfiler::new();
         {
             #[derive(Debug)]
-            struct Both<'a>(
-                &'a mut CounterBasedSampler,
-                &'a mut ExhaustiveProfiler,
-            );
+            struct Both<'a>(&'a mut CounterBasedSampler, &'a mut ExhaustiveProfiler);
             impl cbs_vm::Profiler for Both<'_> {
                 fn on_tick(
                     &mut self,
@@ -495,7 +561,7 @@ pub fn context_sensitivity(
         use cbs_profiler::CallGraphProfiler as _;
         let flat_acc = cbs_dcg::accuracy(cbs.dcg(), flat_truth.dcg());
         let ctx_acc = overlap_cct(cbs.cct().expect("context mode"), ctx_truth.cct());
-        rows.push(AblationRow {
+        Ok::<_, ExperimentError>(AblationRow {
             benchmark: bench,
             values: vec![
                 flat_acc,
@@ -503,8 +569,8 @@ pub fn context_sensitivity(
                 (ctx_truth.cct().num_nodes() - 1) as f64,
                 flat_truth.dcg().num_edges() as f64,
             ],
-        });
-    }
+        })
+    })?;
     Ok(ContextSensitivity { rows })
 }
 
@@ -548,12 +614,25 @@ pub fn inline_depth_ablation(
     scale: f64,
     benchmarks: Option<&[Benchmark]>,
 ) -> Result<DepthAblation, ExperimentError> {
+    inline_depth_ablation_with(scale, benchmarks, Parallelism::SERIAL)
+}
+
+/// [`inline_depth_ablation`] with benchmarks sharded across `jobs`
+/// worker threads.
+///
+/// # Errors
+///
+/// Propagates generation or VM failures.
+pub fn inline_depth_ablation_with(
+    scale: f64,
+    benchmarks: Option<&[Benchmark]>,
+    jobs: Parallelism,
+) -> Result<DepthAblation, ExperimentError> {
     use cbs_inliner::InlineBudget;
 
     let default = [Benchmark::Jess, Benchmark::Mtrt];
     let benchmarks = benchmarks.unwrap_or(&default);
-    let mut rows = Vec::new();
-    for &bench in benchmarks {
+    let rows = run_cells(benchmarks.to_vec(), jobs, |bench| {
         let spec = bench.spec(InputSize::Small).scaled(scale);
         let program = cbs_workloads::generator::build(&spec)?;
         let profile_program = cbs_workloads::generator::build(&spec.scaled(5.0))?;
@@ -603,10 +682,10 @@ pub fn inline_depth_ablation(
             }
         }
         values.push(growth3);
-        rows.push(AblationRow {
+        Ok::<_, ExperimentError>(AblationRow {
             benchmark: bench,
             values,
-        });
-    }
+        })
+    })?;
     Ok(DepthAblation { rows })
 }

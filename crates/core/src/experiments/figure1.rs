@@ -70,10 +70,7 @@ fn incoming_pct(dcg: &DynamicCallGraph, callee: MethodId) -> f64 {
 /// # Errors
 ///
 /// Propagates generation or VM failures.
-pub fn figure1_demo(
-    non_call_length: u32,
-    iterations: i64,
-) -> Result<Figure1Demo, ExperimentError> {
+pub fn figure1_demo(non_call_length: u32, iterations: i64) -> Result<Figure1Demo, ExperimentError> {
     let (program, handles) = adversarial::figure1(non_call_length, iterations)?;
     let profilers: Vec<Box<dyn CallGraphProfiler>> = vec![
         Box::new(TimerSampler::new()),

@@ -9,6 +9,7 @@
 
 use super::ExperimentError;
 use crate::measure::measure;
+use crate::parallel::{run_cells, Parallelism};
 use crate::render::{f1, TextTable};
 use cbs_bytecode::Program;
 use cbs_dcg::DynamicCallGraph;
@@ -70,7 +71,11 @@ impl Figure5 {
     /// Average compile-cost change of the CBS-directed configuration.
     pub fn average_compile_delta(&self) -> f64 {
         let n = self.rows.len().max(1) as f64;
-        self.rows.iter().map(|r| r.cbs_compile_delta_pct).sum::<f64>() / n
+        self.rows
+            .iter()
+            .map(|r| r.cbs_compile_delta_pct)
+            .sum::<f64>()
+            / n
     }
 
     /// Renders the per-benchmark speedup table.
@@ -81,10 +86,7 @@ impl Figure5 {
             }
             VmFlavor::J9 => "Figure 5 (right): J9 — % speedup over static heuristics",
         };
-        let mut t = TextTable::new(
-            label,
-            &["Benchmark", "timer-only", "cbs", "cbs compile Δ%"],
-        );
+        let mut t = TextTable::new(label, &["Benchmark", "timer-only", "cbs", "cbs compile Δ%"]);
         for r in &self.rows {
             t.row([
                 r.benchmark.name().to_owned(),
@@ -127,7 +129,9 @@ fn speedup_for(
             Box::new(CounterBasedSampler::new(CbsConfig::new(tuned.0, tuned.1))),
         ],
         VmFlavor::J9 => vec![
-            Box::new(CounterBasedSampler::new(CbsConfig::new(base_cbs.0, base_cbs.1))),
+            Box::new(CounterBasedSampler::new(CbsConfig::new(
+                base_cbs.0, base_cbs.1,
+            ))),
             Box::new(CounterBasedSampler::new(CbsConfig::new(tuned.0, tuned.1))),
         ],
     };
@@ -180,26 +184,40 @@ pub fn figure5(
     scale: f64,
     benchmarks: Option<&[Benchmark]>,
 ) -> Result<Figure5, ExperimentError> {
+    figure5_with(flavor, scale, benchmarks, Parallelism::SERIAL)
+}
+
+/// [`figure5`] with the per-benchmark profile→inline→re-measure
+/// pipelines sharded across `jobs` worker threads. Rows come back in
+/// suite order, so the figure is identical to a serial run.
+///
+/// # Errors
+///
+/// Propagates generation or VM failures.
+pub fn figure5_with(
+    flavor: VmFlavor,
+    scale: f64,
+    benchmarks: Option<&[Benchmark]>,
+    jobs: Parallelism,
+) -> Result<Figure5, ExperimentError> {
     let benchmarks = benchmarks.unwrap_or(&FIGURE5_BENCHMARKS);
-    let mut rows = Vec::new();
-    for &bench in benchmarks {
+    let rows = run_cells(benchmarks.to_vec(), jobs, |bench| {
         let spec = bench.spec(InputSize::Small).scaled(scale);
         let program = cbs_workloads::generator::build(&spec)?;
         // The profiling pass observes a longer run of the same program:
         // scaling only changes the driver's iteration constant, so every
         // method and call-site id is identical and the collected DCG
         // applies directly to the measured program.
-        let profile_program =
-            cbs_workloads::generator::build(&spec.scaled(PROFILE_RUN_SCALE))?;
+        let profile_program = cbs_workloads::generator::build(&spec.scaled(PROFILE_RUN_SCALE))?;
         let (timer_speedup_pct, cbs_speedup_pct, cbs_compile_delta_pct) =
             speedup_for(&program, &profile_program, flavor)?;
-        rows.push(Figure5Row {
+        Ok::<_, ExperimentError>(Figure5Row {
             benchmark: bench,
             timer_speedup_pct,
             cbs_speedup_pct,
             cbs_compile_delta_pct,
-        });
-    }
+        })
+    })?;
     Ok(Figure5 { flavor, rows })
 }
 
@@ -234,7 +252,12 @@ mod tests {
 
     #[test]
     fn j9_dynamic_heuristics_reduce_compilation() {
-        let f = figure5(VmFlavor::J9, 0.2, Some(&[Benchmark::Jess, Benchmark::Javac])).unwrap();
+        let f = figure5(
+            VmFlavor::J9,
+            0.2,
+            Some(&[Benchmark::Jess, Benchmark::Javac]),
+        )
+        .unwrap();
         // Dynamic heuristics suppress cold-site inlining, so the compiled
         // volume (and thus compile cost) drops relative to the static
         // baseline.

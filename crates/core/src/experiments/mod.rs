@@ -24,16 +24,19 @@ mod table2;
 mod table3;
 
 pub use ablations::{
-    context_sensitivity, exhaustive_overhead, frequency_sweep, hardware_vs_cbs,
-    inline_depth_ablation, inliner_ablation, patching_vs_cbs, AblationRow,
-    ContextSensitivity, DepthAblation, ExhaustiveOverhead, FrequencySweep,
-    HardwareComparison, InlinerAblation, PatchingComparison,
+    context_sensitivity, context_sensitivity_with, exhaustive_overhead, exhaustive_overhead_with,
+    frequency_sweep, hardware_vs_cbs, hardware_vs_cbs_with, inline_depth_ablation,
+    inline_depth_ablation_with, inliner_ablation, inliner_ablation_with, patching_vs_cbs,
+    patching_vs_cbs_with, AblationRow, ContextSensitivity, DepthAblation, ExhaustiveOverhead,
+    FrequencySweep, HardwareComparison, InlinerAblation, PatchingComparison,
 };
 pub use figure1::{figure1_demo, Figure1Demo, Figure1Row};
-pub use figure5::{figure5, Figure5, Figure5Row, FIGURE5_BENCHMARKS};
-pub use table1::{table1, workload_shapes, Table1, Table1Row, WorkloadShapes};
+pub use figure5::{figure5, figure5_with, Figure5, Figure5Row, FIGURE5_BENCHMARKS};
+pub use table1::{
+    table1, table1_with, workload_shapes, workload_shapes_with, Table1, Table1Row, WorkloadShapes,
+};
 pub use table2::{table2, Table2, Table2Cell, Table2Options};
-pub use table3::{table3, Table3, Table3Row};
+pub use table3::{table3, table3_with, Table3, Table3Row};
 
 use cbs_bytecode::BuildError;
 use cbs_vm::VmError;

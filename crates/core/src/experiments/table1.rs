@@ -1,6 +1,7 @@
 //! Table 1: benchmark characteristics.
 
 use super::ExperimentError;
+use crate::parallel::{run_cells, Parallelism};
 use crate::render::{f1, f2, TextTable};
 use cbs_vm::{Vm, VmConfig};
 use cbs_workloads::{Benchmark, InputSize};
@@ -34,7 +35,14 @@ impl Table1 {
     pub fn render(&self) -> String {
         let mut t = TextTable::new(
             "Table 1: Benchmarks used in this study",
-            &["Benchmark", "Input", "Time (sec)", "Meth exe", "Size (K)", "Calls"],
+            &[
+                "Benchmark",
+                "Input",
+                "Time (sec)",
+                "Meth exe",
+                "Size (K)",
+                "Calls",
+            ],
         );
         for r in &self.rows {
             t.row([
@@ -57,23 +65,35 @@ impl Table1 {
 ///
 /// Propagates generation or VM failures.
 pub fn table1(scale: f64) -> Result<Table1, ExperimentError> {
-    let mut rows = Vec::new();
-    for size in InputSize::both() {
-        for bench in Benchmark::all() {
-            let spec = bench.spec(size).scaled(scale);
-            let program = cbs_workloads::generator::build(&spec)?;
-            let vm = Vm::new(&program, VmConfig::default());
-            let exec = vm.run_unprofiled()?;
-            rows.push(Table1Row {
-                benchmark: bench,
-                size,
-                seconds: exec.seconds,
-                methods_executed: exec.methods_executed(),
-                size_kb: exec.executed_bytecode_bytes(&program) as f64 / 1024.0,
-                dynamic_calls: exec.calls,
-            });
-        }
-    }
+    table1_with(scale, Parallelism::SERIAL)
+}
+
+/// [`table1`] with benchmark runs sharded across `jobs` worker threads.
+/// Rows come back in suite order, so the table is identical to a serial
+/// run.
+///
+/// # Errors
+///
+/// Propagates generation or VM failures.
+pub fn table1_with(scale: f64, jobs: Parallelism) -> Result<Table1, ExperimentError> {
+    let cells: Vec<(InputSize, Benchmark)> = InputSize::both()
+        .into_iter()
+        .flat_map(|size| Benchmark::all().into_iter().map(move |b| (size, b)))
+        .collect();
+    let rows = run_cells(cells, jobs, |(size, bench)| {
+        let spec = bench.spec(size).scaled(scale);
+        let program = cbs_workloads::generator::build(&spec)?;
+        let vm = Vm::new(&program, VmConfig::default());
+        let exec = vm.run_unprofiled()?;
+        Ok::<_, ExperimentError>(Table1Row {
+            benchmark: bench,
+            size,
+            seconds: exec.seconds,
+            methods_executed: exec.methods_executed(),
+            size_kb: exec.executed_bytecode_bytes(&program) as f64 / 1024.0,
+            dynamic_calls: exec.calls,
+        })
+    })?;
     Ok(Table1 { rows })
 }
 
@@ -126,7 +146,13 @@ impl WorkloadShapes {
     pub fn render(&self) -> String {
         let mut t = TextTable::new(
             "Workload profile shapes (exhaustive DCG, small inputs)",
-            &["Benchmark", "edges", "top-10% share", "edges for 90%", "gini"],
+            &[
+                "Benchmark",
+                "edges",
+                "top-10% share",
+                "edges for 90%",
+                "gini",
+            ],
         );
         for (b, edges, decile, e90, gini) in &self.rows {
             t.row([
@@ -150,14 +176,32 @@ impl WorkloadShapes {
 ///
 /// Propagates generation or VM failures.
 pub fn workload_shapes(scale: f64) -> Result<WorkloadShapes, ExperimentError> {
-    let mut rows = Vec::new();
-    for bench in Benchmark::all() {
+    workload_shapes_with(scale, Parallelism::SERIAL)
+}
+
+/// [`workload_shapes`] with per-benchmark runs sharded across `jobs`
+/// worker threads.
+///
+/// # Errors
+///
+/// Propagates generation or VM failures.
+pub fn workload_shapes_with(
+    scale: f64,
+    jobs: Parallelism,
+) -> Result<WorkloadShapes, ExperimentError> {
+    let rows = run_cells(Benchmark::all().to_vec(), jobs, |bench| {
         let spec = bench.spec(InputSize::Small).scaled(scale);
         let program = cbs_workloads::generator::build(&spec)?;
         let m = crate::measure::measure(&program, VmConfig::default(), vec![])?;
         let s = cbs_dcg::stats::shape(&m.perfect);
-        rows.push((bench, s.edges, s.top_decile_share, s.edges_for_90pct, s.gini));
-    }
+        Ok::<_, ExperimentError>((
+            bench,
+            s.edges,
+            s.top_decile_share,
+            s.edges_for_90pct,
+            s.gini,
+        ))
+    })?;
     Ok(WorkloadShapes { rows })
 }
 

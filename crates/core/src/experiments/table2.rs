@@ -2,8 +2,9 @@
 
 use super::ExperimentError;
 use crate::measure::measure;
+use crate::parallel::{run_cells, Parallelism};
 use crate::render::TextTable;
-use cbs_profiler::{CallGraphProfiler, CbsConfig, CounterBasedSampler, SkipPolicy};
+use cbs_profiler::{CbsConfig, CounterBasedSampler, MultiProfiler, SkipPolicy};
 use cbs_vm::{VmConfig, VmFlavor};
 use cbs_workloads::{Benchmark, InputSize};
 
@@ -21,6 +22,10 @@ pub struct Table2Options {
     /// Hosting flavor: [`VmFlavor::Jikes`] reproduces Table 2A,
     /// [`VmFlavor::J9`] Table 2B.
     pub flavor: VmFlavor,
+    /// Worker threads for the grid run. Any value produces bit-identical
+    /// tables (see [`crate::parallel`]); more workers only shorten the
+    /// wall-clock time.
+    pub jobs: Parallelism,
 }
 
 impl Default for Table2Options {
@@ -34,6 +39,7 @@ impl Default for Table2Options {
                 .collect(),
             scale: 1.0,
             flavor: VmFlavor::Jikes,
+            jobs: Parallelism::SERIAL,
         }
     }
 }
@@ -51,7 +57,14 @@ impl Table2Options {
             ],
             scale,
             flavor,
+            jobs: Parallelism::SERIAL,
         }
+    }
+
+    /// Sets the worker-thread count.
+    pub fn with_jobs(mut self, jobs: Parallelism) -> Self {
+        self.jobs = jobs;
+        self
     }
 }
 
@@ -140,8 +153,15 @@ impl Table2 {
     }
 }
 
-/// Reproduces Table 2: attaches the whole CBS configuration grid to one
-/// run per benchmark and averages overhead/accuracy per cell.
+/// Reproduces Table 2: runs the CBS configuration grid against every
+/// benchmark and averages overhead/accuracy per cell.
+///
+/// The (benchmark × grid-chunk) cells are sharded across
+/// `options.jobs` worker threads — each cell interprets its own `Vm`
+/// with its shard of the sampler grid attached. Because attached
+/// profilers never interact (see [`MultiProfiler::into_shards`]) and
+/// the reduction folds results in stable benchmark order, the table is
+/// **bit-identical** for every `jobs` value.
 ///
 /// # Errors
 ///
@@ -152,30 +172,52 @@ pub fn table2(options: &Table2Options) -> Result<Table2, ExperimentError> {
         .iter()
         .flat_map(|&n| options.strides.iter().map(move |&s| (s, n)))
         .collect();
-    let mut sums = vec![(0.0f64, 0.0f64); grid.len()];
+    let chunks = options.jobs.get().min(grid.len()).max(1);
 
+    // One cell per (benchmark, contiguous grid chunk), benchmark-major.
+    let mut cells: Vec<(Benchmark, InputSize, usize, MultiProfiler)> = Vec::new();
     for &(bench, size) in &options.benchmarks {
+        let mut full = MultiProfiler::new();
+        for &(stride, samples) in &grid {
+            full.attach(Box::new(CounterBasedSampler::new(CbsConfig {
+                stride,
+                samples_per_tick: samples,
+                skip_policy: SkipPolicy::RoundRobin,
+                ..CbsConfig::default()
+            })));
+        }
+        let mut offset = 0;
+        for shard in full.into_shards(chunks) {
+            let len = shard.len();
+            cells.push((bench, size, offset, shard));
+            offset += len;
+        }
+    }
+
+    let results = run_cells(cells, options.jobs, |(bench, size, offset, shard)| {
         let spec = bench.spec(size).scaled(options.scale);
         let program = cbs_workloads::generator::build(&spec)?;
-        let profilers: Vec<Box<dyn CallGraphProfiler>> = grid
-            .iter()
-            .map(|&(stride, samples)| {
-                Box::new(CounterBasedSampler::new(CbsConfig {
-                    stride,
-                    samples_per_tick: samples,
-                    skip_policy: SkipPolicy::RoundRobin,
-                    ..CbsConfig::default()
-                })) as Box<dyn CallGraphProfiler>
-            })
-            .collect();
         let m = measure(
             &program,
             VmConfig::with_flavor(options.flavor),
-            profilers,
+            shard.into_inner(),
         )?;
-        for (i, o) in m.outcomes.iter().enumerate() {
-            sums[i].0 += o.overhead_pct;
-            sums[i].1 += o.accuracy;
+        let scores: Vec<(f64, f64)> = m
+            .outcomes
+            .iter()
+            .map(|o| (o.overhead_pct, o.accuracy))
+            .collect();
+        Ok::<_, ExperimentError>((offset, scores))
+    })?;
+
+    // Fold per-cell scores into per-grid-index sums. Results arrive in
+    // cell (benchmark-major) order, so each grid index accumulates its
+    // benchmarks in the same sequence regardless of `jobs`.
+    let mut sums = vec![(0.0f64, 0.0f64); grid.len()];
+    for (offset, scores) in results {
+        for (j, (oh, acc)) in scores.into_iter().enumerate() {
+            sums[offset + j].0 += oh;
+            sums[offset + j].1 += acc;
         }
     }
 
@@ -241,6 +283,23 @@ mod tests {
             }
         }
         assert!(t.best_under(0.0).is_none());
+    }
+
+    #[test]
+    fn jobs_do_not_change_the_table() {
+        let serial = table2(&Table2Options::quick(VmFlavor::Jikes, 0.03)).unwrap();
+        let sharded =
+            table2(&Table2Options::quick(VmFlavor::Jikes, 0.03).with_jobs(Parallelism::jobs(3)))
+                .unwrap();
+        assert_eq!(
+            serial.render(),
+            sharded.render(),
+            "parallel grid must render byte-identically"
+        );
+        for (a, b) in serial.cells.iter().zip(&sharded.cells) {
+            assert_eq!(a.overhead_pct.to_bits(), b.overhead_pct.to_bits());
+            assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+        }
     }
 
     #[test]

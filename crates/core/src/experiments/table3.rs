@@ -2,6 +2,7 @@
 
 use super::ExperimentError;
 use crate::measure::measure;
+use crate::parallel::{run_cells, Parallelism};
 use crate::render::{f1, f2, TextTable};
 use cbs_profiler::{CallGraphProfiler, CbsConfig, CounterBasedSampler, TimerSampler};
 use cbs_vm::{VmConfig, VmFlavor};
@@ -155,41 +156,54 @@ fn profile_pair(
 /// # Errors
 ///
 /// Propagates generation or VM failures.
-pub fn table3(
+pub fn table3(scale: f64, benchmarks: Option<&[Benchmark]>) -> Result<Table3, ExperimentError> {
+    table3_with(scale, benchmarks, Parallelism::SERIAL)
+}
+
+/// [`table3`] with benchmark rows sharded across `jobs` worker threads.
+/// Rows come back in suite order, so the table is identical to a serial
+/// run.
+///
+/// # Errors
+///
+/// Propagates generation or VM failures.
+pub fn table3_with(
     scale: f64,
     benchmarks: Option<&[Benchmark]>,
+    jobs: Parallelism,
 ) -> Result<Table3, ExperimentError> {
     let all = Benchmark::all();
     let benchmarks = benchmarks.unwrap_or(&all);
-    let mut rows = Vec::new();
-    for size in InputSize::both() {
-        for &bench in benchmarks {
-            let spec = bench.spec(size).scaled(scale);
-            let program = cbs_workloads::generator::build(&spec)?;
-            let (jikes_base, jikes_cbs) = profile_pair(
-                &program,
-                VmFlavor::Jikes,
-                Box::new(TimerSampler::new()),
-                JIKES_CONFIG,
-            )?;
-            // J9 has no timer-based call graph profiler; CBS(1,1) is the
-            // base, as in the paper.
-            let (j9_base, j9_cbs) = profile_pair(
-                &program,
-                VmFlavor::J9,
-                Box::new(CounterBasedSampler::new(CbsConfig::new(1, 1))),
-                J9_CONFIG,
-            )?;
-            rows.push(Table3Row {
-                benchmark: bench,
-                size,
-                jikes_base,
-                jikes_cbs,
-                j9_base,
-                j9_cbs,
-            });
-        }
-    }
+    let cells: Vec<(InputSize, Benchmark)> = InputSize::both()
+        .into_iter()
+        .flat_map(|size| benchmarks.iter().map(move |&b| (size, b)))
+        .collect();
+    let rows = run_cells(cells, jobs, |(size, bench)| {
+        let spec = bench.spec(size).scaled(scale);
+        let program = cbs_workloads::generator::build(&spec)?;
+        let (jikes_base, jikes_cbs) = profile_pair(
+            &program,
+            VmFlavor::Jikes,
+            Box::new(TimerSampler::new()),
+            JIKES_CONFIG,
+        )?;
+        // J9 has no timer-based call graph profiler; CBS(1,1) is the
+        // base, as in the paper.
+        let (j9_base, j9_cbs) = profile_pair(
+            &program,
+            VmFlavor::J9,
+            Box::new(CounterBasedSampler::new(CbsConfig::new(1, 1))),
+            J9_CONFIG,
+        )?;
+        Ok::<_, ExperimentError>(Table3Row {
+            benchmark: bench,
+            size,
+            jikes_base,
+            jikes_cbs,
+            j9_base,
+            j9_cbs,
+        })
+    })?;
     Ok(Table3 { rows })
 }
 

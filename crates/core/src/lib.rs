@@ -48,9 +48,11 @@
 
 pub mod experiments;
 mod measure;
+pub mod parallel;
 mod render;
 
 pub use measure::{measure, Measurement, ProfilerOutcome};
+pub use parallel::{run_cells, Parallelism};
 pub use render::{f1, f2, TextTable};
 
 pub use cbs_adaptive as adaptive;
@@ -65,12 +67,12 @@ pub use cbs_workloads as workloads;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use crate::measure::{measure, Measurement, ProfilerOutcome};
+    pub use crate::parallel::{run_cells, Parallelism};
     pub use cbs_adaptive::{AdaptiveConfig, AdaptiveSystem};
     pub use cbs_bytecode::{Program, ProgramBuilder};
     pub use cbs_dcg::{accuracy, overlap, CallEdge, DynamicCallGraph};
     pub use cbs_inliner::{
-        inline_program, InlineBudget, J9Policy, NewLinearPolicy, OldJikesPolicy,
-        TrivialOnlyPolicy,
+        inline_program, InlineBudget, J9Policy, NewLinearPolicy, OldJikesPolicy, TrivialOnlyPolicy,
     };
     pub use cbs_profiler::{
         CallGraphProfiler, CbsConfig, CodePatchingProfiler, CounterBasedSampler,

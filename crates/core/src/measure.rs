@@ -136,7 +136,12 @@ mod tests {
         assert!(timer.samples > 0 && cbs.samples > 0);
         assert!(cbs.samples > timer.samples);
         for o in &m.outcomes {
-            assert!((0.0..=100.0).contains(&o.accuracy), "{}: {}", o.name, o.accuracy);
+            assert!(
+                (0.0..=100.0).contains(&o.accuracy),
+                "{}: {}",
+                o.name,
+                o.accuracy
+            );
             assert!(o.overhead_pct >= 0.0);
         }
         // The two-edge 50/50 profile: CBS with many samples converges

@@ -1,0 +1,245 @@
+//! A sharded experiment runner on scoped threads.
+//!
+//! Experiments are grids of independent *cells* (benchmark × sampler
+//! configuration); each cell builds its own workload, VM, and profilers,
+//! so cells can run on worker threads with no shared mutable state. This
+//! module provides the scheduling half of that story:
+//!
+//! * [`Parallelism`] — a worker-count knob carried by experiment options
+//!   and the `--jobs` flag of the `repro`/`dcgtool` binaries;
+//! * [`run_cells`] — runs a list of cells across up to `jobs` scoped
+//!   worker threads and returns their results **in input order**.
+//!
+//! ## Determinism
+//!
+//! Parallel runs produce bit-identical results to serial runs, by
+//! construction:
+//!
+//! 1. every cell is a pure function of its input (own `Vm`, own
+//!    profilers, own seeded PRNG streams — nothing is shared);
+//! 2. results are returned in input order regardless of completion
+//!    order, so reductions (e.g. [`DynamicCallGraph::merge_all`], grid
+//!    averaging) always fold in the same stable cell order;
+//! 3. the call graphs being reduced iterate edges in `BTreeMap` order,
+//!    so every floating-point reduction sees the same operand sequence.
+//!
+//! [`DynamicCallGraph::merge_all`]: cbs_dcg::DynamicCallGraph::merge_all
+
+use std::num::NonZeroUsize;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker-thread count for sharded experiment runs.
+///
+/// `Parallelism(1)` (the default) runs cells inline on the caller's
+/// thread; larger values spread cells over that many scoped worker
+/// threads. Output is bit-identical either way — see the
+/// [module docs](self) for why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism(NonZeroUsize);
+
+impl Parallelism {
+    /// Serial execution: all cells run on the calling thread.
+    pub const SERIAL: Self = Self(NonZeroUsize::MIN);
+
+    /// Uses up to `n` worker threads (`0` is treated as `1`).
+    pub fn jobs(n: usize) -> Self {
+        Self(NonZeroUsize::new(n.max(1)).expect("max(1) is nonzero"))
+    }
+
+    /// One worker per available CPU, falling back to serial when the
+    /// core count cannot be determined.
+    pub fn auto() -> Self {
+        std::thread::available_parallelism()
+            .map(Self)
+            .unwrap_or(Self::SERIAL)
+    }
+
+    /// The worker count.
+    pub fn get(self) -> usize {
+        self.0.get()
+    }
+
+    /// `true` when this runs everything on the calling thread.
+    pub fn is_serial(self) -> bool {
+        self.get() == 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::SERIAL
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.get())
+    }
+}
+
+impl FromStr for Parallelism {
+    type Err = String;
+
+    /// Parses a `--jobs` value: a positive integer, or `auto` for one
+    /// worker per CPU.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("auto") {
+            return Ok(Self::auto());
+        }
+        match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Self::jobs(n)),
+            _ => Err(format!(
+                "invalid jobs value `{s}` (expected a positive integer or `auto`)"
+            )),
+        }
+    }
+}
+
+/// Runs `f` over every cell, sharded across up to `parallelism.get()`
+/// scoped worker threads, and returns the results **in input order**.
+///
+/// Workers pull cells from a shared cursor, so uneven cell costs
+/// balance automatically. If any cell fails, the error of the
+/// *earliest* failing cell (by input index, not completion time) is
+/// returned — exactly what a serial left-to-right run would report.
+/// Cells may still be in flight when one fails; they run to completion
+/// (the scope joins all workers) but their results are discarded.
+///
+/// With `Parallelism::SERIAL` the cells run inline on the calling
+/// thread with no thread or lock machinery, preserving exact serial
+/// semantics (later cells are not evaluated after an error).
+///
+/// # Panics
+///
+/// Propagates panics from `f` after all workers have stopped.
+pub fn run_cells<T, R, E, F>(cells: Vec<T>, parallelism: Parallelism, f: F) -> Result<Vec<R>, E>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    F: Fn(T) -> Result<R, E> + Sync,
+{
+    if parallelism.is_serial() || cells.len() <= 1 {
+        return cells.into_iter().map(&f).collect();
+    }
+
+    let num_cells = cells.len();
+    let workers = parallelism.get().min(num_cells);
+    // Cells move into worker threads through an indexed queue; each
+    // worker claims the next unclaimed index. Option lets a worker take
+    // ownership of one cell without consuming the vector.
+    let queue: Vec<Mutex<Option<T>>> = cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Result<R, E>>>> =
+        (0..num_cells).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= num_cells {
+                    return;
+                }
+                let cell = queue[i]
+                    .lock()
+                    .expect("queue lock")
+                    .take()
+                    .expect("each index is claimed once");
+                let r = f(cell);
+                *results[i].lock().expect("result lock") = Some(r);
+            });
+        }
+    });
+
+    let mut out = Vec::with_capacity(num_cells);
+    for slot in results {
+        match slot.into_inner().expect("workers joined") {
+            Some(Ok(r)) => out.push(r),
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("scope joins all workers, so every cell completed"),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_knob_parses_and_clamps() {
+        assert_eq!(Parallelism::default(), Parallelism::SERIAL);
+        assert!(Parallelism::SERIAL.is_serial());
+        assert_eq!(Parallelism::jobs(0).get(), 1);
+        assert_eq!(Parallelism::jobs(4).get(), 4);
+        assert!(!Parallelism::jobs(4).is_serial());
+        assert!(Parallelism::auto().get() >= 1);
+        assert_eq!("3".parse::<Parallelism>().unwrap(), Parallelism::jobs(3));
+        assert_eq!("AUTO".parse::<Parallelism>().unwrap(), Parallelism::auto());
+        assert!("0".parse::<Parallelism>().is_err());
+        assert!("-2".parse::<Parallelism>().is_err());
+        assert!("lots".parse::<Parallelism>().is_err());
+        assert_eq!(Parallelism::jobs(7).to_string(), "7");
+    }
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        for jobs in [1, 2, 4, 16] {
+            let cells: Vec<u64> = (0..40).collect();
+            // Uneven per-cell cost: later cells finish first under
+            // parallel scheduling, but order must be preserved.
+            let out = run_cells(cells, Parallelism::jobs(jobs), |i| {
+                if i % 3 == 0 {
+                    std::thread::yield_now();
+                }
+                Ok::<u64, ()>(i * i)
+            })
+            .unwrap();
+            assert_eq!(out, (0..40).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn earliest_error_by_index_wins() {
+        let cells: Vec<u32> = (0..32).collect();
+        let err = run_cells(cells, Parallelism::jobs(4), |i| {
+            if i >= 5 && i % 2 == 1 {
+                Err(i)
+            } else {
+                Ok(i)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, 5, "first failing index, not first to complete");
+    }
+
+    #[test]
+    fn serial_path_short_circuits_like_a_for_loop() {
+        let evaluated = AtomicUsize::new(0);
+        let err = run_cells((0..10).collect(), Parallelism::SERIAL, |i: u32| {
+            evaluated.fetch_add(1, Ordering::Relaxed);
+            if i == 3 {
+                Err("boom")
+            } else {
+                Ok(i)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, "boom");
+        assert_eq!(evaluated.load(Ordering::Relaxed), 4, "stops at the failure");
+    }
+
+    #[test]
+    fn more_workers_than_cells_is_fine() {
+        let out = run_cells(vec![1, 2], Parallelism::jobs(64), |i| Ok::<i32, ()>(i + 1)).unwrap();
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out = run_cells(Vec::<u8>::new(), Parallelism::jobs(8), Ok::<u8, ()>).unwrap();
+        assert!(out.is_empty());
+    }
+}

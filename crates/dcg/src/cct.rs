@@ -349,7 +349,10 @@ mod tests {
         b.add_weighted_sample(&[step(0, 1), step(1, 9)], 1.0);
         b.add_weighted_sample(&[step(0, 2), step(1, 9)], 9.0);
         let o = overlap_cct(&a, &b);
-        assert!((o - 20.0).abs() < 1e-9, "min(90,10)+min(10,90) = 20, got {o}");
+        assert!(
+            (o - 20.0).abs() < 1e-9,
+            "min(90,10)+min(10,90) = 20, got {o}"
+        );
     }
 
     #[test]

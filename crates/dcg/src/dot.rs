@@ -42,7 +42,12 @@ pub fn to_dot(dcg: &DynamicCallGraph, program: Option<&Program>, options: &DotOp
         }
     }
     for m in &nodes {
-        let _ = writeln!(out, "  n{} [label=\"{}\"];", m.index(), escape(&name_of(*m)));
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\"];",
+            m.index(),
+            escape(&name_of(*m))
+        );
     }
     for (e, w) in &edges {
         let pct = dcg.weight_percent(e);

@@ -44,7 +44,10 @@ mod tests {
     fn edge_identity_includes_site() {
         let a = CallEdge::new(MethodId::new(0), CallSiteId::new(0), MethodId::new(1));
         let b = CallEdge::new(MethodId::new(0), CallSiteId::new(1), MethodId::new(1));
-        assert_ne!(a, b, "same caller/callee through different sites are distinct edges");
+        assert_ne!(
+            a, b,
+            "same caller/callee through different sites are distinct edges"
+        );
     }
 
     #[test]

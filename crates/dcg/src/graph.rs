@@ -2,6 +2,7 @@
 
 use crate::edge::CallEdge;
 use cbs_bytecode::{CallSiteId, MethodId};
+use std::collections::BTreeMap;
 use std::collections::HashMap;
 
 /// A dynamic call graph: observed call edges with sample weights.
@@ -10,9 +11,16 @@ use std::collections::HashMap;
 /// profiling), sample counts (sampling profilers) and decayed weights
 /// (continuous profiling) uniformly. Only edges with positive weight are
 /// stored; recording zero weight is a no-op.
+///
+/// Edges are stored in a `BTreeMap`, so iteration order is the edge order
+/// and therefore *deterministic*: every floating-point reduction over a
+/// graph (totals, overlap sums, merges) visits edges identically on every
+/// run and on every shard of a parallel experiment. This is what makes
+/// the sharded experiment runner's output bit-identical to the serial
+/// path.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DynamicCallGraph {
-    weights: HashMap<CallEdge, f64>,
+    weights: BTreeMap<CallEdge, f64>,
     total: f64,
 }
 
@@ -72,7 +80,7 @@ impl DynamicCallGraph {
         self.weights.is_empty()
     }
 
-    /// Iterates over `(edge, weight)` pairs in unspecified order.
+    /// Iterates over `(edge, weight)` pairs in ascending edge order.
     pub fn iter(&self) -> impl Iterator<Item = (&CallEdge, f64)> + '_ {
         self.weights.iter().map(|(e, w)| (e, *w))
     }
@@ -102,10 +110,43 @@ impl DynamicCallGraph {
     }
 
     /// Merges another graph's observations into this one.
+    ///
+    /// Edges are visited in edge order and the total is recomputed from
+    /// the merged weights afterwards, so the result — including the exact
+    /// floating-point total — depends only on the *multiset* of merged
+    /// graphs, not on incidental iteration state. For integer-valued
+    /// weights (every sampling and exhaustive profiler records unit
+    /// samples) merging is exactly commutative and associative.
     pub fn merge(&mut self, other: &DynamicCallGraph) {
         for (e, w) in other.iter() {
-            self.record(*e, w);
+            if w > 0.0 {
+                *self.weights.entry(*e).or_insert(0.0) += w;
+            }
         }
+        self.recompute_total();
+    }
+
+    /// Merges every graph of `shards` into one, in iteration order.
+    ///
+    /// This is the deterministic reduction step of the parallel
+    /// experiment runner: shards are always passed in stable cell order,
+    /// so the merged graph (weights *and* total) is identical to what the
+    /// serial path would have accumulated.
+    pub fn merge_all<'a>(shards: impl IntoIterator<Item = &'a DynamicCallGraph>) -> Self {
+        let mut out = DynamicCallGraph::new();
+        for g in shards {
+            out.merge(g);
+        }
+        out
+    }
+
+    /// Recomputes `total` as the edge-ordered sum of stored weights.
+    ///
+    /// Keeps the `weight_percent` denominator consistent with the stored
+    /// weights after bulk operations, so `overlap(g, g) == 100` holds for
+    /// merged graphs to within one rounding step per edge.
+    fn recompute_total(&mut self) {
+        self.total = self.weights.values().sum();
     }
 
     /// Multiplies every weight by `factor` (exponential decay for
@@ -277,6 +318,68 @@ mod tests {
         assert_eq!(a.weight(&e(0, 0, 1)), 3.0);
         assert_eq!(a.weight(&e(1, 1, 2)), 4.0);
         assert_eq!(a.total_weight(), 7.0);
+    }
+
+    #[test]
+    fn merge_all_equals_sequential_merges() {
+        let shards: Vec<DynamicCallGraph> = (0..4)
+            .map(|i| {
+                let mut g = DynamicCallGraph::new();
+                g.record(e(i, 0, 1), f64::from(i + 1));
+                g.record(e(0, 0, 1), 2.0);
+                g
+            })
+            .collect();
+        let merged = DynamicCallGraph::merge_all(&shards);
+        let mut seq = DynamicCallGraph::new();
+        for s in &shards {
+            seq.merge(s);
+        }
+        assert_eq!(merged, seq);
+        assert_eq!(merged.total_weight(), seq.total_weight());
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative_for_integer_weights() {
+        let mk = |edges: &[(u32, u32, u32, f64)]| {
+            let mut g = DynamicCallGraph::new();
+            for &(c, s, t, w) in edges {
+                g.record(e(c, s, t), w);
+            }
+            g
+        };
+        let a = mk(&[(0, 0, 1, 3.0), (1, 1, 2, 7.0)]);
+        let b = mk(&[(0, 0, 1, 2.0), (2, 2, 3, 5.0)]);
+        let c = mk(&[(1, 1, 2, 1.0), (0, 0, 1, 4.0)]);
+
+        let abc = DynamicCallGraph::merge_all([&a, &b, &c]);
+        let cba = DynamicCallGraph::merge_all([&c, &b, &a]);
+        assert_eq!(abc, cba, "merge order must not matter");
+
+        let ab_then_c = {
+            let mut x = DynamicCallGraph::merge_all([&a, &b]);
+            x.merge(&c);
+            x
+        };
+        let a_then_bc = {
+            let mut x = a.clone();
+            x.merge(&DynamicCallGraph::merge_all([&b, &c]));
+            x
+        };
+        assert_eq!(ab_then_c, a_then_bc, "merge grouping must not matter");
+        assert_eq!(abc.total_weight(), 22.0);
+    }
+
+    #[test]
+    fn iteration_is_edge_ordered() {
+        let mut g = DynamicCallGraph::new();
+        g.record(e(2, 0, 0), 1.0);
+        g.record(e(0, 1, 0), 1.0);
+        g.record(e(0, 0, 1), 1.0);
+        let order: Vec<CallEdge> = g.iter().map(|(edge, _)| *edge).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted, "iter() must be deterministic edge order");
     }
 
     #[test]

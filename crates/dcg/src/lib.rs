@@ -28,9 +28,9 @@
 #![warn(missing_debug_implementations)]
 
 mod cct;
+pub mod dot;
 mod edge;
 mod graph;
-pub mod dot;
 mod overlap;
 pub mod serialize;
 mod static_graph;

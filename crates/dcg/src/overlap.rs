@@ -35,7 +35,10 @@ pub fn overlap(a: &DynamicCallGraph, b: &DynamicCallGraph) -> f64 {
         return 0.0;
     }
     let mut sum = 0.0;
-    // Iterate the smaller graph; only shared edges contribute.
+    // Iterate the smaller graph; only shared edges contribute. Graph
+    // iteration is edge-ordered, so this reduction is deterministic —
+    // equal inputs give the bit-identical result regardless of how the
+    // graphs were built up (merged from shards or recorded serially).
     let (outer, inner) = if a.num_edges() <= b.num_edges() {
         (a, b)
     } else {
@@ -126,6 +129,47 @@ mod tests {
         let b = graph(&[(e(0, 0, 1), 3.0), (e(0, 1, 2), 2.0), (e(1, 2, 3), 1.0)]);
         let o = overlap(&a, &b);
         assert!(o > 0.0 && o <= 100.0, "overlap {o} out of range");
+    }
+
+    /// Regression test: `weight_percent` denominators must stay
+    /// consistent with the stored weights after `merge`/`merge_all`, so a
+    /// merged graph still overlaps itself at exactly 100%.
+    #[test]
+    fn self_overlap_of_merged_graphs_is_100() {
+        // Shards with overlapping edge sets and awkward fractional
+        // weights (the decayed-profile case, where totals drift most).
+        let shards: Vec<DynamicCallGraph> = (1..=5u32)
+            .map(|i| {
+                let fi = f64::from(i);
+                let mut g = graph(&[
+                    (e(0, 0, 1), 0.1 * fi),
+                    (e(i, i, i + 1), 1.0 / fi),
+                    (e(1, 2, 3), 0.3),
+                ]);
+                g.decay(0.7, 0.0);
+                g
+            })
+            .collect();
+        let merged = DynamicCallGraph::merge_all(&shards);
+        assert!(
+            (overlap(&merged, &merged) - 100.0).abs() < 1e-9,
+            "merged graph self-overlap: {}",
+            overlap(&merged, &merged)
+        );
+        // And against an identically-shaped graph merged in reverse order.
+        let reversed = DynamicCallGraph::merge_all(shards.iter().rev());
+        assert!((overlap(&merged, &reversed) - 100.0).abs() < 1e-9);
+
+        // Integer-weight shards (the profiler case) are exact.
+        let int_shards: Vec<DynamicCallGraph> = (0..3u32)
+            .map(|i| graph(&[(e(0, 0, 1), 3.0), (e(i, 0, 2), f64::from(i + 1))]))
+            .collect();
+        let m = DynamicCallGraph::merge_all(&int_shards);
+        assert!((overlap(&m, &m) - 100.0).abs() < 1e-9);
+        // Shard-order independence is bitwise for integer weights.
+        let m2 = DynamicCallGraph::merge_all(int_shards.iter().rev());
+        assert_eq!(m, m2);
+        assert_eq!(overlap(&m, &m).to_bits(), overlap(&m2, &m2).to_bits());
     }
 
     #[test]

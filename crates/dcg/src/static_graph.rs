@@ -69,11 +69,7 @@ impl StaticCallGraph {
         if self.edges.is_empty() {
             return 0.0;
         }
-        let seen = self
-            .edges
-            .iter()
-            .filter(|e| dcg.weight(e) > 0.0)
-            .count();
+        let seen = self.edges.iter().filter(|e| dcg.weight(e) > 0.0).count();
         seen as f64 / self.edges.len() as f64
     }
 }
@@ -133,10 +129,7 @@ mod tests {
         let main = main_method.id();
         let helper = p.method_by_name("helper").unwrap().id();
         let subf = p.method_by_name("Sub.f").unwrap().id();
-        let sites: Vec<CallSiteId> = main_method
-            .call_instructions()
-            .map(|(_, s, _)| s)
-            .collect();
+        let sites: Vec<CallSiteId> = main_method.call_instructions().map(|(_, s, _)| s).collect();
         dcg.record(CallEdge::new(main, sites[0], helper), 1.0);
         dcg.record(CallEdge::new(main, sites[1], subf), 1.0);
         assert!(scg.violation(&dcg).is_none());

@@ -204,9 +204,9 @@ pub fn plan_round(
                         pairs.extend(classes.into_iter().map(|k| (k, m)));
                     }
                     if pairs.is_empty()
-                        || pairs.iter().any(|(_, m)| {
-                            program.method(*m).size_bytes() > budget.max_inlined_body
-                        })
+                        || pairs
+                            .iter()
+                            .any(|(_, m)| program.method(*m).size_bytes() > budget.max_inlined_body)
                     {
                         continue;
                     }
@@ -440,7 +440,13 @@ mod tests {
             max_caller_size: 1, // nothing fits
             ..InlineBudget::default()
         };
-        let report = inline_program(&mut p, Some(&dcg), &NewLinearPolicy::default(), &tight, false);
+        let report = inline_program(
+            &mut p,
+            Some(&dcg),
+            &NewLinearPolicy::default(),
+            &tight,
+            false,
+        );
         assert_eq!(report.total_inlines(), 0);
         assert_eq!(report.size_before, report.size_after);
     }
@@ -458,7 +464,9 @@ mod tests {
         let main = b
             .function("main", cls, 0, 1, |c| {
                 c.new_object(cls).store(0);
-                c.load(0).call_virtual(cbs_bytecode::VirtualSlot::new(0), 1).ret();
+                c.load(0)
+                    .call_virtual(cbs_bytecode::VirtualSlot::new(0), 1)
+                    .ret();
             })
             .unwrap();
         b.set_entry(main);
@@ -497,7 +505,9 @@ mod tests {
             .function("main", base, 0, 3, |c| {
                 c.new_object(base).store(1);
                 c.counted_loop(0, 50, |c| {
-                    c.load(1).call_virtual(cbs_bytecode::VirtualSlot::new(0), 1).store(2);
+                    c.load(1)
+                        .call_virtual(cbs_bytecode::VirtualSlot::new(0), 1)
+                        .store(2);
                 });
                 c.load(2).ret();
             })
@@ -533,7 +543,11 @@ mod tests {
             false,
         );
         assert!(report.growth() >= 1.0);
-        let edge = CallEdge::new(MethodId::new(0), cbs_bytecode::CallSiteId::new(0), MethodId::new(0));
+        let edge = CallEdge::new(
+            MethodId::new(0),
+            cbs_bytecode::CallSiteId::new(0),
+            MethodId::new(0),
+        );
         let _ = dcg.weight(&edge); // lookups remain valid
     }
 }

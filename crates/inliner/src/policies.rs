@@ -293,7 +293,9 @@ mod tests {
         let mut ctx = direct(5, 0.0, false);
         ctx.callee_is_trivial = true;
         assert!(p.should_inline_direct(&ctx));
-        assert!(p.guarded_targets(&virt(&[(1, 1.0, 5)], 50.0, true)).is_empty());
+        assert!(p
+            .guarded_targets(&virt(&[(1, 1.0, 5)], 50.0, true))
+            .is_empty());
     }
 
     #[test]
@@ -310,10 +312,11 @@ mod tests {
     #[test]
     fn old_jikes_guards_only_near_monomorphic_hot_sites() {
         let p = OldJikesPolicy::default();
-        assert!(p
-            .guarded_targets(&virt(&[(1, 0.95, 50), (2, 0.05, 50)], 2.0, true))
-            .len()
-            == 1);
+        assert!(
+            p.guarded_targets(&virt(&[(1, 0.95, 50), (2, 0.05, 50)], 2.0, true))
+                .len()
+                == 1
+        );
         // 60/40 split: ignored even though hot.
         assert!(p
             .guarded_targets(&virt(&[(1, 0.6, 50), (2, 0.4, 50)], 2.0, true))
@@ -364,7 +367,9 @@ mod tests {
         let p = J9Policy::static_only();
         assert!(p.should_inline_direct(&direct(80, 0.0, false)));
         assert!(!p.should_inline_direct(&direct(81, 99.0, true)));
-        assert!(p.guarded_targets(&virt(&[(1, 1.0, 10)], 50.0, true)).is_empty());
+        assert!(p
+            .guarded_targets(&virt(&[(1, 1.0, 10)], 50.0, true))
+            .is_empty());
     }
 
     #[test]

@@ -192,8 +192,7 @@ fn splice_into_caller(
         new_code.push(adjusted);
     }
     program.replace_method(caller_id, new_code);
-    verify::verify_method(program, caller_id)
-        .map_err(|e| InlineError::Verify(e.to_string()))?;
+    verify::verify_method(program, caller_id).map_err(|e| InlineError::Verify(e.to_string()))?;
     Ok(())
 }
 
@@ -328,7 +327,10 @@ mod tests {
             .unwrap()
             .calls;
         assert_eq!(before, after, "inlining changed program semantics");
-        assert!(calls_after < calls_before, "inlining must remove dynamic calls");
+        assert!(
+            calls_after < calls_before,
+            "inlining must remove dynamic calls"
+        );
     }
 
     #[test]
@@ -337,7 +339,14 @@ mod tests {
         let cls = b.add_class("C", 0);
         let add3 = b
             .function("add3", cls, 2, 1, |c| {
-                c.load(0).load(1).add().store(2).load(2).const_(3).add().ret();
+                c.load(0)
+                    .load(1)
+                    .add()
+                    .store(2)
+                    .load(2)
+                    .const_(3)
+                    .add()
+                    .ret();
             })
             .unwrap();
         let main = b
@@ -430,7 +439,10 @@ mod tests {
         }
         assert_eq!(run(&p), Value::Int(12));
         assert_eq!(
-            Vm::new(&p, VmConfig::default()).run_unprofiled().unwrap().calls,
+            Vm::new(&p, VmConfig::default())
+                .run_unprofiled()
+                .unwrap()
+                .calls,
             0,
             "all calls inlined"
         );
@@ -487,7 +499,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(run(&p), Value::Int(101), "semantics preserved");
-        let calls = Vm::new(&p, VmConfig::default()).run_unprofiled().unwrap().calls;
+        let calls = Vm::new(&p, VmConfig::default())
+            .run_unprofiled()
+            .unwrap()
+            .calls;
         assert_eq!(calls, 1, "first dispatch devirtualized, second remains");
     }
 
@@ -513,7 +528,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(run(&p), Value::Int(101), "slow path preserved semantics");
-        let calls = Vm::new(&p, VmConfig::default()).run_unprofiled().unwrap().calls;
+        let calls = Vm::new(&p, VmConfig::default())
+            .run_unprofiled()
+            .unwrap()
+            .calls;
         assert_eq!(calls, 2, "guard missed: the dispatch still happens");
     }
 
@@ -535,7 +553,10 @@ mod tests {
             .unwrap();
         }
         assert_eq!(run(&p), Value::Int(101));
-        let calls = Vm::new(&p, VmConfig::default()).run_unprofiled().unwrap().calls;
+        let calls = Vm::new(&p, VmConfig::default())
+            .run_unprofiled()
+            .unwrap()
+            .calls;
         assert_eq!(calls, 0, "both dispatches fully devirtualized");
     }
 

@@ -84,8 +84,7 @@ impl ControlFlowGraph {
         }
 
         // Successors from each block's terminator.
-        let block_index_of_pc =
-            |pc: usize, block_of: &[BlockId]| -> BlockId { block_of[pc] };
+        let block_index_of_pc = |pc: usize, block_of: &[BlockId]| -> BlockId { block_of[pc] };
         for block in &mut blocks {
             let last = block.end - 1;
             let op = &code[last];
@@ -207,6 +206,9 @@ mod tests {
         let code = vec![Op::Const(1), Op::Return, Op::Const(2), Op::Return];
         let cfg = ControlFlowGraph::build(&code);
         assert_eq!(cfg.len(), 2);
-        assert!(cfg.blocks()[0].successors.is_empty(), "return has no successors");
+        assert!(
+            cfg.blocks()[0].successors.is_empty(),
+            "return has no successors"
+        );
     }
 }

@@ -215,12 +215,7 @@ mod tests {
 
     #[test]
     fn final_store_with_no_later_load_is_dead() {
-        let code = vec![
-            Op::Const(1),
-            Op::Store(3),
-            Op::Const(0),
-            Op::Return,
-        ];
+        let code = vec![Op::Const(1), Op::Store(3), Op::Const(0), Op::Return];
         let out = run(code);
         assert_eq!(out[1], Op::Pop);
     }

@@ -143,9 +143,7 @@ impl Pass for Peephole {
                     pc += 1;
                     continue;
                 }
-                Some(&Op::JumpIfZero(t)) | Some(&Op::JumpIfNonZero(t))
-                    if t as usize == pc + 1 =>
-                {
+                Some(&Op::JumpIfZero(t)) | Some(&Op::JumpIfNonZero(t)) if t as usize == pc + 1 => {
                     // Only the pop of the condition remains.
                     editor.replace(pc, Op::Pop);
                     rewrites += 1;
@@ -159,13 +157,9 @@ impl Pass for Peephole {
                     // Value produced then immediately discarded.
                     (Some(Op::Dup | Op::Const(_) | Op::Load(_)), Some(Op::Pop)) => Some(None),
                     // Self-inverse pairs.
-                    (Some(Op::Swap), Some(Op::Swap)) | (Some(Op::Neg), Some(Op::Neg)) => {
-                        Some(None)
-                    }
+                    (Some(Op::Swap), Some(Op::Swap)) | (Some(Op::Neg), Some(Op::Neg)) => Some(None),
                     // Algebraic identities.
-                    (Some(&Op::Const(0)), Some(Op::Add | Op::Sub | Op::Or | Op::Xor)) => {
-                        Some(None)
-                    }
+                    (Some(&Op::Const(0)), Some(Op::Add | Op::Sub | Op::Or | Op::Xor)) => Some(None),
                     (Some(&Op::Const(1)), Some(Op::Mul | Op::Div)) => Some(None),
                     (Some(&Op::Const(0)), Some(Op::Shl | Op::Shr)) => Some(None),
                     // Round-trip through a local.
@@ -318,16 +312,16 @@ mod tests {
 
     #[test]
     fn peephole_store_load_becomes_dup_store() {
-        let out = run(
-            &Peephole,
-            vec![Op::Store(2), Op::Load(2), Op::Return],
-        );
+        let out = run(&Peephole, vec![Op::Store(2), Op::Load(2), Op::Return]);
         assert_eq!(out, vec![Op::Dup, Op::Store(2), Op::Return]);
     }
 
     #[test]
     fn peephole_load_store_same_slot_removed() {
-        let out = run(&Peephole, vec![Op::Load(1), Op::Store(1), Op::Const(0), Op::Return]);
+        let out = run(
+            &Peephole,
+            vec![Op::Load(1), Op::Store(1), Op::Const(0), Op::Return],
+        );
         assert_eq!(out, vec![Op::Const(0), Op::Return]);
     }
 
@@ -373,7 +367,13 @@ mod tests {
     fn nops_removed_and_targets_fixed() {
         let out = run(
             &NopElimination,
-            vec![Op::Nop, Op::Const(1), Op::JumpIfNonZero(0), Op::Const(0), Op::Return],
+            vec![
+                Op::Nop,
+                Op::Const(1),
+                Op::JumpIfNonZero(0),
+                Op::Const(0),
+                Op::Return,
+            ],
         );
         assert_eq!(
             out,

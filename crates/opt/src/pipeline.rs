@@ -119,7 +119,9 @@ mod tests {
     use super::*;
     use cbs_bytecode::{Op, ProgramBuilder};
 
-    fn one_method_program(build: impl FnOnce(&mut cbs_bytecode::CodeBuilder<'_>)) -> (Program, MethodId) {
+    fn one_method_program(
+        build: impl FnOnce(&mut cbs_bytecode::CodeBuilder<'_>),
+    ) -> (Program, MethodId) {
         let mut b = ProgramBuilder::new();
         let cls = b.add_class("C", 1);
         let main = b.function("main", cls, 0, 4, build).unwrap();

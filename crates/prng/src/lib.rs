@@ -1,0 +1,285 @@
+//! Self-contained deterministic randomness for the CBS reproduction.
+//!
+//! The build environment is fully offline, so the workspace cannot pull
+//! external crates. This crate replaces the subset of `rand` the
+//! reproduction used — a small, seedable generator with uniform integer
+//! ranges, Bernoulli draws and unit-interval doubles — plus a minimal
+//! property-test harness (see [`prop`]) standing in for `proptest`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64, the same
+//! construction `rand`'s `SmallRng` uses on 64-bit targets: fast,
+//! high-quality, and reproducible from a single `u64` seed. Nothing here
+//! is cryptographic; determinism and statistical uniformity are the only
+//! goals.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod prop;
+
+/// A small, fast, seedable pseudo-random generator (xoshiro256++).
+///
+/// Every simulated stochastic choice in the workspace (workload
+/// generation, randomized skip counts, hardware skid) flows through this
+/// type, so a fixed seed always reproduces the identical run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+/// SplitMix64 step: expands a seed into well-mixed state words.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// Distinct seeds yield statistically independent streams; the state
+    /// expansion guarantees a non-zero internal state even for seed 0.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Derives an independent stream for shard/thread `index`.
+    ///
+    /// Used wherever one configured seed must fan out into per-thread
+    /// deterministic sequences (e.g. CBS per-thread skip randomization).
+    pub fn seed_for_stream(seed: u64, index: u64) -> Self {
+        // Mix the index through SplitMix64 so streams 0,1,2,… are as
+        // unrelated as arbitrary seeds.
+        let mut sm = seed ^ index.wrapping_mul(0xA076_1D64_78BD_642F);
+        let derived = splitmix64(&mut sm);
+        Self::seed_from_u64(derived)
+    }
+
+    /// The next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform double in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `p` is outside `[0, 1]`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        self.gen_f64() < p
+    }
+
+    /// A uniform value in the given range (exclusive or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: IntoSampleBounds<T>,
+    {
+        let (lo, hi) = range.into_sample_bounds();
+        T::sample_inclusive(self, lo, hi)
+    }
+
+    /// An unbiased uniform draw in `[0, span)` via rejection sampling.
+    #[inline]
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        // Reject the final partial copy of the span so every residue is
+        // equally likely.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+}
+
+/// Integer types [`SmallRng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw in `[lo, hi]`; panics if `lo > hi`.
+    fn sample_inclusive(rng: &mut SmallRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_inclusive(rng: &mut SmallRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty sample range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as Self;
+                }
+                lo.wrapping_add(rng.below(span + 1) as Self)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_signed {
+    ($($t:ty as $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_inclusive(rng: &mut SmallRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty sample range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as Self;
+                }
+                lo.wrapping_add(rng.below(span + 1) as Self)
+            }
+        }
+    )*};
+}
+
+impl_sample_unsigned!(u32, u64, usize);
+impl_sample_signed!(i32 as u32, i64 as u64);
+
+/// Conversion of range syntax into inclusive sampling bounds.
+pub trait IntoSampleBounds<T> {
+    /// The `(lo, hi)` inclusive bounds; panics on an empty range.
+    fn into_sample_bounds(self) -> (T, T);
+}
+
+macro_rules! impl_bounds {
+    ($($t:ty),*) => {$(
+        impl IntoSampleBounds<$t> for std::ops::Range<$t> {
+            #[inline]
+            fn into_sample_bounds(self) -> ($t, $t) {
+                assert!(self.start < self.end, "empty sample range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl IntoSampleBounds<$t> for std::ops::RangeInclusive<$t> {
+            #[inline]
+            fn into_sample_bounds(self) -> ($t, $t) {
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+
+impl_bounds!(u32, u64, usize, i32, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn streams_are_distinct() {
+        let mut a = SmallRng::seed_for_stream(7, 0);
+        let mut b = SmallRng::seed_for_stream(7, 1);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+        let mut a2 = SmallRng::seed_for_stream(7, 0);
+        assert_eq!(va[0], a2.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_cover() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(1..=5);
+            assert!((1..=5).contains(&v));
+            seen[(v - 1) as usize] = true;
+            let w: i64 = rng.gen_range(-3i64..3);
+            assert!((-3..3).contains(&w));
+            let u: usize = rng.gen_range(0..7usize);
+            assert!(u < 7);
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable: {seen:?}");
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut counts = [0u32; 6];
+        let n = 60_000;
+        for _ in 0..n {
+            counts[rng.gen_range(0..6usize)] += 1;
+        }
+        let expected = n / 6;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (f64::from(c) - expected as f64).abs() / expected as f64;
+            assert!(dev < 0.05, "bucket {i} off by {dev:.3}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval_with_correct_mean() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut sum = 0.0;
+        let n = 100_000;
+        for _ in 0..n {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "hits {hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _: u32 = rng.gen_range(5..5);
+    }
+}

@@ -11,9 +11,8 @@
 use crate::costs::{OverheadMeter, ProfilingCosts};
 use crate::traits::CallGraphProfiler;
 use cbs_dcg::{CallingContextTree, DynamicCallGraph};
+use cbs_prng::SmallRng;
 use cbs_vm::{CallEvent, Profiler, StackSlice, ThreadId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// How the initial `skipped_invocations` counter of each window is chosen
 /// (paper §4: "via either a pseudo-random number generator or a
@@ -77,11 +76,50 @@ impl CbsConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+/// Per-thread sampling state.
+///
+/// The paper keeps *all* CBS counters in thread-local variables ("to
+/// avoid potential scalability issues or race conditions"), so the
+/// round-robin cursor and the randomized-skip RNG live here too: each
+/// thread walks its own deterministic skip sequence regardless of how
+/// thread events interleave.
+#[derive(Debug, Clone)]
 struct WindowState {
     enabled: bool,
     skipped: u32,
     samples_left: u32,
+    /// Next round-robin initial skip (1..=stride), per thread.
+    round_robin_next: u32,
+    /// Per-thread RNG for [`SkipPolicy::Random`], seeded from the policy
+    /// seed and the thread index.
+    rng: SmallRng,
+}
+
+impl WindowState {
+    fn new(seed: u64, thread_index: usize) -> Self {
+        Self {
+            enabled: false,
+            skipped: 0,
+            samples_left: 0,
+            round_robin_next: 1,
+            rng: SmallRng::seed_for_stream(seed, thread_index as u64),
+        }
+    }
+
+    /// Draws the initial skip count for a new window (paper §4: "via
+    /// either a pseudo-random number generator or a round-robin
+    /// approach").
+    fn initial_skip(&mut self, policy: &SkipPolicy, stride: u32) -> u32 {
+        match policy {
+            SkipPolicy::Fixed => stride,
+            SkipPolicy::Random { .. } => self.rng.gen_range(1..=stride),
+            SkipPolicy::RoundRobin => {
+                let v = self.round_robin_next;
+                self.round_robin_next = if v >= stride { 1 } else { v + 1 };
+                v
+            }
+        }
+    }
 }
 
 /// The counter-based sampler (CBS).
@@ -100,8 +138,8 @@ pub struct CounterBasedSampler {
     cct: Option<CallingContextTree>,
     meter: OverheadMeter,
     samples: u64,
-    rng: SmallRng,
-    round_robin_next: u32,
+    /// Seed for per-thread RNG streams (from [`SkipPolicy::Random`]).
+    seed: u64,
 }
 
 impl CounterBasedSampler {
@@ -112,7 +150,10 @@ impl CounterBasedSampler {
     /// Panics if `stride` or `samples_per_tick` is zero.
     pub fn new(config: CbsConfig) -> Self {
         assert!(config.stride >= 1, "stride must be >= 1");
-        assert!(config.samples_per_tick >= 1, "samples_per_tick must be >= 1");
+        assert!(
+            config.samples_per_tick >= 1,
+            "samples_per_tick must be >= 1"
+        );
         let seed = match config.skip_policy {
             SkipPolicy::Random { seed } => seed,
             _ => 0,
@@ -125,8 +166,7 @@ impl CounterBasedSampler {
             cct,
             meter: OverheadMeter::new(),
             samples: 0,
-            rng: SmallRng::seed_from_u64(seed),
-            round_robin_next: 1,
+            seed,
         }
     }
 
@@ -140,23 +180,11 @@ impl CounterBasedSampler {
         self.cct.as_ref()
     }
 
-    fn initial_skip(&mut self) -> u32 {
-        let stride = self.config.stride;
-        match self.config.skip_policy {
-            SkipPolicy::Fixed => stride,
-            SkipPolicy::Random { .. } => self.rng.gen_range(1..=stride),
-            SkipPolicy::RoundRobin => {
-                let v = self.round_robin_next;
-                self.round_robin_next = if v >= stride { 1 } else { v + 1 };
-                v
-            }
-        }
-    }
-
     fn state(&mut self, thread: ThreadId) -> &mut WindowState {
         let idx = thread.index();
-        if idx >= self.threads.len() {
-            self.threads.resize(idx + 1, WindowState::default());
+        while idx >= self.threads.len() {
+            let t = self.threads.len();
+            self.threads.push(WindowState::new(self.seed, t));
         }
         &mut self.threads[idx]
     }
@@ -182,46 +210,44 @@ impl CounterBasedSampler {
         }
         // sampleCallStack(): walk the stack, update the repository —
         // deeper stacks cost more to walk.
-        self.meter
-            .charge(self.config.costs.sample_cost_millicycles(event.stack.depth()));
+        self.meter.charge(
+            self.config
+                .costs
+                .sample_cost_millicycles(event.stack.depth()),
+        );
         self.samples += 1;
         self.dcg.record_sample(event.edge);
         if let Some(cct) = &mut self.cct {
             cct.add_sample(&event.stack.context_path());
         }
-        let window_continues = {
-            let st = self.state(event.thread);
-            st.samples_left = st.samples_left.saturating_sub(1);
-            if st.samples_left == 0 {
-                st.enabled = false; // disable until next timer interrupt
-                false
-            } else {
-                true
-            }
-        };
-        if window_continues {
+        let policy = self.config.skip_policy.clone();
+        let stride = self.config.stride;
+        let st = self.state(event.thread);
+        st.samples_left = st.samples_left.saturating_sub(1);
+        if st.samples_left == 0 {
+            st.enabled = false; // disable until next timer interrupt
+        } else {
             // Figure 3 resets to STRIDE; randomized policies re-draw so
-            // window positions stay unbiased.
-            let next_skip = if matches!(self.config.skip_policy, SkipPolicy::Fixed) {
-                self.config.stride
-            } else {
-                self.initial_skip()
-            };
-            self.state(event.thread).skipped = next_skip;
+            // window positions stay unbiased. The draw comes from this
+            // thread's own cursor/RNG, so per-thread skip sequences do
+            // not depend on how threads interleave.
+            st.skipped = st.initial_skip(&policy, stride);
         }
     }
 }
 
 impl Profiler for CounterBasedSampler {
     fn on_tick(&mut self, _clock: u64, thread: ThreadId, _stack: StackSlice<'_>) {
-        self.meter.charge(self.config.costs.tick_service_millicycles);
-        let skip = self.initial_skip();
+        self.meter
+            .charge(self.config.costs.tick_service_millicycles);
+        let policy = self.config.skip_policy.clone();
+        let stride = self.config.stride;
         let samples = self.config.samples_per_tick;
         let st = self.state(thread);
         if !st.enabled {
             st.enabled = true;
             st.samples_left = samples;
-            st.skipped = skip;
+            st.skipped = st.initial_skip(&policy, stride);
         }
         // If a window is still open (it outlived the timer period), the
         // flag is already true and sampling simply continues — the
@@ -344,11 +370,7 @@ mod tests {
         for i in 1..=10u32 {
             fire_entry(&mut s, &frames, i);
         }
-        let callees: Vec<u32> = s
-            .dcg()
-            .iter()
-            .map(|(e, _)| u32::from(e.callee))
-            .collect();
+        let callees: Vec<u32> = s.dcg().iter().map(|(e, _)| u32::from(e.callee)).collect();
         let mut sorted = callees.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![5, 10]);
@@ -438,6 +460,136 @@ mod tests {
         };
         s.on_entry(&ev1);
         assert_eq!(s.samples_taken(), 1);
+    }
+
+    /// Regression test: the round-robin cursor (and the Random-policy
+    /// RNG) must be per-thread state, not sampler-global — otherwise the
+    /// skip sequence each thread sees depends on how thread events
+    /// happen to interleave.
+    #[test]
+    fn per_thread_skip_sequences_are_interleaving_independent() {
+        let configs = [SkipPolicy::RoundRobin, SkipPolicy::Random { seed: 99 }];
+        for policy in configs {
+            let config = CbsConfig {
+                stride: 3,
+                samples_per_tick: 2,
+                skip_policy: policy,
+                ..CbsConfig::default()
+            };
+            let frames = event_frames();
+
+            // Reference: thread 1 running alone, four windows. Record
+            // which event positions get sampled (as callee ids).
+            let solo = |thread: u32| {
+                let mut s = CounterBasedSampler::new(config.clone());
+                let mut sampled = Vec::new();
+                for window in 0..4u32 {
+                    s.on_tick(u64::from(window), ThreadId(thread), stack_slice(&frames));
+                    for i in 0..12u32 {
+                        let before = s.samples_taken();
+                        let ev = CallEvent {
+                            edge: CallEdge::new(
+                                MethodId::new(0),
+                                CallSiteId::new(0),
+                                MethodId::new(window * 100 + i),
+                            ),
+                            clock: 0,
+                            thread: ThreadId(thread),
+                            stack: stack_slice(&frames),
+                        };
+                        s.on_entry(&ev);
+                        if s.samples_taken() > before {
+                            sampled.push(window * 100 + i);
+                        }
+                    }
+                }
+                sampled
+            };
+
+            // Interleaved: the same event streams for threads 0 and 1,
+            // with thread 0's events injected between every thread-1
+            // event (and vice versa).
+            let interleaved = {
+                let mut s = CounterBasedSampler::new(config.clone());
+                let mut sampled = vec![Vec::new(), Vec::new()];
+                for window in 0..4u32 {
+                    for t in [0u32, 1] {
+                        s.on_tick(u64::from(window), ThreadId(t), stack_slice(&frames));
+                    }
+                    for i in 0..12u32 {
+                        for t in [0u32, 1] {
+                            let before = s.samples_taken();
+                            let ev = CallEvent {
+                                edge: CallEdge::new(
+                                    MethodId::new(0),
+                                    CallSiteId::new(0),
+                                    MethodId::new(window * 100 + i),
+                                ),
+                                clock: 0,
+                                thread: ThreadId(t),
+                                stack: stack_slice(&frames),
+                            };
+                            s.on_entry(&ev);
+                            if s.samples_taken() > before {
+                                sampled[t as usize].push(window * 100 + i);
+                            }
+                        }
+                    }
+                }
+                sampled
+            };
+
+            assert_eq!(
+                interleaved[0],
+                solo(0),
+                "{:?}: thread 0's sample positions changed under interleaving",
+                config.skip_policy
+            );
+            assert_eq!(
+                interleaved[1],
+                solo(1),
+                "{:?}: thread 1's sample positions changed under interleaving",
+                config.skip_policy
+            );
+        }
+    }
+
+    #[test]
+    fn random_policy_threads_use_distinct_streams() {
+        // Two threads with the same seed must not mirror each other's
+        // skip sequence (they get derived per-thread streams).
+        let config = CbsConfig {
+            stride: 7,
+            samples_per_tick: 1,
+            skip_policy: SkipPolicy::Random { seed: 5 },
+            ..CbsConfig::default()
+        };
+        let frames = event_frames();
+        let mut s = CounterBasedSampler::new(config);
+        let mut first_sampled = [0u32; 2];
+        for t in [0u32, 1] {
+            for window in 0..8u32 {
+                s.on_tick(u64::from(window), ThreadId(t), stack_slice(&frames));
+                for i in 0..7u32 {
+                    let before = s.samples_taken();
+                    let ev = CallEvent {
+                        edge: CallEdge::new(MethodId::new(0), CallSiteId::new(0), MethodId::new(i)),
+                        clock: 0,
+                        thread: ThreadId(t),
+                        stack: stack_slice(&frames),
+                    };
+                    s.on_entry(&ev);
+                    if s.samples_taken() > before {
+                        // Accumulate a fingerprint of sampled positions.
+                        first_sampled[t as usize] = first_sampled[t as usize] * 7 + i + 1;
+                    }
+                }
+            }
+        }
+        assert_ne!(
+            first_sampled[0], first_sampled[1],
+            "per-thread Random streams should differ"
+        );
     }
 
     #[test]

@@ -18,9 +18,8 @@
 use crate::costs::{OverheadMeter, ProfilingCosts};
 use crate::traits::CallGraphProfiler;
 use cbs_dcg::{CallEdge, DynamicCallGraph};
+use cbs_prng::SmallRng;
 use cbs_vm::{CallEvent, Profiler};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration of the emulated hardware sampler.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,7 +144,11 @@ mod tests {
 
     fn ev<'a>(frames: &'a [Frame], callee: u32) -> CallEvent<'a> {
         CallEvent {
-            edge: CallEdge::new(MethodId::new(0), CallSiteId::new(callee), MethodId::new(callee)),
+            edge: CallEdge::new(
+                MethodId::new(0),
+                CallSiteId::new(callee),
+                MethodId::new(callee),
+            ),
             clock: 0,
             thread: ThreadId(0),
             stack: StackSlice::for_testing(frames),

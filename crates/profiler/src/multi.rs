@@ -70,6 +70,36 @@ impl MultiProfiler {
     pub fn into_inner(self) -> Vec<Box<dyn CallGraphProfiler>> {
         self.profilers
     }
+
+    /// Splits the fan-out into at most `num_shards` contiguous chunks,
+    /// preserving attachment order across the concatenation of shards.
+    ///
+    /// Because attached profilers never interact (every profiler
+    /// accounts only for its own simulated overhead against the
+    /// profiler-independent base clock), running each shard in its own
+    /// `Vm` observes the *same* events and produces the same per-profiler
+    /// state as one mega-run — which is what lets the parallel experiment
+    /// runner evaluate a configuration grid as independent cells.
+    ///
+    /// Earlier shards are at most one profiler larger than later ones.
+    /// Fewer, non-empty shards are returned when there are fewer
+    /// profilers than `num_shards`; `num_shards == 0` is treated as 1.
+    pub fn into_shards(self, num_shards: usize) -> Vec<MultiProfiler> {
+        let total = self.profilers.len();
+        let shards = num_shards.max(1).min(total.max(1));
+        let base = total / shards;
+        let extra = total % shards;
+        let mut iter = self.profilers.into_iter();
+        (0..shards)
+            .map(|s| {
+                let size = base + usize::from(s < extra);
+                MultiProfiler {
+                    profilers: iter.by_ref().take(size).collect(),
+                }
+            })
+            .filter(|m| !m.is_empty())
+            .collect()
+    }
 }
 
 impl Profiler for MultiProfiler {
@@ -146,5 +176,42 @@ mod tests {
         m.attach(Box::new(TimerSampler::new()));
         let inner = m.into_inner();
         assert_eq!(inner.len(), 1);
+    }
+
+    fn grid(n: u32) -> MultiProfiler {
+        let mut m = MultiProfiler::new();
+        for stride in 1..=n {
+            m.attach(Box::new(CounterBasedSampler::new(CbsConfig::new(
+                stride, 1,
+            ))));
+        }
+        m
+    }
+
+    #[test]
+    fn into_shards_preserves_order_and_balances() {
+        let names = grid(7).names();
+        let shards = grid(7).into_shards(3);
+        assert_eq!(
+            shards.iter().map(MultiProfiler::len).collect::<Vec<_>>(),
+            vec![3, 2, 2],
+            "earlier shards at most one larger"
+        );
+        let rejoined: Vec<String> = shards.iter().flat_map(|s| s.names()).collect();
+        assert_eq!(rejoined, names, "concatenation preserves attachment order");
+    }
+
+    #[test]
+    fn into_shards_edge_cases() {
+        // More shards than profilers: one profiler per shard, no empties.
+        let shards = grid(2).into_shards(5);
+        assert_eq!(shards.len(), 2);
+        assert!(shards.iter().all(|s| s.len() == 1));
+        // Zero is treated as one.
+        let shards = grid(3).into_shards(0);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].len(), 3);
+        // Empty fan-out shards to nothing.
+        assert!(MultiProfiler::new().into_shards(4).is_empty());
     }
 }

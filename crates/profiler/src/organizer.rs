@@ -355,8 +355,13 @@ mod tests {
         });
         let mut organized = OrganizedSampler::new(3, 8, 1.0);
         Vm::new(&p, VmConfig::default()).run(&mut plain).unwrap();
-        Vm::new(&p, VmConfig::default()).run(&mut organized).unwrap();
+        Vm::new(&p, VmConfig::default())
+            .run(&mut organized)
+            .unwrap();
         assert_eq!(plain.samples_taken(), organized.samples_taken());
-        assert_eq!(plain.dcg().total_weight(), organized.take_dcg().total_weight());
+        assert_eq!(
+            plain.dcg().total_weight(),
+            organized.take_dcg().total_weight()
+        );
     }
 }

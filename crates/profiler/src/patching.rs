@@ -93,10 +93,7 @@ impl CodePatchingProfiler {
 impl Profiler for CodePatchingProfiler {
     fn on_entry(&mut self, event: &CallEvent<'_>) {
         let callee = event.edge.callee;
-        let state = self
-            .states
-            .entry(callee)
-            .or_insert(MethodState::Cold(0));
+        let state = self.states.entry(callee).or_insert(MethodState::Cold(0));
         match *state {
             MethodState::Cold(n) => {
                 let n = n + 1;

@@ -170,9 +170,8 @@ mod tests {
         let f = frames();
         s.on_tick(0, ThreadId(0), StackSlice::for_testing(&f));
         s.on_entry(&ev(&f, 1, 0));
-        let expected = (s.costs.tick_service_millicycles
-            + s.costs.sample_cost_millicycles(1))
-            / 1000;
+        let expected =
+            (s.costs.tick_service_millicycles + s.costs.sample_cost_millicycles(1)) / 1000;
         assert_eq!(s.overhead_cycles(), expected);
     }
 }

@@ -58,8 +58,7 @@ impl CallTreeTracer {
     /// All recorded methods with their totals, hottest (by exclusive
     /// time) first.
     pub fn by_exclusive(&self) -> Vec<(MethodId, MethodTime)> {
-        let mut v: Vec<(MethodId, MethodTime)> =
-            self.times.iter().map(|(m, t)| (*m, *t)).collect();
+        let mut v: Vec<(MethodId, MethodTime)> = self.times.iter().map(|(m, t)| (*m, *t)).collect();
         v.sort_unstable_by(|a, b| b.1.exclusive.cmp(&a.1.exclusive).then(a.0.cmp(&b.0)));
         v
     }
@@ -82,11 +81,14 @@ impl CallTreeTracer {
 
 impl Profiler for CallTreeTracer {
     fn on_entry(&mut self, event: &CallEvent<'_>) {
-        self.stacks.entry(event.thread).or_default().push(OpenFrame {
-            method: event.edge.callee,
-            entered_at: event.clock,
-            callee_cycles: 0,
-        });
+        self.stacks
+            .entry(event.thread)
+            .or_default()
+            .push(OpenFrame {
+                method: event.edge.callee,
+                entered_at: event.clock,
+                callee_cycles: 0,
+            });
     }
 
     fn on_exit(&mut self, event: &CallEvent<'_>) {

@@ -8,8 +8,10 @@ use cbs_vm::Profiler;
 ///
 /// This trait is object-safe so heterogeneous profiler sets can be
 /// attached to one run through
-/// [`MultiProfiler`](crate::MultiProfiler).
-pub trait CallGraphProfiler: Profiler {
+/// [`MultiProfiler`](crate::MultiProfiler). `Send` is a supertrait so
+/// boxed profiler shards can move onto the parallel experiment runner's
+/// worker threads.
+pub trait CallGraphProfiler: Profiler + Send {
     /// Short, stable mechanism name (e.g. `"cbs(3,16)"`) for reports.
     fn name(&self) -> String;
 

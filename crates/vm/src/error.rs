@@ -106,7 +106,9 @@ mod tests {
             pc: 7,
         };
         assert_eq!(e.to_string(), "m3@7: division by zero");
-        assert!(VmError::StackOverflow { limit: 10 }.to_string().contains("10"));
+        assert!(VmError::StackOverflow { limit: 10 }
+            .to_string()
+            .contains("10"));
         assert!(VmError::OutOfFuel { budget: 5 }.to_string().contains("5"));
     }
 }

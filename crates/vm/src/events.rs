@@ -89,7 +89,8 @@ impl<'a> StackSlice<'a> {
     ///
     /// Panics on an empty stack, which the VM never reports.
     pub fn top(&self) -> FrameInfo {
-        self.frame(0).expect("events are never delivered on empty stacks")
+        self.frame(0)
+            .expect("events are never delivered on empty stacks")
     }
 
     /// The full calling context as [`ContextStep`]s, outermost first.
@@ -182,7 +183,11 @@ mod tests {
 
     #[test]
     fn stack_slice_indexes_innermost_first() {
-        let frames = vec![frame(0, 5, Some(1)), frame(1, 2, Some(3)), frame(2, 0, None)];
+        let frames = vec![
+            frame(0, 5, Some(1)),
+            frame(1, 2, Some(3)),
+            frame(2, 0, None),
+        ];
         let s = StackSlice::new(&frames);
         assert_eq!(s.depth(), 3);
         assert_eq!(s.top().method, MethodId::new(2));
@@ -192,7 +197,11 @@ mod tests {
 
     #[test]
     fn context_path_is_outermost_first_with_root_site() {
-        let frames = vec![frame(0, 5, Some(1)), frame(1, 2, Some(3)), frame(2, 0, None)];
+        let frames = vec![
+            frame(0, 5, Some(1)),
+            frame(1, 2, Some(3)),
+            frame(2, 0, None),
+        ];
         let s = StackSlice::new(&frames);
         let path = s.context_path();
         assert_eq!(path.len(), 3);

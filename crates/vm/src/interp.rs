@@ -164,7 +164,9 @@ impl<'p> Vm<'p> {
                     }
                     Op::Dup => {
                         let f = t.frames.last_mut().expect("frame");
-                        let v = f.peek(0).ok_or(VmError::OperandUnderflow { method: mid, pc })?;
+                        let v = f
+                            .peek(0)
+                            .ok_or(VmError::OperandUnderflow { method: mid, pc })?;
                         f.push(v);
                         f.set_pc(pc + 1);
                     }
@@ -181,8 +183,16 @@ impl<'p> Vm<'p> {
                         f.push(a);
                         f.set_pc(pc + 1);
                     }
-                    Op::Add | Op::Sub | Op::Mul | Op::And | Op::Or | Op::Xor | Op::Shl
-                    | Op::Shr | Op::CmpLt | Op::CmpGt => {
+                    Op::Add
+                    | Op::Sub
+                    | Op::Mul
+                    | Op::And
+                    | Op::Or
+                    | Op::Xor
+                    | Op::Shl
+                    | Op::Shr
+                    | Op::CmpLt
+                    | Op::CmpGt => {
                         let f = t.frames.last_mut().expect("frame");
                         let b = pop_int(f, mid, pc)?;
                         let a = pop_int(f, mid, pc)?;
@@ -263,7 +273,15 @@ impl<'p> Vm<'p> {
                     Op::Call { site, target } => {
                         calls += 1;
                         invocations[target.index()] += 1;
-                        push_callee(t, program, mid, pc, site, target, self.config.max_stack_depth)?;
+                        push_callee(
+                            t,
+                            program,
+                            mid,
+                            pc,
+                            site,
+                            target,
+                            self.config.max_stack_depth,
+                        )?;
                         profiler.on_entry(&CallEvent {
                             edge: CallEdge::new(mid, site, target),
                             clock,
@@ -292,7 +310,15 @@ impl<'p> Vm<'p> {
                             .ok_or(VmError::BadVirtualDispatch { method: mid, pc })?;
                         calls += 1;
                         invocations[target.index()] += 1;
-                        push_callee(t, program, mid, pc, site, target, self.config.max_stack_depth)?;
+                        push_callee(
+                            t,
+                            program,
+                            mid,
+                            pc,
+                            site,
+                            target,
+                            self.config.max_stack_depth,
+                        )?;
                         profiler.on_entry(&CallEvent {
                             edge: CallEdge::new(mid, site, target),
                             clock,
@@ -432,19 +458,23 @@ fn pop_val(f: &mut Frame, method: MethodId, pc: u32) -> Result<Value, VmError> {
 }
 
 fn pop_int(f: &mut Frame, method: MethodId, pc: u32) -> Result<i64, VmError> {
-    pop_val(f, method, pc)?.as_int().ok_or(VmError::TypeMismatch {
-        method,
-        pc,
-        expected: "integer",
-    })
+    pop_val(f, method, pc)?
+        .as_int()
+        .ok_or(VmError::TypeMismatch {
+            method,
+            pc,
+            expected: "integer",
+        })
 }
 
 fn pop_obj(f: &mut Frame, method: MethodId, pc: u32) -> Result<crate::value::ObjRef, VmError> {
-    pop_val(f, method, pc)?.as_ref().ok_or(VmError::TypeMismatch {
-        method,
-        pc,
-        expected: "object reference",
-    })
+    pop_val(f, method, pc)?
+        .as_ref()
+        .ok_or(VmError::TypeMismatch {
+            method,
+            pc,
+            expected: "object reference",
+        })
 }
 
 #[cfg(test)]
@@ -464,7 +494,14 @@ mod tests {
         let main = b
             .function("main", cls, 0, 0, |c| {
                 // (3 + 4) * 5 - 1 = 34
-                c.const_(3).const_(4).add().const_(5).mul().const_(1).sub().ret();
+                c.const_(3)
+                    .const_(4)
+                    .add()
+                    .const_(5)
+                    .mul()
+                    .const_(1)
+                    .sub()
+                    .ret();
             })
             .unwrap();
         b.set_entry(main);
@@ -585,7 +622,11 @@ mod tests {
         let _ = sub;
         b.set_entry(main);
         let r = run_program(b);
-        assert_eq!(r.return_values, vec![Value::Int(2)], "guard must miss: Sub != Base");
+        assert_eq!(
+            r.return_values,
+            vec![Value::Int(2)],
+            "guard must miss: Sub != Base"
+        );
     }
 
     #[test]
@@ -599,7 +640,9 @@ mod tests {
             .unwrap();
         b.set_entry(main);
         let p = b.build().unwrap();
-        let err = Vm::new(&p, VmConfig::default()).run_unprofiled().unwrap_err();
+        let err = Vm::new(&p, VmConfig::default())
+            .run_unprofiled()
+            .unwrap_err();
         assert!(matches!(err, VmError::DivisionByZero { .. }));
     }
 
@@ -655,7 +698,9 @@ mod tests {
             .unwrap();
         b.set_entry(main);
         let p = b.build().unwrap();
-        let err = Vm::new(&p, VmConfig::default()).run_unprofiled().unwrap_err();
+        let err = Vm::new(&p, VmConfig::default())
+            .run_unprofiled()
+            .unwrap_err();
         assert!(matches!(err, VmError::TypeMismatch { .. }));
     }
 
@@ -763,57 +808,140 @@ mod op_semantics_tests {
 
     #[test]
     fn division_and_remainder() {
-        assert_eq!(eval(|c| { c.const_(17).const_(5).div().ret(); }), Value::Int(3));
-        assert_eq!(eval(|c| { c.const_(17).const_(5).rem().ret(); }), Value::Int(2));
-        assert_eq!(eval(|c| { c.const_(-17).const_(5).div().ret(); }), Value::Int(-3));
+        assert_eq!(
+            eval(|c| {
+                c.const_(17).const_(5).div().ret();
+            }),
+            Value::Int(3)
+        );
+        assert_eq!(
+            eval(|c| {
+                c.const_(17).const_(5).rem().ret();
+            }),
+            Value::Int(2)
+        );
+        assert_eq!(
+            eval(|c| {
+                c.const_(-17).const_(5).div().ret();
+            }),
+            Value::Int(-3)
+        );
     }
 
     #[test]
     fn bitwise_ops() {
-        assert_eq!(eval(|c| { c.const_(0b1100).const_(0b1010).band().ret(); }), Value::Int(0b1000));
-        assert_eq!(eval(|c| { c.const_(0b1100).const_(0b1010).bor().ret(); }), Value::Int(0b1110));
-        assert_eq!(eval(|c| { c.const_(0b1100).const_(0b1010).bxor().ret(); }), Value::Int(0b0110));
+        assert_eq!(
+            eval(|c| {
+                c.const_(0b1100).const_(0b1010).band().ret();
+            }),
+            Value::Int(0b1000)
+        );
+        assert_eq!(
+            eval(|c| {
+                c.const_(0b1100).const_(0b1010).bor().ret();
+            }),
+            Value::Int(0b1110)
+        );
+        assert_eq!(
+            eval(|c| {
+                c.const_(0b1100).const_(0b1010).bxor().ret();
+            }),
+            Value::Int(0b0110)
+        );
     }
 
     #[test]
     fn shifts_mask_their_amount() {
-        assert_eq!(eval(|c| { c.const_(1).const_(4).shl().ret(); }), Value::Int(16));
-        assert_eq!(eval(|c| { c.const_(-16).const_(2).shr().ret(); }), Value::Int(-4));
+        assert_eq!(
+            eval(|c| {
+                c.const_(1).const_(4).shl().ret();
+            }),
+            Value::Int(16)
+        );
+        assert_eq!(
+            eval(|c| {
+                c.const_(-16).const_(2).shr().ret();
+            }),
+            Value::Int(-4)
+        );
         // Shift amounts are masked to 6 bits, like real hardware.
-        assert_eq!(eval(|c| { c.const_(1).const_(64).shl().ret(); }), Value::Int(1));
+        assert_eq!(
+            eval(|c| {
+                c.const_(1).const_(64).shl().ret();
+            }),
+            Value::Int(1)
+        );
     }
 
     #[test]
     fn comparisons_produce_zero_one() {
-        assert_eq!(eval(|c| { c.const_(3).const_(3).cmp_eq().ret(); }), Value::Int(1));
-        assert_eq!(eval(|c| { c.const_(3).const_(4).cmp_eq().ret(); }), Value::Int(0));
-        assert_eq!(eval(|c| { c.const_(3).const_(4).cmp_lt().ret(); }), Value::Int(1));
-        assert_eq!(eval(|c| { c.const_(4).const_(3).cmp_gt().ret(); }), Value::Int(1));
-        assert_eq!(eval(|c| { c.const_(-1).const_(1).cmp_gt().ret(); }), Value::Int(0));
+        assert_eq!(
+            eval(|c| {
+                c.const_(3).const_(3).cmp_eq().ret();
+            }),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval(|c| {
+                c.const_(3).const_(4).cmp_eq().ret();
+            }),
+            Value::Int(0)
+        );
+        assert_eq!(
+            eval(|c| {
+                c.const_(3).const_(4).cmp_lt().ret();
+            }),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval(|c| {
+                c.const_(4).const_(3).cmp_gt().ret();
+            }),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval(|c| {
+                c.const_(-1).const_(1).cmp_gt().ret();
+            }),
+            Value::Int(0)
+        );
     }
 
     #[test]
     fn stack_shuffles() {
         assert_eq!(
-            eval(|c| { c.const_(2).const_(5).swap().sub().ret(); }),
+            eval(|c| {
+                c.const_(2).const_(5).swap().sub().ret();
+            }),
             Value::Int(3),
             "swap: 5 - 2"
         );
         assert_eq!(
-            eval(|c| { c.const_(6).dup().mul().ret(); }),
+            eval(|c| {
+                c.const_(6).dup().mul().ret();
+            }),
             Value::Int(36)
         );
         assert_eq!(
-            eval(|c| { c.const_(1).const_(9).pop().ret(); }),
+            eval(|c| {
+                c.const_(1).const_(9).pop().ret();
+            }),
             Value::Int(1)
         );
     }
 
     #[test]
     fn negation_and_wrapping() {
-        assert_eq!(eval(|c| { c.const_(5).neg().ret(); }), Value::Int(-5));
         assert_eq!(
-            eval(|c| { c.const_(i64::MAX).const_(1).add().ret(); }),
+            eval(|c| {
+                c.const_(5).neg().ret();
+            }),
+            Value::Int(-5)
+        );
+        assert_eq!(
+            eval(|c| {
+                c.const_(i64::MAX).const_(1).add().ret();
+            }),
             Value::Int(i64::MIN),
             "two's-complement wrap-around"
         );

@@ -61,9 +61,7 @@ mod value;
 pub use config::{VmConfig, VmFlavor};
 pub use cost::CostModel;
 pub use error::VmError;
-pub use events::{
-    CallEvent, FrameInfo, NullProfiler, Profiler, StackSlice, ThreadId, ROOT_SITE,
-};
+pub use events::{CallEvent, FrameInfo, NullProfiler, Profiler, StackSlice, ThreadId, ROOT_SITE};
 pub use frame::Frame;
 pub use interp::Vm;
 pub use report::ExecReport;

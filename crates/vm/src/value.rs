@@ -117,7 +117,10 @@ impl Heap {
 
     /// Reads a field. Returns `None` when the field index is out of range.
     pub fn get_field(&self, r: ObjRef, field: u16) -> Option<Value> {
-        self.objects[r.index()].fields.get(usize::from(field)).copied()
+        self.objects[r.index()]
+            .fields
+            .get(usize::from(field))
+            .copied()
     }
 
     /// Writes a field. Returns `false` when the field index is out of

@@ -51,8 +51,8 @@ impl Benchmark {
     pub const fn all() -> [Benchmark; 13] {
         use Benchmark::*;
         [
-            Compress, Jess, Db, Javac, Mpegaudio, Mtrt, Jack, Ipsixql, Xerces, Daikon, Kawa,
-            Jbb, Soot,
+            Compress, Jess, Db, Javac, Mpegaudio, Mtrt, Jack, Ipsixql, Xerces, Daikon, Kawa, Jbb,
+            Soot,
         ]
     }
 
@@ -95,35 +95,146 @@ impl Benchmark {
     }
 
     fn small_spec(self) -> WorkloadSpec {
-        let (num_methods, families, fanout, poly, mask, work, leaf_loop, leaf_work, tiers, hot_repeat, phases, chain, io_sites, io_cost, secs) =
-            match self {
-                // compress: few, loopy numeric methods; one dominant edge.
-                Benchmark::Compress => (243, 3, 2, 0.15, 15, 8, 6, (4, 10), 2, 8, 1, 0.10, 0, 0, 1.38),
-                // jess: rule dispatch — many virtual sites, skewed.
-                Benchmark::Jess => (662, 14, 3, 0.60, 7, 3, 0, (2, 6), 4, 3, 1, 0.25, 0, 0, 0.92),
-                // db: small and loop-dominated.
-                Benchmark::Db => (258, 5, 2, 0.30, 7, 5, 2, (2, 6), 3, 5, 1, 0.15, 0, 0, 0.46),
-                // javac: flat profile, 50/50 receiver splits, deep chains.
-                Benchmark::Javac => (939, 24, 3, 0.50, 1, 4, 0, (2, 8), 6, 2, 1, 0.35, 0, 0, 0.80),
-                // mpegaudio: numeric kernels with some dispatch.
-                Benchmark::Mpegaudio => (416, 6, 2, 0.20, 15, 10, 8, (4, 9), 3, 6, 1, 0.10, 0, 0, 1.90),
-                // mtrt: intersect() everywhere — hot, heavily skewed virtuals.
-                Benchmark::Mtrt => (368, 10, 3, 0.65, 15, 3, 0, (2, 6), 3, 5, 1, 0.20, 0, 0, 0.91),
-                // jack: two parse phases, token I/O.
-                Benchmark::Jack => (477, 10, 3, 0.40, 7, 4, 0, (2, 6), 4, 3, 2, 0.25, 6, 4, 0.85),
-                // ipsixql: query phases over a persistent store.
-                Benchmark::Ipsixql => (459, 10, 3, 0.45, 7, 4, 0, (2, 6), 4, 3, 2, 0.25, 4, 4, 1.34),
-                // xerces: three-phase parse/validate/serialize.
-                Benchmark::Xerces => (719, 15, 3, 0.50, 3, 3, 0, (2, 6), 5, 3, 3, 0.30, 2, 3, 3.28),
-                // daikon: enormous flat method population.
-                Benchmark::Daikon => (1671, 28, 3, 0.40, 3, 3, 0, (2, 7), 7, 2, 1, 0.35, 0, 0, 4.51),
-                // kawa: even more methods, short run — hard to converge.
-                Benchmark::Kawa => (1794, 30, 3, 0.45, 3, 2, 0, (1, 4), 7, 2, 1, 0.35, 0, 0, 0.95),
-                // jbb: transaction mix over warehouse objects.
-                Benchmark::Jbb => (597, 12, 3, 0.50, 7, 4, 0, (2, 6), 3, 4, 1, 0.20, 3, 3, 2.00),
-                // soot: large flat analysis framework.
-                Benchmark::Soot => (1215, 24, 3, 0.45, 3, 3, 0, (2, 6), 6, 2, 1, 0.35, 0, 0, 1.67),
-            };
+        let (
+            num_methods,
+            families,
+            fanout,
+            poly,
+            mask,
+            work,
+            leaf_loop,
+            leaf_work,
+            tiers,
+            hot_repeat,
+            phases,
+            chain,
+            io_sites,
+            io_cost,
+            secs,
+        ) = match self {
+            // compress: few, loopy numeric methods; one dominant edge.
+            Benchmark::Compress => (
+                243,
+                3,
+                2,
+                0.15,
+                15,
+                8,
+                6,
+                (4, 10),
+                2,
+                8,
+                1,
+                0.10,
+                0,
+                0,
+                1.38,
+            ),
+            // jess: rule dispatch — many virtual sites, skewed.
+            Benchmark::Jess => (662, 14, 3, 0.60, 7, 3, 0, (2, 6), 4, 3, 1, 0.25, 0, 0, 0.92),
+            // db: small and loop-dominated.
+            Benchmark::Db => (258, 5, 2, 0.30, 7, 5, 2, (2, 6), 3, 5, 1, 0.15, 0, 0, 0.46),
+            // javac: flat profile, 50/50 receiver splits, deep chains.
+            Benchmark::Javac => (939, 24, 3, 0.50, 1, 4, 0, (2, 8), 6, 2, 1, 0.35, 0, 0, 0.80),
+            // mpegaudio: numeric kernels with some dispatch.
+            Benchmark::Mpegaudio => (
+                416,
+                6,
+                2,
+                0.20,
+                15,
+                10,
+                8,
+                (4, 9),
+                3,
+                6,
+                1,
+                0.10,
+                0,
+                0,
+                1.90,
+            ),
+            // mtrt: intersect() everywhere — hot, heavily skewed virtuals.
+            Benchmark::Mtrt => (
+                368,
+                10,
+                3,
+                0.65,
+                15,
+                3,
+                0,
+                (2, 6),
+                3,
+                5,
+                1,
+                0.20,
+                0,
+                0,
+                0.91,
+            ),
+            // jack: two parse phases, token I/O.
+            Benchmark::Jack => (477, 10, 3, 0.40, 7, 4, 0, (2, 6), 4, 3, 2, 0.25, 6, 4, 0.85),
+            // ipsixql: query phases over a persistent store.
+            Benchmark::Ipsixql => (459, 10, 3, 0.45, 7, 4, 0, (2, 6), 4, 3, 2, 0.25, 4, 4, 1.34),
+            // xerces: three-phase parse/validate/serialize.
+            Benchmark::Xerces => (719, 15, 3, 0.50, 3, 3, 0, (2, 6), 5, 3, 3, 0.30, 2, 3, 3.28),
+            // daikon: enormous flat method population.
+            Benchmark::Daikon => (
+                1671,
+                28,
+                3,
+                0.40,
+                3,
+                3,
+                0,
+                (2, 7),
+                7,
+                2,
+                1,
+                0.35,
+                0,
+                0,
+                4.51,
+            ),
+            // kawa: even more methods, short run — hard to converge.
+            Benchmark::Kawa => (
+                1794,
+                30,
+                3,
+                0.45,
+                3,
+                2,
+                0,
+                (1, 4),
+                7,
+                2,
+                1,
+                0.35,
+                0,
+                0,
+                0.95,
+            ),
+            // jbb: transaction mix over warehouse objects.
+            Benchmark::Jbb => (597, 12, 3, 0.50, 7, 4, 0, (2, 6), 3, 4, 1, 0.20, 3, 3, 2.00),
+            // soot: large flat analysis framework.
+            Benchmark::Soot => (
+                1215,
+                24,
+                3,
+                0.45,
+                3,
+                3,
+                0,
+                (2, 6),
+                6,
+                2,
+                1,
+                0.35,
+                0,
+                0,
+                1.67,
+            ),
+        };
         WorkloadSpec {
             name: self.name().to_owned(),
             seed: 0x5EED_0000 + self as u64,
@@ -175,8 +286,14 @@ mod tests {
     #[test]
     fn every_benchmark_builds_small() {
         for b in Benchmark::all() {
-            let p = b.build(InputSize::Small).unwrap_or_else(|e| panic!("{b}: {e}"));
-            assert_eq!(p.num_methods() as u32, b.spec(InputSize::Small).num_methods, "{b}");
+            let p = b
+                .build(InputSize::Small)
+                .unwrap_or_else(|e| panic!("{b}: {e}"));
+            assert_eq!(
+                p.num_methods() as u32,
+                b.spec(InputSize::Small).num_methods,
+                "{b}"
+            );
         }
     }
 

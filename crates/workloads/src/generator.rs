@@ -16,8 +16,7 @@ use crate::spec::WorkloadSpec;
 use cbs_bytecode::{
     BuildError, ClassId, CodeBuilder, MethodId, Program, ProgramBuilder, VirtualSlot,
 };
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cbs_prng::SmallRng;
 
 /// The single vtable slot every dispatch family implements.
 const SLOT: VirtualSlot = VirtualSlot::new(0);
@@ -83,40 +82,26 @@ pub fn build(spec: &WorkloadSpec) -> Result<Program, BuildError> {
     // --- Virtual leaf methods ------------------------------------------
     for (f, &(base, sub)) in fams.iter().enumerate() {
         let trivial_base = f % 4 == 0;
-        let base_impl = b.function(
-            format!("{}.F{f}.virt", spec.name),
-            base,
-            1,
-            2,
-            |c| {
-                if trivial_base {
-                    c.load(0).get_field(0).ret();
-                } else {
-                    emit_virtual_leaf_body(c, spec, &mut rng);
-                }
-            },
-        )?;
+        let base_impl = b.function(format!("{}.F{f}.virt", spec.name), base, 1, 2, |c| {
+            if trivial_base {
+                c.load(0).get_field(0).ret();
+            } else {
+                emit_virtual_leaf_body(c, spec, &mut rng);
+            }
+        })?;
         b.set_vtable(base, SLOT, base_impl);
-        let sub_impl = b.function(
-            format!("{}.F{f}Sub.virt", spec.name),
-            sub,
-            1,
-            2,
-            |c| emit_virtual_leaf_body(c, spec, &mut rng),
-        )?;
+        let sub_impl = b.function(format!("{}.F{f}Sub.virt", spec.name), sub, 1, 2, |c| {
+            emit_virtual_leaf_body(c, spec, &mut rng)
+        })?;
         b.set_vtable(sub, SLOT, sub_impl);
     }
 
     // --- Direct leaf methods -------------------------------------------
     let mut direct_leaves: Vec<MethodId> = Vec::with_capacity(num_direct_leaves as usize);
     for l in 0..num_direct_leaves {
-        let id = b.function(
-            format!("{}.leaf{l}", spec.name),
-            ctx_cls,
-            1,
-            2,
-            |c| emit_direct_leaf_body(c, spec, &mut rng),
-        )?;
+        let id = b.function(format!("{}.leaf{l}", spec.name), ctx_cls, 1, 2, |c| {
+            emit_direct_leaf_body(c, spec, &mut rng)
+        })?;
         direct_leaves.push(id);
     }
 
@@ -153,7 +138,7 @@ pub fn build(spec: &WorkloadSpec) -> Result<Program, BuildError> {
             } else {
                 // Hot-biased leaf selection: square the uniform draw so
                 // low-index leaves dominate.
-                let u: f64 = rng.gen::<f64>();
+                let u: f64 = rng.gen_f64();
                 let idx = ((u * u) * f64::from(num_direct_leaves)) as u32;
                 SitePlan::Direct(direct_leaves[idx.min(num_direct_leaves - 1) as usize])
             };
@@ -484,18 +469,8 @@ mod tests {
     #[test]
     fn scaled_spec_runs_longer() {
         let spec = small_spec();
-        let base = derive_iterations(
-            &spec,
-            &[vec![vec![MethodId::new(0)]]],
-            1,
-            2,
-        );
-        let big = derive_iterations(
-            &spec.scaled(4.0),
-            &[vec![vec![MethodId::new(0)]]],
-            1,
-            2,
-        );
+        let base = derive_iterations(&spec, &[vec![vec![MethodId::new(0)]]], 1, 2);
+        let big = derive_iterations(&spec.scaled(4.0), &[vec![vec![MethodId::new(0)]]], 1, 2);
         assert!(big > base * 2);
     }
 }

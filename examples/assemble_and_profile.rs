@@ -79,7 +79,10 @@ entry main
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = assemble(SOURCE)?;
-    println!("{}", cbs_repro::bytecode::disasm::method(&program, program.entry()));
+    println!(
+        "{}",
+        cbs_repro::bytecode::disasm::method(&program, program.entry())
+    );
 
     let m = measure(
         &program,
@@ -97,7 +100,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         m.exec.calls,
         m.perfect.num_edges()
     );
-    println!("{:<28} {:>9} {:>10} {:>9}", "mechanism", "samples", "overhead%", "accuracy");
+    println!(
+        "{:<28} {:>9} {:>10} {:>9}",
+        "mechanism", "samples", "overhead%", "accuracy"
+    );
     for o in &m.outcomes {
         println!(
             "{:<28} {:>9} {:>10.3} {:>9.1}",

@@ -69,10 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nthe flat DCG collapses them into a single edge:");
     for (edge, w) in cbs.dcg().edges_by_weight() {
         if edge.callee == helper {
-            println!(
-                "  {} -> helper: {w}",
-                program.method(edge.caller).name()
-            );
+            println!("  {} -> helper: {w}", program.method(edge.caller).name());
         }
     }
     Ok(())

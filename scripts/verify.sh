@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full offline verification gate: tier-1 (release build + tests) plus
+# formatting and lint checks. Run from the repository root.
+#
+# The workspace has zero external dependencies (randomness comes from the
+# in-repo cbs-prng crate, benches from cbs-bench), so everything here runs
+# with --offline against the committed Cargo.lock.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --offline --locked --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release (tier-1)"
+cargo build --offline --locked --release
+
+echo "==> cargo test -q (tier-1)"
+cargo test --offline --locked -q
+
+echo "==> cargo test -q --workspace (member-crate unit tests)"
+cargo test --offline --locked -q --workspace
+
+echo "OK: all gates passed"

@@ -103,8 +103,7 @@ fn pc_sampler_builds_context_tree_but_misses_calls() {
     assert!(pc.cct().max_depth() >= 2);
     // M dominates the stack; the short calls are nearly invisible.
     let total = pc.dcg().total_weight();
-    let short = pc.dcg().incoming_weight(handles.call_1)
-        + pc.dcg().incoming_weight(handles.call_2);
+    let short = pc.dcg().incoming_weight(handles.call_1) + pc.dcg().incoming_weight(handles.call_2);
     assert!(
         short < total * 0.2,
         "stack sampling should miss the short calls: {short}/{total}"

@@ -75,13 +75,19 @@ fn assembled_program_runs_and_profiles() {
     assert_eq!(m.exec.calls, 40_000);
     let cbs = &m.outcomes[0];
     assert!(cbs.samples > 0);
-    assert!(cbs.accuracy > 80.0, "two-edge profile converges: {}", cbs.accuracy);
+    assert!(
+        cbs.accuracy > 80.0,
+        "two-edge profile converges: {}",
+        cbs.accuracy
+    );
 }
 
 #[test]
 fn assembled_program_inlines_correctly() {
     let mut program = assemble(PROGRAM).unwrap();
-    let before = Vm::new(&program, VmConfig::default()).run_unprofiled().unwrap();
+    let before = Vm::new(&program, VmConfig::default())
+        .run_unprofiled()
+        .unwrap();
     let m = measure(
         &program,
         VmConfig::default(),
@@ -96,7 +102,9 @@ fn assembled_program_inlines_correctly() {
         true,
     );
     assert!(report.total_inlines() >= 2, "{report:?}");
-    let after = Vm::new(&program, VmConfig::default()).run_unprofiled().unwrap();
+    let after = Vm::new(&program, VmConfig::default())
+        .run_unprofiled()
+        .unwrap();
     assert_eq!(before.return_values, after.return_values);
     assert!(after.calls < before.calls);
     assert!(after.cycles < before.cycles);
@@ -119,8 +127,8 @@ fn generated_benchmark_round_trips_through_assembly() {
     let spec = Benchmark::Db.spec(InputSize::Small).scaled(0.02);
     let original = cbs_repro::workloads::generator::build(&spec).unwrap();
     let text = cbs_repro::bytecode::disassemble(&original);
-    let rebuilt = cbs_repro::bytecode::assemble(&text)
-        .unwrap_or_else(|e| panic!("reassembly failed: {e}"));
+    let rebuilt =
+        cbs_repro::bytecode::assemble(&text).unwrap_or_else(|e| panic!("reassembly failed: {e}"));
     assert_eq!(rebuilt.num_methods(), original.num_methods());
     assert_eq!(rebuilt.num_classes(), original.num_classes());
 

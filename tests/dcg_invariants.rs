@@ -92,8 +92,20 @@ fn profiles_round_trip_through_text() {
     // A deserialized profile drives the inliner identically.
     let mut a = program.clone();
     let mut b = program.clone();
-    inline_program(&mut a, Some(dcg), &NewLinearPolicy::default(), &InlineBudget::default(), false);
-    inline_program(&mut b, Some(&parsed), &NewLinearPolicy::default(), &InlineBudget::default(), false);
+    inline_program(
+        &mut a,
+        Some(dcg),
+        &NewLinearPolicy::default(),
+        &InlineBudget::default(),
+        false,
+    );
+    inline_program(
+        &mut b,
+        Some(&parsed),
+        &NewLinearPolicy::default(),
+        &InlineBudget::default(),
+        false,
+    );
     assert_eq!(a, b);
 }
 

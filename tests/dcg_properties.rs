@@ -1,79 +1,121 @@
 //! Property tests on the DCG metric layer: the overlap metric's bounds,
-//! symmetry, and identity behavior, over arbitrary weighted graphs.
+//! symmetry, and identity behavior, over randomized weighted graphs
+//! (driven by the in-repo `cbs_prng::prop` harness).
 
+use cbs_prng::prop::run_cases;
+use cbs_prng::SmallRng;
 use cbs_repro::dcg::{overlap, CallEdge, DynamicCallGraph};
 use cbs_repro::prelude::*;
-use proptest::prelude::*;
 
-fn arb_dcg(max_edges: usize) -> impl Strategy<Value = DynamicCallGraph> {
-    prop::collection::vec(
-        ((0u32..20, 0u32..40, 0u32..20), 1u32..1000),
-        1..max_edges,
-    )
-    .prop_map(|entries| {
-        let mut g = DynamicCallGraph::new();
-        for ((caller, site, callee), w) in entries {
-            g.record(
-                CallEdge::new(
-                    cbs_repro::bytecode::MethodId::new(caller),
-                    cbs_repro::bytecode::CallSiteId::new(site),
-                    cbs_repro::bytecode::MethodId::new(callee),
-                ),
-                f64::from(w),
-            );
-        }
-        g
-    })
+const CASES: u64 = 48;
+
+fn arb_dcg(rng: &mut SmallRng, max_edges: usize) -> DynamicCallGraph {
+    let n = rng.gen_range(1..=max_edges);
+    let mut g = DynamicCallGraph::new();
+    for _ in 0..n {
+        let caller = rng.gen_range(0u32..20);
+        let site = rng.gen_range(0u32..40);
+        let callee = rng.gen_range(0u32..20);
+        let w = rng.gen_range(1u32..1000);
+        g.record(
+            CallEdge::new(
+                cbs_repro::bytecode::MethodId::new(caller),
+                cbs_repro::bytecode::CallSiteId::new(site),
+                cbs_repro::bytecode::MethodId::new(callee),
+            ),
+            f64::from(w),
+        );
+    }
+    g
 }
 
-proptest! {
-    #[test]
-    fn overlap_is_bounded(a in arb_dcg(30), b in arb_dcg(30)) {
+#[test]
+fn overlap_is_bounded() {
+    run_cases("overlap_is_bounded", CASES, |rng| {
+        let a = arb_dcg(rng, 30);
+        let b = arb_dcg(rng, 30);
         let o = overlap(&a, &b);
-        prop_assert!((0.0..=100.0 + 1e-9).contains(&o), "overlap {o}");
-    }
+        assert!((0.0..=100.0 + 1e-9).contains(&o), "overlap {o}");
+    });
+}
 
-    #[test]
-    fn overlap_is_symmetric(a in arb_dcg(30), b in arb_dcg(30)) {
-        prop_assert!((overlap(&a, &b) - overlap(&b, &a)).abs() < 1e-9);
-    }
+#[test]
+fn overlap_is_symmetric() {
+    run_cases("overlap_is_symmetric", CASES, |rng| {
+        let a = arb_dcg(rng, 30);
+        let b = arb_dcg(rng, 30);
+        assert!((overlap(&a, &b) - overlap(&b, &a)).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn self_overlap_is_100(a in arb_dcg(30)) {
-        prop_assert!((overlap(&a, &a) - 100.0).abs() < 1e-9);
-    }
+#[test]
+fn self_overlap_is_100() {
+    run_cases("self_overlap_is_100", CASES, |rng| {
+        let a = arb_dcg(rng, 30);
+        assert!((overlap(&a, &a) - 100.0).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn overlap_is_scale_invariant(a in arb_dcg(30), k in 1u32..100) {
+#[test]
+fn overlap_is_scale_invariant() {
+    run_cases("overlap_is_scale_invariant", CASES, |rng| {
+        let a = arb_dcg(rng, 30);
+        let k = rng.gen_range(1u32..100);
         let mut scaled = DynamicCallGraph::new();
         for (e, w) in a.iter() {
             scaled.record(*e, w * f64::from(k));
         }
-        prop_assert!((overlap(&a, &scaled) - 100.0).abs() < 1e-9);
-    }
+        assert!((overlap(&a, &scaled) - 100.0).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn merge_total_is_sum(a in arb_dcg(30), b in arb_dcg(30)) {
+#[test]
+fn merge_total_is_sum() {
+    run_cases("merge_total_is_sum", CASES, |rng| {
+        let a = arb_dcg(rng, 30);
+        let b = arb_dcg(rng, 30);
         let mut m = a.clone();
         m.merge(&b);
-        prop_assert!((m.total_weight() - (a.total_weight() + b.total_weight())).abs() < 1e-6);
-        prop_assert!(m.num_edges() <= a.num_edges() + b.num_edges());
-    }
+        assert!((m.total_weight() - (a.total_weight() + b.total_weight())).abs() < 1e-6);
+        assert!(m.num_edges() <= a.num_edges() + b.num_edges());
+    });
+}
 
-    #[test]
-    fn decay_scales_weights(a in arb_dcg(30), factor in 0.1f64..1.0) {
+#[test]
+fn merged_graphs_self_overlap_at_100() {
+    // Regression property for the parallel runner's reduction step: the
+    // weight_percent denominator stays consistent after merge/merge_all.
+    run_cases("merged_graphs_self_overlap_at_100", CASES, |rng| {
+        let shards: Vec<DynamicCallGraph> = (0..rng.gen_range(2usize..6))
+            .map(|_| arb_dcg(rng, 20))
+            .collect();
+        let merged = DynamicCallGraph::merge_all(&shards);
+        assert!((overlap(&merged, &merged) - 100.0).abs() < 1e-9);
+        let reversed = DynamicCallGraph::merge_all(shards.iter().rev());
+        assert_eq!(merged, reversed, "integer-weight merges are order-exact");
+    });
+}
+
+#[test]
+fn decay_scales_weights() {
+    run_cases("decay_scales_weights", CASES, |rng| {
+        let a = arb_dcg(rng, 30);
+        let factor = 0.1 + 0.9 * rng.gen_f64();
         let mut d = a.clone();
         d.decay(factor, 0.0);
-        prop_assert!((d.total_weight() - a.total_weight() * factor).abs() < 1e-6);
-    }
+        assert!((d.total_weight() - a.total_weight() * factor).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn site_distribution_sums_to_site_weight(a in arb_dcg(30)) {
+#[test]
+fn site_distribution_sums_to_site_weight() {
+    run_cases("site_distribution_sums_to_site_weight", CASES, |rng| {
+        let a = arb_dcg(rng, 30);
         for site in a.sites() {
             let dist_sum: f64 = a.site_distribution(site).iter().map(|(_, w)| w).sum();
-            prop_assert!((dist_sum - a.site_weight(site)).abs() < 1e-9);
+            assert!((dist_sum - a.site_weight(site)).abs() < 1e-9);
         }
-    }
+    });
 }
 
 #[test]
@@ -99,7 +141,10 @@ fn sampling_more_converges_toward_truth() {
         acc[2] > acc[0] + 5.0,
         "64 samples/tick must clearly beat 1: {acc:?}"
     );
-    assert!(acc[1] >= acc[0] - 2.0, "8 should not be worse than 1: {acc:?}");
+    assert!(
+        acc[1] >= acc[0] - 2.0,
+        "8 should not be worse than 1: {acc:?}"
+    );
 }
 
 trait Pipe: Sized {

@@ -2,8 +2,8 @@
 //! each must run, render, and show the paper's qualitative trend.
 
 use cbs_repro::experiments::{
-    exhaustive_overhead, figure1_demo, figure5, inliner_ablation, patching_vs_cbs, table1,
-    table2, table3, Table2Options,
+    exhaustive_overhead, figure1_demo, figure5, inliner_ablation, patching_vs_cbs, table1, table2,
+    table3, Table2Options,
 };
 use cbs_repro::prelude::*;
 
@@ -34,7 +34,11 @@ fn table2_grid_trends() {
 
 #[test]
 fn table3_cbs_dominates_base() {
-    let t = table3(0.2, Some(&[Benchmark::Jess, Benchmark::Mtrt, Benchmark::Javac])).unwrap();
+    let t = table3(
+        0.2,
+        Some(&[Benchmark::Jess, Benchmark::Mtrt, Benchmark::Javac]),
+    )
+    .unwrap();
     for r in &t.rows {
         assert!(
             r.jikes_cbs.1 > r.jikes_base.1,
@@ -55,7 +59,11 @@ fn table3_cbs_dominates_base() {
 fn figure1_reproduces_the_bias() {
     let d = figure1_demo(150, 40_000).unwrap();
     let timer = d.rows.iter().find(|r| r.profiler == "timer").unwrap();
-    let cbs = d.rows.iter().find(|r| r.profiler.starts_with("cbs")).unwrap();
+    let cbs = d
+        .rows
+        .iter()
+        .find(|r| r.profiler.starts_with("cbs"))
+        .unwrap();
     assert!(timer.call_1_pct > 70.0, "timer bias: {timer:?}");
     assert!(cbs.accuracy > timer.accuracy + 20.0);
 }
@@ -79,7 +87,12 @@ fn figure5_jikes_cbs_never_degrades() {
 
 #[test]
 fn figure5_j9_timer_only_hurts() {
-    let f = figure5(VmFlavor::J9, 0.3, Some(&[Benchmark::Jess, Benchmark::Javac])).unwrap();
+    let f = figure5(
+        VmFlavor::J9,
+        0.3,
+        Some(&[Benchmark::Jess, Benchmark::Javac]),
+    )
+    .unwrap();
     for r in &f.rows {
         assert!(
             r.timer_speedup_pct < 0.0,
@@ -116,9 +129,12 @@ fn frequency_sweep_shows_structural_bias() {
     assert_eq!(f.timer_rows.len(), 3);
     // Faster ticking does not fix the timer's accuracy …
     let accs: Vec<f64> = f.timer_rows.iter().map(|r| r.2).collect();
-    let spread = accs.iter().cloned().fold(0.0, f64::max)
-        - accs.iter().cloned().fold(100.0, f64::min);
-    assert!(spread < 10.0, "accuracy should be frequency-insensitive: {accs:?}");
+    let spread =
+        accs.iter().cloned().fold(0.0, f64::max) - accs.iter().cloned().fold(100.0, f64::min);
+    assert!(
+        spread < 10.0,
+        "accuracy should be frequency-insensitive: {accs:?}"
+    );
     // … while CBS at stock frequency is far more accurate.
     assert!(f.cbs_row.1 > accs[0] + 25.0);
     assert!(f.render().contains("1600 Hz"));

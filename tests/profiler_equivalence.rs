@@ -94,7 +94,9 @@ fn timer_equals_cbs_1_1() {
 #[test]
 fn profiling_does_not_perturb_execution() {
     let program = workload();
-    let bare = Vm::new(&program, VmConfig::default()).run_unprofiled().unwrap();
+    let bare = Vm::new(&program, VmConfig::default())
+        .run_unprofiled()
+        .unwrap();
     let mut grid = MultiProfiler::new();
     for stride in [1, 3, 7] {
         for samples in [1, 8, 64] {
@@ -103,7 +105,9 @@ fn profiling_does_not_perturb_execution() {
             ))));
         }
     }
-    let profiled = Vm::new(&program, VmConfig::default()).run(&mut grid).unwrap();
+    let profiled = Vm::new(&program, VmConfig::default())
+        .run(&mut grid)
+        .unwrap();
     assert_eq!(bare, profiled, "observers must not change the observation");
 }
 

@@ -19,9 +19,13 @@ fn tick_histogram_matches_exact_exclusive_time() {
             .scaled(scale)
             .pipe(|s| cbs_repro::workloads::generator::build(&s).unwrap());
         let mut tracer = CallTreeTracer::new();
-        Vm::new(&program, VmConfig::default()).run(&mut tracer).unwrap();
+        Vm::new(&program, VmConfig::default())
+            .run(&mut tracer)
+            .unwrap();
         let mut hot = HotMethodSampler::new();
-        Vm::new(&program, VmConfig::default()).run(&mut hot).unwrap();
+        Vm::new(&program, VmConfig::default())
+            .run(&mut hot)
+            .unwrap();
         // Compare the two distributions with the paper's overlap idea:
         // Σ min(share_ticks, share_exclusive) over methods.
         let total_ticks = hot.total() as f64;
@@ -40,7 +44,10 @@ fn tick_histogram_matches_exact_exclusive_time() {
     // distribution (Figure 1 / frequency-sweep experiments).
     let short = overlap_at(1.0);
     let long = overlap_at(4.0);
-    assert!(long > short + 10.0, "no convergence: {short:.1} -> {long:.1}");
+    assert!(
+        long > short + 10.0,
+        "no convergence: {short:.1} -> {long:.1}"
+    );
     assert!(long > 60.0, "long-run overlap too low: {long:.1}");
 }
 

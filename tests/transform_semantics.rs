@@ -3,69 +3,77 @@
 //! The inliner and optimizer are exercised over the randomized workload
 //! generator: for any spec in the strategy space, the transformed program
 //! must compute identical results with no more simulated cycles … and the
-//! whole pipeline must stay deterministic.
+//! whole pipeline must stay deterministic. (Driven by the in-repo
+//! `cbs_prng::prop` harness.)
 
+use cbs_prng::prop::run_cases;
+use cbs_prng::SmallRng;
 use cbs_repro::prelude::*;
 use cbs_repro::workloads::WorkloadSpec;
-use proptest::prelude::*;
 
-fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
-    (
-        1u64..1000,
-        20u32..80,
-        2u32..5,
-        0.0f64..0.9,
-        prop_oneof![Just(0i64), Just(1), Just(3), Just(7), Just(15)],
-        1u32..8,
-        1u32..4,
-        1u32..3,
-        0.0f64..0.5,
-    )
-        .prop_map(
-            |(seed, num_methods, fanout, poly, mask, work, tiers, phases, chain)| WorkloadSpec {
-                name: format!("prop{seed}"),
-                seed,
-                num_methods: num_methods.max(4 * 2 + 3 + fanout),
-                families: 3,
-                fanout,
-                polymorphic_fraction: poly,
-                receiver_mask: mask,
-                work_per_call: work,
-                leaf_loop: 0,
-                leaf_work: (1, 5),
-                tiers,
-                hot_repeat: 2,
-                phases,
-                chain_fraction: chain,
-                io_sites: 1,
-                io_cost: 2,
-                target_seconds: 0.002,
-            },
-        )
+const CASES: u64 = 24;
+const SLOW_CASES: u64 = 12;
+
+fn arb_spec(rng: &mut SmallRng) -> WorkloadSpec {
+    let seed = rng.gen_range(1u64..1000);
+    let num_methods = rng.gen_range(20u32..80);
+    let fanout = rng.gen_range(2u32..5);
+    let poly = 0.9 * rng.gen_f64();
+    let mask = [0i64, 1, 3, 7, 15][rng.gen_range(0usize..5)];
+    let work = rng.gen_range(1u32..8);
+    let tiers = rng.gen_range(1u32..4);
+    let phases = rng.gen_range(1u32..3);
+    let chain = 0.5 * rng.gen_f64();
+    WorkloadSpec {
+        name: format!("prop{seed}"),
+        seed,
+        num_methods: num_methods.max(4 * 2 + 3 + fanout),
+        families: 3,
+        fanout,
+        polymorphic_fraction: poly,
+        receiver_mask: mask,
+        work_per_call: work,
+        leaf_loop: 0,
+        leaf_work: (1, 5),
+        tiers,
+        hot_repeat: 2,
+        phases,
+        chain_fraction: chain,
+        io_sites: 1,
+        io_cost: 2,
+        target_seconds: 0.002,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn generated_programs_verify_and_run(spec in arb_spec()) {
+#[test]
+fn generated_programs_verify_and_run() {
+    run_cases("generated_programs_verify_and_run", CASES, |rng| {
+        let spec = arb_spec(rng);
         let program = cbs_repro::workloads::generator::build(&spec).unwrap();
-        let report = Vm::new(&program, VmConfig::default()).run_unprofiled().unwrap();
-        prop_assert!(report.instructions > 0);
-        prop_assert!(report.calls > 0);
-    }
+        let report = Vm::new(&program, VmConfig::default())
+            .run_unprofiled()
+            .unwrap();
+        assert!(report.instructions > 0);
+        assert!(report.calls > 0);
+    });
+}
 
-    #[test]
-    fn inlining_preserves_semantics(spec in arb_spec()) {
+#[test]
+fn inlining_preserves_semantics() {
+    run_cases("inlining_preserves_semantics", CASES, |rng| {
+        let spec = arb_spec(rng);
         let program = cbs_repro::workloads::generator::build(&spec).unwrap();
-        let before = Vm::new(&program, VmConfig::default()).run_unprofiled().unwrap();
+        let before = Vm::new(&program, VmConfig::default())
+            .run_unprofiled()
+            .unwrap();
 
         // Profile, then inline with the paper's policy.
         let m = measure(
             &program,
             VmConfig::default(),
             vec![Box::new(CounterBasedSampler::new(CbsConfig::new(3, 8)))],
-        ).unwrap();
+        )
+        .unwrap();
         let mut optimized = program.clone();
         inline_program(
             &mut optimized,
@@ -74,45 +82,67 @@ proptest! {
             &InlineBudget::default(),
             true,
         );
-        let after = Vm::new(&optimized, VmConfig::default()).run_unprofiled().unwrap();
-        prop_assert_eq!(&before.return_values, &after.return_values,
-            "inlining changed program results");
-        prop_assert!(after.cycles <= before.cycles,
+        let after = Vm::new(&optimized, VmConfig::default())
+            .run_unprofiled()
+            .unwrap();
+        assert_eq!(
+            &before.return_values, &after.return_values,
+            "inlining changed program results"
+        );
+        assert!(
+            after.cycles <= before.cycles,
             "inlining+optimization made the program slower: {} -> {}",
-            before.cycles, after.cycles);
-        prop_assert!(after.calls <= before.calls);
-    }
+            before.cycles,
+            after.cycles
+        );
+        assert!(after.calls <= before.calls);
+    });
+}
 
-    #[test]
-    fn optimizer_alone_preserves_semantics(spec in arb_spec()) {
+#[test]
+fn optimizer_alone_preserves_semantics() {
+    run_cases("optimizer_alone_preserves_semantics", CASES, |rng| {
+        let spec = arb_spec(rng);
         let program = cbs_repro::workloads::generator::build(&spec).unwrap();
-        let before = Vm::new(&program, VmConfig::default()).run_unprofiled().unwrap();
+        let before = Vm::new(&program, VmConfig::default())
+            .run_unprofiled()
+            .unwrap();
         let mut optimized = program.clone();
         cbs_repro::opt::Optimizer::new().optimize_program(&mut optimized);
-        let after = Vm::new(&optimized, VmConfig::default()).run_unprofiled().unwrap();
-        prop_assert_eq!(&before.return_values, &after.return_values);
-        prop_assert!(after.instructions <= before.instructions);
-    }
+        let after = Vm::new(&optimized, VmConfig::default())
+            .run_unprofiled()
+            .unwrap();
+        assert_eq!(&before.return_values, &after.return_values);
+        assert!(after.instructions <= before.instructions);
+    });
+}
 
-    #[test]
-    fn guarded_inlining_with_wrong_class_is_safe(spec in arb_spec()) {
+#[test]
+fn guarded_inlining_with_wrong_class_is_safe() {
+    run_cases("guarded_inlining_with_wrong_class_is_safe", CASES, |rng| {
         // Force guarded inlining of the *rare* receiver everywhere the
         // profile saw a polymorphic site: guards mostly miss, the slow
         // path must keep semantics intact.
+        let spec = arb_spec(rng);
         let program = cbs_repro::workloads::generator::build(&spec).unwrap();
-        let before = Vm::new(&program, VmConfig::default()).run_unprofiled().unwrap();
+        let before = Vm::new(&program, VmConfig::default())
+            .run_unprofiled()
+            .unwrap();
         let m = measure(
             &program,
             VmConfig::default(),
             vec![Box::new(CounterBasedSampler::new(CbsConfig::new(1, 64)))],
-        ).unwrap();
+        )
+        .unwrap();
         let dcg = &m.outcomes[0].dcg;
         let mut optimized = program.clone();
         // A policy that guards the least-frequent observed target.
         #[derive(Debug)]
         struct WrongWay;
         impl cbs_repro::inliner::InlinePolicy for WrongWay {
-            fn name(&self) -> String { "wrong-way".into() }
+            fn name(&self) -> String {
+                "wrong-way".into()
+            }
             fn should_inline_direct(&self, _: &cbs_repro::inliner::DirectContext) -> bool {
                 false
             }
@@ -120,7 +150,12 @@ proptest! {
                 &self,
                 ctx: &cbs_repro::inliner::VirtualContext,
             ) -> Vec<cbs_repro::bytecode::MethodId> {
-                ctx.targets.last().map(|t| vec![t.callee]).into_iter().flatten().collect()
+                ctx.targets
+                    .last()
+                    .map(|t| vec![t.callee])
+                    .into_iter()
+                    .flatten()
+                    .collect()
             }
         }
         inline_program(
@@ -130,39 +165,58 @@ proptest! {
             &InlineBudget::default(),
             true,
         );
-        let after = Vm::new(&optimized, VmConfig::default()).run_unprofiled().unwrap();
-        prop_assert_eq!(&before.return_values, &after.return_values,
-            "mispredicted guards must fall back correctly");
-    }
+        let after = Vm::new(&optimized, VmConfig::default())
+            .run_unprofiled()
+            .unwrap();
+        assert_eq!(
+            &before.return_values, &after.return_values,
+            "mispredicted guards must fall back correctly"
+        );
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn assembly_round_trip_preserves_behavior() {
+    run_cases(
+        "assembly_round_trip_preserves_behavior",
+        SLOW_CASES,
+        |rng| {
+            let spec = arb_spec(rng);
+            let original = cbs_repro::workloads::generator::build(&spec).unwrap();
+            let text = cbs_repro::bytecode::disassemble(&original);
+            let rebuilt =
+                cbs_repro::bytecode::assemble(&text).unwrap_or_else(|e| panic!("reassembly: {e}"));
+            let a = Vm::new(&original, VmConfig::default())
+                .run_unprofiled()
+                .unwrap();
+            let b = Vm::new(&rebuilt, VmConfig::default())
+                .run_unprofiled()
+                .unwrap();
+            assert_eq!(a.return_values, b.return_values);
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.invocations, b.invocations);
+        },
+    );
+}
 
-    #[test]
-    fn assembly_round_trip_preserves_behavior(spec in arb_spec()) {
-        let original = cbs_repro::workloads::generator::build(&spec).unwrap();
-        let text = cbs_repro::bytecode::disassemble(&original);
-        let rebuilt = cbs_repro::bytecode::assemble(&text)
-            .map_err(|e| TestCaseError::fail(format!("reassembly: {e}")))?;
-        let a = Vm::new(&original, VmConfig::default()).run_unprofiled().unwrap();
-        let b = Vm::new(&rebuilt, VmConfig::default()).run_unprofiled().unwrap();
-        prop_assert_eq!(a.return_values, b.return_values);
-        prop_assert_eq!(a.cycles, b.cycles);
-        prop_assert_eq!(a.invocations, b.invocations);
-    }
-
-    #[test]
-    fn dcg_serialization_round_trips_profiles(spec in arb_spec()) {
-        let program = cbs_repro::workloads::generator::build(&spec).unwrap();
-        let m = measure(
-            &program,
-            VmConfig::default(),
-            vec![Box::new(CounterBasedSampler::new(CbsConfig::new(3, 4)))],
-        ).unwrap();
-        let text = cbs_repro::dcg::serialize::to_text(&m.outcomes[0].dcg);
-        let parsed = cbs_repro::dcg::serialize::from_text(&text)
-            .map_err(|e| TestCaseError::fail(format!("parse: {e}")))?;
-        prop_assert_eq!(&parsed, &m.outcomes[0].dcg);
-    }
+#[test]
+fn dcg_serialization_round_trips_profiles() {
+    run_cases(
+        "dcg_serialization_round_trips_profiles",
+        SLOW_CASES,
+        |rng| {
+            let spec = arb_spec(rng);
+            let program = cbs_repro::workloads::generator::build(&spec).unwrap();
+            let m = measure(
+                &program,
+                VmConfig::default(),
+                vec![Box::new(CounterBasedSampler::new(CbsConfig::new(3, 4)))],
+            )
+            .unwrap();
+            let text = cbs_repro::dcg::serialize::to_text(&m.outcomes[0].dcg);
+            let parsed = cbs_repro::dcg::serialize::from_text(&text)
+                .unwrap_or_else(|e| panic!("parse: {e}"));
+            assert_eq!(&parsed, &m.outcomes[0].dcg);
+        },
+    );
 }
