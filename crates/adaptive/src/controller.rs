@@ -242,6 +242,10 @@ impl cbs_vm::Profiler for IterationProfilers {
     fn on_exit(&mut self, event: &cbs_vm::CallEvent<'_>) {
         self.cbs.on_exit(event);
     }
+    fn on_finish(&mut self, clock: u64) {
+        self.hot.on_finish(clock);
+        self.cbs.on_finish(clock);
+    }
 }
 
 #[cfg(test)]

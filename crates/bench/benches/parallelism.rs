@@ -5,7 +5,7 @@
 //! smaller machines (including single-core CI) the speedup is reported
 //! but cannot physically manifest, so it is not asserted.
 
-use cbs_bench::BenchGroup;
+use cbs_bench::{smoke_mode, BenchGroup};
 use cbs_core::experiments::{table2, Table2Options};
 use cbs_core::parallel::Parallelism;
 use cbs_core::vm::VmFlavor;
@@ -37,7 +37,9 @@ fn main() {
     assert_eq!(a, b, "jobs=4 must render byte-identically to jobs=1");
     println!("determinism: jobs=1 and jobs=4 renditions are byte-identical");
 
-    if cores >= 4 {
+    if smoke_mode() {
+        println!("(speedup not asserted: smoke mode, single-iteration timings are noise)");
+    } else if cores >= 4 {
         assert!(
             speedup >= 2.0,
             "expected >=2x speedup with 4 jobs on a {cores}-core host, got {speedup:.2}x"

@@ -11,6 +11,18 @@
 
 use std::time::{Duration, Instant};
 
+/// Returns `true` when benches run in smoke mode (`CBS_BENCH_SMOKE=1`).
+///
+/// `scripts/verify.sh --bench-smoke` sets the variable so every bench
+/// binary compiles and executes end-to-end in CI on a tiny budget:
+/// [`BenchGroup`] clamps itself to one timed iteration with no warmup,
+/// and benches should skip wall-clock *assertions* (timings on a loaded
+/// CI host are noise) and artifact writes while still exercising every
+/// code path.
+pub fn smoke_mode() -> bool {
+    std::env::var_os("CBS_BENCH_SMOKE").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
 /// Result of one named benchmark: per-iteration wall times.
 #[derive(Debug, Clone)]
 pub struct BenchResult {
@@ -67,12 +79,20 @@ pub struct BenchGroup {
 impl BenchGroup {
     /// Creates a group running `iters` timed iterations per bench after
     /// one warmup iteration.
+    ///
+    /// Under [`smoke_mode`] the group clamps to a single timed iteration
+    /// with no warmup, whatever `iters` says.
     pub fn new(name: &str, iters: u32) -> Self {
+        let (warmup, iters) = if smoke_mode() {
+            (0, 1)
+        } else {
+            (1, iters.max(1))
+        };
         eprintln!("== bench group `{name}` ({iters} iters) ==");
         Self {
             name: name.to_owned(),
-            warmup: 1,
-            iters: iters.max(1),
+            warmup,
+            iters,
             results: Vec::new(),
         }
     }

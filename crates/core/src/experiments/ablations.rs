@@ -545,6 +545,10 @@ pub fn context_sensitivity_with(
                     self.0.on_exit(ev);
                     self.1.on_exit(ev);
                 }
+                fn on_finish(&mut self, clock: u64) {
+                    self.0.on_finish(clock);
+                    self.1.on_finish(clock);
+                }
             }
             let mut both = Both(&mut cbs, &mut flat_truth);
             Vm::new(&program, VmConfig::default())

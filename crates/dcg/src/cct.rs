@@ -97,9 +97,28 @@ impl CallingContextTree {
 
     /// Records `weight` samples of `path`.
     pub fn add_weighted_sample(&mut self, path: &[ContextStep], weight: f64) -> CctNodeId {
+        self.add_weighted_sample_iter(path.iter().copied(), weight)
+    }
+
+    /// Records one sample whose path (outermost first) is yielded by
+    /// `steps`, without requiring a materialized slice.
+    ///
+    /// This is the hot-path entry point: samplers feed
+    /// `StackSlice::context_steps()` straight into the tree walk, so a
+    /// context-sensitive sample costs no allocation.
+    pub fn add_sample_iter(&mut self, steps: impl IntoIterator<Item = ContextStep>) -> CctNodeId {
+        self.add_weighted_sample_iter(steps, 1.0)
+    }
+
+    /// Records `weight` samples of the path yielded by `steps`.
+    pub fn add_weighted_sample_iter(
+        &mut self,
+        steps: impl IntoIterator<Item = ContextStep>,
+        weight: f64,
+    ) -> CctNodeId {
         let mut cur = CctNodeId::ROOT;
-        for step in path {
-            cur = self.child_or_insert(cur, *step);
+        for step in steps {
+            cur = self.child_or_insert(cur, step);
         }
         self.nodes[cur.index()].weight += weight;
         cur

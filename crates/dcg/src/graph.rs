@@ -2,25 +2,53 @@
 
 use crate::edge::CallEdge;
 use cbs_bytecode::{CallSiteId, MethodId};
-use std::collections::BTreeMap;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// A dynamic call graph: observed call edges with sample weights.
 ///
 /// Weights are `f64` so the graph can represent exact counts (exhaustive
 /// profiling), sample counts (sampling profilers) and decayed weights
-/// (continuous profiling) uniformly. Only edges with positive weight are
-/// stored; recording zero weight is a no-op.
+/// (continuous profiling) uniformly.
 ///
-/// Edges are stored in a `BTreeMap`, so iteration order is the edge order
-/// and therefore *deterministic*: every floating-point reduction over a
-/// graph (totals, overlap sums, merges) visits edges identically on every
-/// run and on every shard of a parallel experiment. This is what makes
-/// the sharded experiment runner's output bit-identical to the serial
-/// path.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// # Weight contract
+///
+/// Only *positive, finite* weights are stored. Recording a zero,
+/// negative, infinite or NaN weight is a silent no-op in every build
+/// profile — callers that want to reject such weights must validate
+/// before calling [`record`](Self::record). (Historically debug builds
+/// asserted while release builds accepted; the behavior is now uniform.)
+///
+/// # Storage layout and determinism
+///
+/// Edges live in an indexed store tuned for the profiling hot path: a
+/// hash map interns each edge to a dense slot, and weights live in a flat
+/// `Vec<f64>`, so the per-sample cost of [`record_sample`] is one hash
+/// lookup and one add — no tree rebalancing, no ordered insertion.
+///
+/// Determinism is preserved by the *sorted-at-boundary invariant*: a
+/// permutation of the slots in ascending edge order is maintained on
+/// (rare) first-insertions, and **every** iteration and floating-point
+/// reduction — [`iter`], [`merge`], totals, per-method and per-site sums
+/// — walks edges in that order. Iteration order is therefore the edge
+/// order, exactly as with the previous `BTreeMap` store: every reduction
+/// over a graph visits edges identically on every run and on every shard
+/// of a parallel experiment, which is what keeps the sharded experiment
+/// runner's output bit-identical to the serial path.
+///
+/// [`record_sample`]: Self::record_sample
+/// [`iter`]: Self::iter
+/// [`merge`]: Self::merge
+#[derive(Debug, Clone, Default)]
 pub struct DynamicCallGraph {
-    weights: BTreeMap<CallEdge, f64>,
+    /// Edge → dense slot.
+    index: HashMap<CallEdge, u32>,
+    /// Slot → edge, in first-observation order.
+    edges: Vec<CallEdge>,
+    /// Slot → accumulated weight (parallel to `edges`).
+    weights: Vec<f64>,
+    /// Slots in ascending edge order (the sorted-at-boundary invariant).
+    sorted: Vec<u32>,
     total: f64,
 }
 
@@ -30,17 +58,33 @@ impl DynamicCallGraph {
         Self::default()
     }
 
+    /// Adds `weight` to `edge`'s slot, interning a new slot if needed.
+    /// Does not touch `total`; callers keep it consistent.
+    fn bump(&mut self, edge: CallEdge, weight: f64) {
+        match self.index.entry(edge) {
+            Entry::Occupied(slot) => self.weights[*slot.get() as usize] += weight,
+            Entry::Vacant(v) => {
+                let slot = self.edges.len() as u32;
+                v.insert(slot);
+                self.edges.push(edge);
+                self.weights.push(weight);
+                let edges = &self.edges;
+                let pos = self.sorted.partition_point(|&s| edges[s as usize] < edge);
+                self.sorted.insert(pos, slot);
+            }
+        }
+    }
+
     /// Records `weight` additional observations of `edge`.
     ///
-    /// # Panics
-    ///
-    /// Panics (debug builds) if `weight` is negative or non-finite.
+    /// Non-positive and non-finite weights are ignored (see the type-level
+    /// weight contract); this holds identically in debug and release
+    /// builds.
     pub fn record(&mut self, edge: CallEdge, weight: f64) {
-        debug_assert!(weight.is_finite() && weight >= 0.0, "bad weight {weight}");
-        if weight <= 0.0 {
+        if weight <= 0.0 || !weight.is_finite() {
             return;
         }
-        *self.weights.entry(edge).or_insert(0.0) += weight;
+        self.bump(edge, weight);
         self.total += weight;
     }
 
@@ -49,9 +93,27 @@ impl DynamicCallGraph {
         self.record(edge, 1.0);
     }
 
+    /// Records one observation of every edge in `edges`, in order.
+    ///
+    /// Equivalent to calling [`record_sample`](Self::record_sample) per
+    /// edge; this is the flush half of a buffer-then-flush sampling
+    /// profiler (CBS buffers a window's samples and flushes them here
+    /// when the window closes). Because unit weights are exactly
+    /// representable, the resulting graph — including the exact
+    /// floating-point total — depends only on the multiset of edges, not
+    /// on how the batch was split.
+    pub fn record_batch(&mut self, edges: &[CallEdge]) {
+        for &edge in edges {
+            self.bump(edge, 1.0);
+        }
+        self.total += edges.len() as f64;
+    }
+
     /// Absolute weight of `edge` (0 if absent).
     pub fn weight(&self, edge: &CallEdge) -> f64 {
-        self.weights.get(edge).copied().unwrap_or(0.0)
+        self.index
+            .get(edge)
+            .map_or(0.0, |&slot| self.weights[slot as usize])
     }
 
     /// `edge`'s share of the total weight, in **percent** (0–100).
@@ -72,23 +134,25 @@ impl DynamicCallGraph {
 
     /// Number of distinct edges.
     pub fn num_edges(&self) -> usize {
-        self.weights.len()
+        self.edges.len()
     }
 
     /// Returns `true` when no edge has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.weights.is_empty()
+        self.edges.is_empty()
     }
 
     /// Iterates over `(edge, weight)` pairs in ascending edge order.
     pub fn iter(&self) -> impl Iterator<Item = (&CallEdge, f64)> + '_ {
-        self.weights.iter().map(|(e, w)| (e, *w))
+        self.sorted
+            .iter()
+            .map(move |&s| (&self.edges[s as usize], self.weights[s as usize]))
     }
 
     /// All edges sorted by descending weight (ties broken by edge order,
     /// so the result is deterministic).
     pub fn edges_by_weight(&self) -> Vec<(CallEdge, f64)> {
-        let mut v: Vec<(CallEdge, f64)> = self.weights.iter().map(|(e, w)| (*e, *w)).collect();
+        let mut v: Vec<(CallEdge, f64)> = self.iter().map(|(e, w)| (*e, w)).collect();
         v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         v
     }
@@ -118,9 +182,13 @@ impl DynamicCallGraph {
     /// weights (every sampling and exhaustive profiler records unit
     /// samples) merging is exactly commutative and associative.
     pub fn merge(&mut self, other: &DynamicCallGraph) {
-        for (e, w) in other.iter() {
+        for (&e, w) in other
+            .sorted
+            .iter()
+            .map(|&s| (&other.edges[s as usize], other.weights[s as usize]))
+        {
             if w > 0.0 {
-                *self.weights.entry(*e).or_insert(0.0) += w;
+                self.bump(e, w);
             }
         }
         self.recompute_total();
@@ -146,7 +214,7 @@ impl DynamicCallGraph {
     /// weights after bulk operations, so `overlap(g, g) == 100` holds for
     /// merged graphs to within one rounding step per edge.
     fn recompute_total(&mut self) {
-        self.total = self.weights.values().sum();
+        self.total = self.sorted.iter().map(|&s| self.weights[s as usize]).sum();
     }
 
     /// Multiplies every weight by `factor` (exponential decay for
@@ -158,29 +226,44 @@ impl DynamicCallGraph {
     /// Panics (debug builds) if `factor` is negative or non-finite.
     pub fn decay(&mut self, factor: f64, min_weight: f64) {
         debug_assert!(factor.is_finite() && factor >= 0.0);
-        self.weights.retain(|_, w| {
+        for w in &mut self.weights {
             *w *= factor;
-            *w >= min_weight
-        });
-        self.total = self.weights.values().sum();
+        }
+        if self.weights.iter().any(|w| *w < min_weight) {
+            // Rare path: rebuild the store around the surviving edges,
+            // preserving first-observation order.
+            let survivors: Vec<(CallEdge, f64)> = self
+                .edges
+                .iter()
+                .zip(&self.weights)
+                .filter(|(_, &w)| w >= min_weight)
+                .map(|(&e, &w)| (e, w))
+                .collect();
+            self.index.clear();
+            self.edges.clear();
+            self.weights.clear();
+            self.sorted.clear();
+            for (e, w) in survivors {
+                self.bump(e, w);
+            }
+        }
+        self.recompute_total();
     }
 
     /// Total weight flowing out of `caller`.
     pub fn outgoing_weight(&self, caller: MethodId) -> f64 {
-        self.weights
-            .iter()
+        self.iter()
             .filter(|(e, _)| e.caller == caller)
-            .map(|(_, w)| *w)
+            .map(|(_, w)| w)
             .sum()
     }
 
     /// Total weight flowing into `callee` (its sampled invocation
     /// frequency).
     pub fn incoming_weight(&self, callee: MethodId) -> f64 {
-        self.weights
-            .iter()
+        self.iter()
             .filter(|(e, _)| e.callee == callee)
-            .map(|(_, w)| *w)
+            .map(|(_, w)| w)
             .sum()
     }
 
@@ -190,9 +273,9 @@ impl DynamicCallGraph {
     /// This is the input to the paper's 40% guarded-inlining rule.
     pub fn site_distribution(&self, site: CallSiteId) -> Vec<(MethodId, f64)> {
         let mut per_callee: HashMap<MethodId, f64> = HashMap::new();
-        for (e, w) in &self.weights {
+        for (e, w) in self.iter() {
             if e.site == site {
-                *per_callee.entry(e.callee).or_insert(0.0) += *w;
+                *per_callee.entry(e.callee).or_insert(0.0) += w;
             }
         }
         let mut v: Vec<(MethodId, f64)> = per_callee.into_iter().collect();
@@ -202,19 +285,29 @@ impl DynamicCallGraph {
 
     /// Weight observed at one call site across all callees.
     pub fn site_weight(&self, site: CallSiteId) -> f64 {
-        self.weights
-            .iter()
+        self.iter()
             .filter(|(e, _)| e.site == site)
-            .map(|(_, w)| *w)
+            .map(|(_, w)| w)
             .sum()
     }
 
     /// All distinct call sites with positive weight.
     pub fn sites(&self) -> Vec<CallSiteId> {
-        let mut v: Vec<CallSiteId> = self.weights.keys().map(|e| e.site).collect();
+        let mut v: Vec<CallSiteId> = self.edges.iter().map(|e| e.site).collect();
         v.sort_unstable();
         v.dedup();
         v
+    }
+}
+
+/// Graphs compare as (edge → weight) maps plus the running total, so
+/// equality is independent of first-observation order — the same
+/// semantics the previous ordered-map store had.
+impl PartialEq for DynamicCallGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.total == other.total
+            && self.edges.len() == other.edges.len()
+            && self.iter().eq(other.iter())
     }
 }
 
@@ -263,6 +356,44 @@ mod tests {
         let mut g = DynamicCallGraph::new();
         g.record(e(0, 0, 1), 0.0);
         assert!(g.is_empty());
+    }
+
+    #[test]
+    fn non_positive_and_non_finite_weights_ignored_uniformly() {
+        // The documented contract: bad weights are silent no-ops in every
+        // build profile (debug builds used to assert; release builds
+        // silently accepted — now both ignore).
+        let mut g = DynamicCallGraph::new();
+        g.record(e(0, 0, 1), -1.0);
+        g.record(e(0, 0, 1), f64::NAN);
+        g.record(e(0, 0, 1), f64::INFINITY);
+        g.record(e(0, 0, 1), f64::NEG_INFINITY);
+        assert!(g.is_empty());
+        assert_eq!(g.total_weight(), 0.0);
+        // A good weight still lands, and bad ones never perturb totals.
+        g.record(e(0, 0, 1), 2.0);
+        g.record(e(0, 0, 1), -3.0);
+        assert_eq!(g.weight(&e(0, 0, 1)), 2.0);
+        assert_eq!(g.total_weight(), 2.0);
+    }
+
+    #[test]
+    fn record_batch_matches_per_sample_recording() {
+        let edges = [e(1, 0, 2), e(0, 0, 1), e(1, 0, 2), e(2, 1, 0)];
+        let mut batched = DynamicCallGraph::new();
+        batched.record_batch(&edges);
+        let mut single = DynamicCallGraph::new();
+        for &edge in &edges {
+            single.record_sample(edge);
+        }
+        assert_eq!(batched, single);
+        assert_eq!(batched.total_weight(), 4.0);
+        // Splitting the batch does not change anything either.
+        let mut split = DynamicCallGraph::new();
+        split.record_batch(&edges[..1]);
+        split.record_batch(&edges[1..]);
+        split.record_batch(&[]);
+        assert_eq!(split, single);
     }
 
     #[test]
@@ -383,6 +514,19 @@ mod tests {
     }
 
     #[test]
+    fn equality_ignores_observation_order() {
+        let mut a = DynamicCallGraph::new();
+        a.record(e(2, 0, 0), 1.0);
+        a.record(e(0, 0, 1), 2.0);
+        let mut b = DynamicCallGraph::new();
+        b.record(e(0, 0, 1), 2.0);
+        b.record(e(2, 0, 0), 1.0);
+        assert_eq!(a, b, "first-observation order must not affect equality");
+        b.record(e(2, 0, 0), 0.5);
+        assert_ne!(a, b);
+    }
+
+    #[test]
     fn decay_scales_and_prunes() {
         let mut g = DynamicCallGraph::new();
         g.record(e(0, 0, 1), 10.0);
@@ -392,6 +536,10 @@ mod tests {
         assert_eq!(g.weight(&e(0, 1, 2)), 0.0, "pruned below min weight");
         assert_eq!(g.num_edges(), 1);
         assert!((g.total_weight() - 5.0).abs() < 1e-12);
+        // Pruned edges can be re-observed afresh.
+        g.record(e(0, 1, 2), 2.0);
+        assert_eq!(g.weight(&e(0, 1, 2)), 2.0);
+        assert_eq!(g.num_edges(), 2);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::costs::{OverheadMeter, ProfilingCosts};
 use crate::traits::CallGraphProfiler;
-use cbs_dcg::{CallingContextTree, DynamicCallGraph};
+use cbs_dcg::{CallEdge, CallingContextTree, DynamicCallGraph};
 use cbs_prng::SmallRng;
 use cbs_vm::{CallEvent, Profiler, StackSlice, ThreadId};
 
@@ -135,6 +135,14 @@ pub struct CounterBasedSampler {
     config: CbsConfig,
     threads: Vec<WindowState>,
     dcg: DynamicCallGraph,
+    /// Sampled edges not yet flushed into `dcg`. Samples are buffered
+    /// while windows are open and flushed in batches
+    /// ([`DynamicCallGraph::record_batch`]) when a window closes, when
+    /// the run finishes, and on [`CallGraphProfiler::take_dcg`] — so the
+    /// per-sample cost inside a window is one `Vec` push. Unit sample
+    /// weights sum exactly, so the resulting graph is identical to
+    /// per-sample recording no matter how the batches split.
+    pending: Vec<CallEdge>,
     cct: Option<CallingContextTree>,
     meter: OverheadMeter,
     samples: u64,
@@ -163,10 +171,19 @@ impl CounterBasedSampler {
             config,
             threads: Vec::new(),
             dcg: DynamicCallGraph::new(),
+            pending: Vec::new(),
             cct,
             meter: OverheadMeter::new(),
             samples: 0,
             seed,
+        }
+    }
+
+    /// Flushes buffered window samples into the graph.
+    fn flush_pending(&mut self) {
+        if !self.pending.is_empty() {
+            self.dcg.record_batch(&self.pending);
+            self.pending.clear();
         }
     }
 
@@ -216,9 +233,9 @@ impl CounterBasedSampler {
                 .sample_cost_millicycles(event.stack.depth()),
         );
         self.samples += 1;
-        self.dcg.record_sample(event.edge);
+        self.pending.push(event.edge);
         if let Some(cct) = &mut self.cct {
-            cct.add_sample(&event.stack.context_path());
+            cct.add_sample_iter(event.stack.context_steps());
         }
         let policy = self.config.skip_policy.clone();
         let stride = self.config.stride;
@@ -226,6 +243,7 @@ impl CounterBasedSampler {
         st.samples_left = st.samples_left.saturating_sub(1);
         if st.samples_left == 0 {
             st.enabled = false; // disable until next timer interrupt
+            self.flush_pending();
         } else {
             // Figure 3 resets to STRIDE; randomized policies re-draw so
             // window positions stay unbiased. The draw comes from this
@@ -267,6 +285,12 @@ impl Profiler for CounterBasedSampler {
         // yieldpoints are taken during a window.
         self.on_invocation_event(event);
     }
+
+    fn on_finish(&mut self, _clock: u64) {
+        // A window that outlives the run would otherwise strand its
+        // buffered samples.
+        self.flush_pending();
+    }
 }
 
 impl CallGraphProfiler for CounterBasedSampler {
@@ -282,6 +306,7 @@ impl CallGraphProfiler for CounterBasedSampler {
     }
 
     fn take_dcg(&mut self) -> DynamicCallGraph {
+        self.flush_pending();
         std::mem::take(&mut self.dcg)
     }
 
@@ -590,6 +615,39 @@ mod tests {
             first_sampled[0], first_sampled[1],
             "per-thread Random streams should differ"
         );
+    }
+
+    /// Window samples are buffered and batch-flushed; a window that is
+    /// still open when the run ends must flush on `on_finish` (the VM
+    /// delivers it once on successful completion), and `take_dcg` must
+    /// also flush for profilers driven outside a VM run.
+    #[test]
+    fn open_window_samples_flush_on_finish_and_take() {
+        use crate::traits::CallGraphProfiler as _;
+        let mk = || {
+            let mut s = CounterBasedSampler::new(CbsConfig {
+                stride: 1,
+                samples_per_tick: 100, // window stays open
+                skip_policy: SkipPolicy::Fixed,
+                ..CbsConfig::default()
+            });
+            let frames = event_frames();
+            s.on_tick(0, ThreadId(0), stack_slice(&frames));
+            for i in 0..5 {
+                fire_entry(&mut s, &frames, i);
+            }
+            assert_eq!(s.samples_taken(), 5);
+            s
+        };
+
+        let mut s = mk();
+        assert!(s.dcg().is_empty(), "samples still buffered mid-window");
+        s.on_finish(123);
+        assert_eq!(s.dcg().total_weight(), 5.0);
+
+        let mut s = mk();
+        let dcg = s.take_dcg();
+        assert_eq!(dcg.total_weight(), 5.0, "take_dcg flushes the buffer");
     }
 
     #[test]

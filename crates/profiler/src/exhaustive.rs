@@ -174,7 +174,7 @@ impl ExhaustiveCctProfiler {
 impl Profiler for ExhaustiveCctProfiler {
     fn on_entry(&mut self, event: &CallEvent<'_>) {
         self.calls += 1;
-        self.cct.add_sample(&event.stack.context_path());
+        self.cct.add_sample_iter(event.stack.context_steps());
     }
 }
 

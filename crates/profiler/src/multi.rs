@@ -126,6 +126,12 @@ impl Profiler for MultiProfiler {
             p.on_backedge(method, clock, thread);
         }
     }
+
+    fn on_finish(&mut self, clock: u64) {
+        for p in &mut self.profilers {
+            p.on_finish(clock);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -114,9 +114,8 @@ impl DcgOrganizer {
         if self.decay < 1.0 {
             self.dcg.decay(self.decay, self.min_weight);
         }
-        for edge in buffer.drain() {
-            self.dcg.record_sample(edge);
-        }
+        let batch = buffer.drain();
+        self.dcg.record_batch(&batch);
     }
 }
 

@@ -93,13 +93,16 @@ impl<'a> StackSlice<'a> {
             .expect("events are never delivered on empty stacks")
     }
 
-    /// The full calling context as [`ContextStep`]s, outermost first.
+    /// The full calling context as [`ContextStep`]s, outermost first,
+    /// without allocating.
     ///
     /// The entry frame's step uses the synthetic [`ROOT_SITE`], since it
-    /// has no caller.
-    pub fn context_path(&self) -> Vec<ContextStep> {
-        let mut path = Vec::with_capacity(self.frames.len());
-        for (i, f) in self.frames.iter().enumerate() {
+    /// has no caller. This is the hot-path form of
+    /// [`context_path`](Self::context_path): samplers that feed a calling
+    /// context tree walk the iterator directly instead of materializing a
+    /// `Vec<ContextStep>` per sample.
+    pub fn context_steps(&self) -> impl Iterator<Item = ContextStep> + '_ {
+        self.frames.iter().enumerate().map(|(i, f)| {
             let site = if i == 0 {
                 ROOT_SITE
             } else {
@@ -107,12 +110,20 @@ impl<'a> StackSlice<'a> {
                     .pending_site()
                     .expect("inner frames are reached through a call")
             };
-            path.push(ContextStep {
+            ContextStep {
                 site,
                 method: f.method(),
-            });
-        }
-        path
+            }
+        })
+    }
+
+    /// The full calling context as a `Vec<ContextStep>`, outermost first.
+    ///
+    /// Allocating convenience wrapper over
+    /// [`context_steps`](Self::context_steps); prefer the iterator on
+    /// per-sample paths.
+    pub fn context_path(&self) -> Vec<ContextStep> {
+        self.context_steps().collect()
     }
 }
 
@@ -157,6 +168,15 @@ pub trait Profiler {
     /// A loop backedge executed. Only delivered by the Jikes flavor.
     fn on_backedge(&mut self, method: MethodId, clock: u64, thread: ThreadId) {
         let _ = (method, clock, thread);
+    }
+
+    /// The run completed successfully at `clock`. Delivered exactly once,
+    /// after the last thread finishes and before the VM builds its
+    /// report. Profilers that buffer samples (e.g. CBS window batches)
+    /// flush them here so post-run graph reads observe every sample; it
+    /// is not delivered when the run traps.
+    fn on_finish(&mut self, clock: u64) {
+        let _ = clock;
     }
 }
 

@@ -29,6 +29,19 @@ impl Frame {
         }
     }
 
+    /// Reinitializes a recycled frame as if freshly built by
+    /// [`Frame::new`], reusing its allocations. Used by the interpreter's
+    /// per-thread frame pool so a call does not heap-allocate.
+    pub(crate) fn reset(&mut self, method: MethodId, num_locals: u16) {
+        self.method = method;
+        self.pc = 0;
+        self.locals.clear();
+        self.locals
+            .resize(usize::from(num_locals), Value::default());
+        self.stack.clear();
+        self.pending_site = None;
+    }
+
     /// The executing method.
     pub fn method(&self) -> MethodId {
         self.method

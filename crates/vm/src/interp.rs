@@ -26,6 +26,199 @@ use cbs_dcg::CallEdge;
 pub struct Vm<'p> {
     program: &'p Program,
     config: VmConfig,
+    /// Per-method instruction cost rows, precomputed once at
+    /// construction: `cost_rows[m][pc]` is the charge for executing
+    /// `methods[m].code()[pc]`, so the hot path reads a table instead of
+    /// re-matching [`CostModel::op_cost`](crate::CostModel::op_cost) on
+    /// every instruction.
+    cost_rows: Vec<Vec<u64>>,
+    /// Per-method superinstruction tables: `fused_rows[m][pc]` is the
+    /// fused run starting at that pc, if the code matches one of the
+    /// [`FusedKind`] templates. See [`scan_fused`].
+    fused_rows: Vec<Vec<Option<Box<Fused>>>>,
+}
+
+/// A superinstruction: a straight-line run of ops that [`Vm::run_with`]
+/// executes as one dispatch when no timer tick or fuel boundary can land
+/// inside it (`next_tick > clock + total_cost` and
+/// `clock + total_cost <= budget`). Under that guard the run contains no
+/// profiler-observable point — no tick, no trap, no call/return/backedge
+/// yieldpoint — so collapsing it changes nothing a profiler or the
+/// [`ExecReport`] can see: the clock advances by the same total, the
+/// instruction count by the same number of ops, and the frame ends in the
+/// same state the per-op path leaves. If the guard fails (or an operand
+/// is not an `Int`, where the per-op path could trap), the interpreter
+/// falls back to per-op execution of the very same ops.
+#[derive(Debug, Clone)]
+struct Fused {
+    /// Sum of the constituent ops' costs.
+    total_cost: u64,
+    /// Number of constituent ops (for the `instructions` counter).
+    num_ops: u64,
+    /// pc after the run (fall-through pc for [`FusedKind::TestBranch`]).
+    next_pc: u32,
+    kind: FusedKind,
+}
+
+#[derive(Debug, Clone)]
+enum FusedKind {
+    /// One or more `Load(s), Const(k), <int binop>, Store(s)` quads on a
+    /// single slot — the dominant straight-line pattern in generated
+    /// workloads — folded into the local in registers.
+    WorkRun { slot: u16, steps: Box<[(Op, i64)]> },
+    /// `Load(s), <int binop>, Store(s)`: folds the value on top of the
+    /// operand stack into a local (`s = v <op> s`), the accumulate idiom
+    /// emitted after every call.
+    FoldAccum { slot: u16, op: Op },
+    /// `Load(s), Const(k), <op>, JumpIfZero/NonZero(target)` with a
+    /// *forward* target — a guard branch. Forward jumps are not
+    /// backedges, so the per-op path fires no yieldpoint here either.
+    TestBranch {
+        slot: u16,
+        k: i64,
+        op: Op,
+        target: u32,
+        jump_if_zero: bool,
+    },
+}
+
+/// Integer binops whose fused evaluation cannot trap and exactly matches
+/// the per-op arms when both operands are `Int`.
+fn fusible_int_binop(op: Op) -> bool {
+    matches!(
+        op,
+        Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Shl
+            | Op::Shr
+            | Op::CmpLt
+            | Op::CmpGt
+    )
+}
+
+/// Evaluates `a <op> b` exactly as the corresponding per-op arm does.
+fn apply_int(op: Op, a: i64, b: i64) -> i64 {
+    match op {
+        Op::Add => a.wrapping_add(b),
+        Op::Sub => a.wrapping_sub(b),
+        Op::Mul => a.wrapping_mul(b),
+        Op::And => a & b,
+        Op::Or => a | b,
+        Op::Xor => a ^ b,
+        Op::Shl => a.wrapping_shl(b as u32 & 63),
+        Op::Shr => a.wrapping_shr(b as u32 & 63),
+        Op::CmpLt => i64::from(a < b),
+        Op::CmpGt => i64::from(a > b),
+        Op::CmpEq => i64::from(a == b),
+        Op::Div => a.wrapping_div(b),
+        Op::Rem => a.wrapping_rem(b),
+        _ => unreachable!("scan_fused only admits int binops"),
+    }
+}
+
+/// Builds the superinstruction table for one method: a maximal-munch
+/// linear scan for the [`FusedKind`] templates. Runs are recorded only at
+/// their first pc; a jump that lands inside a run simply executes per-op
+/// from there (correct, just not fused).
+fn scan_fused(code: &[Op], costs: &[u64]) -> Vec<Option<Box<Fused>>> {
+    let mut out: Vec<Option<Box<Fused>>> = vec![None; code.len()];
+    let mut p = 0usize;
+    while p < code.len() {
+        let Op::Load(slot) = code[p] else {
+            p += 1;
+            continue;
+        };
+
+        // WorkRun: maximal run of Load/Const/binop/Store quads on `slot`.
+        let mut q = p;
+        let mut steps: Vec<(Op, i64)> = Vec::new();
+        let mut total = 0u64;
+        while q + 3 < code.len() {
+            let (Op::Load(a), Op::Const(k)) = (code[q], code[q + 1]) else {
+                break;
+            };
+            let op3 = code[q + 2];
+            let Op::Store(b) = code[q + 3] else {
+                break;
+            };
+            // Div/Rem by a non-zero constant cannot trap either.
+            let fusible = fusible_int_binop(op3) || (matches!(op3, Op::Div | Op::Rem) && k != 0);
+            if a != slot || b != slot || !fusible {
+                break;
+            }
+            steps.push((op3, k));
+            total += costs[q] + costs[q + 1] + costs[q + 2] + costs[q + 3];
+            q += 4;
+        }
+        if !steps.is_empty() {
+            out[p] = Some(Box::new(Fused {
+                total_cost: total,
+                num_ops: (q - p) as u64,
+                next_pc: q as u32,
+                kind: FusedKind::WorkRun {
+                    slot,
+                    steps: steps.into_boxed_slice(),
+                },
+            }));
+            p = q;
+            continue;
+        }
+
+        // TestBranch: Load/Const/op/forward-JumpIf*.
+        if p + 3 < code.len() {
+            if let Op::Const(k) = code[p + 1] {
+                let op3 = code[p + 2];
+                if fusible_int_binop(op3) || matches!(op3, Op::CmpEq) {
+                    let jump = match code[p + 3] {
+                        Op::JumpIfZero(t) => Some((t, true)),
+                        Op::JumpIfNonZero(t) => Some((t, false)),
+                        _ => None,
+                    };
+                    let jump_pc = (p + 3) as u32;
+                    if let Some((target, jump_if_zero)) = jump {
+                        if target > jump_pc {
+                            out[p] = Some(Box::new(Fused {
+                                total_cost: costs[p..=p + 3].iter().sum(),
+                                num_ops: 4,
+                                next_pc: jump_pc + 1,
+                                kind: FusedKind::TestBranch {
+                                    slot,
+                                    k,
+                                    op: op3,
+                                    target,
+                                    jump_if_zero,
+                                },
+                            }));
+                            p += 4;
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+
+        // FoldAccum: Load/binop/Store on the same slot.
+        if p + 2 < code.len() {
+            let op2 = code[p + 1];
+            if fusible_int_binop(op2) && matches!(code[p + 2], Op::Store(b) if b == slot) {
+                out[p] = Some(Box::new(Fused {
+                    total_cost: costs[p..=p + 2].iter().sum(),
+                    num_ops: 3,
+                    next_pc: (p + 3) as u32,
+                    kind: FusedKind::FoldAccum { slot, op: op2 },
+                }));
+                p += 3;
+                continue;
+            }
+        }
+
+        p += 1;
+    }
+    out
 }
 
 #[derive(Debug)]
@@ -33,6 +226,9 @@ struct ThreadState {
     frames: Vec<Frame>,
     done: bool,
     result: Value,
+    /// Retired frames recycled by calls, so the steady-state call path
+    /// performs no heap allocation (see [`push_callee`]).
+    pool: Vec<Frame>,
 }
 
 impl<'p> Vm<'p> {
@@ -44,7 +240,24 @@ impl<'p> Vm<'p> {
     ///
     /// [`ProgramBuilder::build`]: cbs_bytecode::ProgramBuilder::build
     pub fn new(program: &'p Program, config: VmConfig) -> Self {
-        Self { program, config }
+        let cost = &config.cost;
+        let cost_rows: Vec<Vec<u64>> = program
+            .methods()
+            .iter()
+            .map(|m| m.code().iter().map(|op| cost.op_cost(op)).collect())
+            .collect();
+        let fused_rows = program
+            .methods()
+            .iter()
+            .zip(&cost_rows)
+            .map(|(m, costs)| scan_fused(m.code(), costs))
+            .collect();
+        Self {
+            program,
+            config,
+            cost_rows,
+            fused_rows,
+        }
     }
 
     /// The program under execution.
@@ -59,14 +272,21 @@ impl<'p> Vm<'p> {
 
     /// Runs the program to completion with no profiler attached.
     ///
+    /// Monomorphized over [`NullProfiler`], so the event hooks compile to
+    /// nothing.
+    ///
     /// # Errors
     ///
     /// Returns a [`VmError`] on any runtime trap.
     pub fn run_unprofiled(&self) -> Result<ExecReport, VmError> {
-        self.run(&mut NullProfiler)
+        self.run_with(&mut NullProfiler)
     }
 
     /// Runs the program to completion, reporting events to `profiler`.
+    ///
+    /// Thin wrapper over [`Vm::run_with`] for callers that hold a
+    /// `&mut dyn Profiler`; callers with a concrete profiler type should
+    /// prefer `run_with`, which monomorphizes the event hooks away.
     ///
     /// # Errors
     ///
@@ -74,6 +294,526 @@ impl<'p> Vm<'p> {
     /// overflow, out-of-range field access, unresolvable dispatch, or an
     /// exhausted cycle budget.
     pub fn run(&self, profiler: &mut dyn Profiler) -> Result<ExecReport, VmError> {
+        self.run_with(profiler)
+    }
+
+    /// Runs the program to completion, reporting events to `profiler`.
+    ///
+    /// This is the hot path of every experiment. It is generic over the
+    /// profiler (`?Sized`, so `P = dyn Profiler` also works) and applies
+    /// four micro-architectural optimizations relative to the reference
+    /// interpreter ([`Vm::run_reference`]), none of which change any
+    /// observable behavior — reports, event sequences and trap points are
+    /// bit-identical (pinned by `tests/dispatch_equivalence.rs`):
+    ///
+    /// 1. **Monomorphized dispatch** — with a concrete `P`, profiler
+    ///    hooks inline; for [`NullProfiler`] they vanish entirely.
+    /// 2. **Cached code cursor, detached top frame** — the running
+    ///    thread's top frame is popped off the frame stack and held in a
+    ///    local along with its pc and the executing method's code slice
+    ///    and precomputed cost row (built once in [`Vm::new`]), so the
+    ///    per-op path performs no `Vec` accesses, no frame pc
+    ///    loads/stores, and no `CostModel::op_cost` re-match. The frame
+    ///    is reattached (pc written back) wherever the stack is
+    ///    observable: tick delivery, call entry/exit, thread switch.
+    /// 3. **Cheap liveness / budget checks** — a live-thread counter
+    ///    replaces the per-slice `threads.iter().any(..)` scan, and an
+    ///    absent `max_cycles` budget becomes `u64::MAX` so the per-op
+    ///    fuel check is one always-false compare instead of an `Option`
+    ///    test.
+    /// 4. **Frame pooling** — returned frames are recycled through a
+    ///    per-thread pool, so steady-state calls do not heap-allocate.
+    /// 5. **Superinstruction fusion** — straight-line op runs matching
+    ///    the [`FusedKind`] templates (detected once in [`Vm::new`])
+    ///    execute as a single dispatch whenever no timer tick or fuel
+    ///    boundary can land inside the run; otherwise the same ops run
+    ///    through the ordinary per-op path, so every observable event
+    ///    falls at exactly the same cycle either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on division by zero, type mismatch, stack
+    /// overflow, out-of-range field access, unresolvable dispatch, or an
+    /// exhausted cycle budget.
+    pub fn run_with<P: Profiler + ?Sized>(&self, profiler: &mut P) -> Result<ExecReport, VmError> {
+        let program = self.program;
+        let flavor = self.config.flavor;
+        let period = self.config.timer_period();
+        let entry = program.entry();
+        let entry_locals = program.method(entry).num_locals();
+        let cost_rows = self.cost_rows.as_slice();
+
+        let mut heap = Heap::new();
+        let mut invocations = vec![0u64; program.num_methods()];
+        let mut threads: Vec<ThreadState> = (0..self.config.num_threads.max(1))
+            .map(|_| {
+                invocations[entry.index()] += 1;
+                ThreadState {
+                    frames: vec![Frame::new(entry, entry_locals)],
+                    done: false,
+                    result: Value::default(),
+                    pool: Vec::new(),
+                }
+            })
+            .collect();
+
+        let jitter = self.config.timer_jitter.min(period.saturating_sub(1));
+        let mut jitter_state = self.config.timer_seed | 1;
+        let mut draw_period = move || {
+            if jitter == 0 {
+                return period;
+            }
+            // xorshift64: deterministic, cheap, seeded.
+            jitter_state ^= jitter_state << 13;
+            jitter_state ^= jitter_state >> 7;
+            jitter_state ^= jitter_state << 17;
+            period - jitter + jitter_state % (2 * jitter + 1)
+        };
+
+        let mut clock: u64 = 0;
+        let mut next_tick: u64 = draw_period();
+        let mut ticks: u64 = 0;
+        let mut instructions: u64 = 0;
+        let mut calls: u64 = 0;
+        let mut cur = 0usize;
+        // An absent budget becomes an unreachable one, keeping the per-op
+        // fuel check branchless in spirit: one compare, always false.
+        let budget = self.config.max_cycles.unwrap_or(u64::MAX);
+        let mut live = threads.len();
+
+        while live > 0 {
+            if threads[cur].done {
+                cur = (cur + 1) % threads.len();
+                continue;
+            }
+            let tid = ThreadId(cur as u32);
+            let t = &mut threads[cur];
+            let mut pending_switch = false;
+
+            // The code cursor: the running thread's top frame is detached
+            // from the frame stack and held in a local, together with its
+            // pc and the executing method's code slice and cost row, so
+            // the per-op path touches no `Vec` at all. The frame is
+            // reattached — with the register-held pc written back — at
+            // every point where the stack becomes observable (tick
+            // delivery, call entry/exit, thread switch, completion), so
+            // profiler hooks see exactly the stack the reference
+            // interpreter shows.
+            let mut frame = t.frames.pop().expect("running thread has frames");
+            let mut mid = frame.method();
+            let mut pc = frame.pc();
+            let mut code = program.method(mid).code();
+            let mut costs = cost_rows[mid.index()].as_slice();
+            let mut fused = self.fused_rows[mid.index()].as_slice();
+
+            'slice: loop {
+                // Superinstruction fast path: execute a whole fused run in
+                // one dispatch when no tick or fuel boundary can land
+                // inside it and the operands are `Int`s (so the per-op
+                // path could not trap). Otherwise fall through and
+                // interpret the same ops one at a time.
+                if let Some(f) = fused[pc as usize].as_deref() {
+                    let end_clock = clock + f.total_cost;
+                    if next_tick > end_clock && end_clock <= budget {
+                        let next = match &f.kind {
+                            FusedKind::WorkRun { slot, steps } => {
+                                if let Value::Int(mut x) = frame.locals()[usize::from(*slot)] {
+                                    for &(op, k) in steps.iter() {
+                                        x = apply_int(op, x, k);
+                                    }
+                                    frame.locals_mut()[usize::from(*slot)] = Value::Int(x);
+                                    Some(f.next_pc)
+                                } else {
+                                    None
+                                }
+                            }
+                            FusedKind::FoldAccum { slot, op } => {
+                                match (
+                                    frame.stack().last().copied(),
+                                    frame.locals()[usize::from(*slot)],
+                                ) {
+                                    (Some(Value::Int(v)), Value::Int(loc)) => {
+                                        frame.pop();
+                                        frame.locals_mut()[usize::from(*slot)] =
+                                            Value::Int(apply_int(*op, v, loc));
+                                        Some(f.next_pc)
+                                    }
+                                    _ => None,
+                                }
+                            }
+                            FusedKind::TestBranch {
+                                slot,
+                                k,
+                                op,
+                                target,
+                                jump_if_zero,
+                            } => {
+                                if let Value::Int(loc) = frame.locals()[usize::from(*slot)] {
+                                    let v = apply_int(*op, loc, *k);
+                                    let jump = if *jump_if_zero { v == 0 } else { v != 0 };
+                                    Some(if jump { *target } else { f.next_pc })
+                                } else {
+                                    None
+                                }
+                            }
+                        };
+                        if let Some(next_pc) = next {
+                            clock = end_clock;
+                            instructions += f.num_ops;
+                            pc = next_pc;
+                            continue;
+                        }
+                    }
+                }
+
+                let op = code[pc as usize];
+
+                clock += costs[pc as usize];
+                instructions += 1;
+                if clock > budget {
+                    return Err(VmError::OutOfFuel { budget });
+                }
+                // ── Tick-at-yieldpoint semantics ────────────────────────
+                // The virtual timer is checked once per instruction,
+                // *after* the instruction's cost is charged and *before*
+                // it executes. A tick whose deadline lands inside the
+                // instruction's cost interval is therefore delivered at
+                // the instruction boundary — the sampled pc is the
+                // instruction about to execute — and `pending_switch` is
+                // raised before the op's own yieldpoint logic runs. In
+                // particular a backedge (`Op::Jump`, or a conditional
+                // jump with target <= pc) observes a tick that landed
+                // "inside" the jump itself and yields at that very
+                // backedge; there is no one-op delay, and ticks are never
+                // delivered mid-op. If one expensive op (e.g. `Op::Io`)
+                // spans several timer periods, every elapsed deadline
+                // fires, in order, at the same boundary. The regression
+                // test `tick_counts_are_pinned_per_flavor` pins exact
+                // tick counts for a tight loop under both flavors.
+                if next_tick <= clock {
+                    frame.set_pc(pc);
+                    t.frames.push(frame);
+                    while next_tick <= clock {
+                        ticks += 1;
+                        profiler.on_tick(next_tick, tid, StackSlice::new(&t.frames));
+                        next_tick += draw_period();
+                        pending_switch = true;
+                    }
+                    frame = t.frames.pop().expect("frame reattached for tick delivery");
+                }
+
+                match op {
+                    Op::Const(v) => {
+                        frame.push(Value::Int(v));
+                        pc += 1;
+                    }
+                    Op::Load(n) => {
+                        let v = frame.locals()[usize::from(n)];
+                        frame.push(v);
+                        pc += 1;
+                    }
+                    Op::Store(n) => {
+                        let v = pop_val(&mut frame, mid, pc)?;
+                        frame.locals_mut()[usize::from(n)] = v;
+                        pc += 1;
+                    }
+                    Op::Dup => {
+                        let v = frame
+                            .peek(0)
+                            .ok_or(VmError::OperandUnderflow { method: mid, pc })?;
+                        frame.push(v);
+                        pc += 1;
+                    }
+                    Op::Pop => {
+                        pop_val(&mut frame, mid, pc)?;
+                        pc += 1;
+                    }
+                    Op::Swap => {
+                        let b = pop_val(&mut frame, mid, pc)?;
+                        let a = pop_val(&mut frame, mid, pc)?;
+                        frame.push(b);
+                        frame.push(a);
+                        pc += 1;
+                    }
+                    Op::Add
+                    | Op::Sub
+                    | Op::Mul
+                    | Op::And
+                    | Op::Or
+                    | Op::Xor
+                    | Op::Shl
+                    | Op::Shr
+                    | Op::CmpLt
+                    | Op::CmpGt => {
+                        let b = pop_int(&mut frame, mid, pc)?;
+                        let a = pop_int(&mut frame, mid, pc)?;
+                        let r = match op {
+                            Op::Add => a.wrapping_add(b),
+                            Op::Sub => a.wrapping_sub(b),
+                            Op::Mul => a.wrapping_mul(b),
+                            Op::And => a & b,
+                            Op::Or => a | b,
+                            Op::Xor => a ^ b,
+                            Op::Shl => a.wrapping_shl(b as u32 & 63),
+                            Op::Shr => a.wrapping_shr(b as u32 & 63),
+                            Op::CmpLt => i64::from(a < b),
+                            Op::CmpGt => i64::from(a > b),
+                            _ => unreachable!(),
+                        };
+                        frame.push(Value::Int(r));
+                        pc += 1;
+                    }
+                    Op::Div | Op::Rem => {
+                        let b = pop_int(&mut frame, mid, pc)?;
+                        let a = pop_int(&mut frame, mid, pc)?;
+                        if b == 0 {
+                            return Err(VmError::DivisionByZero { method: mid, pc });
+                        }
+                        let r = if matches!(op, Op::Div) {
+                            a.wrapping_div(b)
+                        } else {
+                            a.wrapping_rem(b)
+                        };
+                        frame.push(Value::Int(r));
+                        pc += 1;
+                    }
+                    Op::Neg => {
+                        let a = pop_int(&mut frame, mid, pc)?;
+                        frame.push(Value::Int(a.wrapping_neg()));
+                        pc += 1;
+                    }
+                    Op::CmpEq => {
+                        let b = pop_val(&mut frame, mid, pc)?;
+                        let a = pop_val(&mut frame, mid, pc)?;
+                        frame.push(Value::Int(i64::from(a == b)));
+                        pc += 1;
+                    }
+                    Op::Jump(target) => {
+                        let backedge = target <= pc;
+                        pc = target;
+                        if backedge && flavor.has_backedge_yieldpoints() {
+                            profiler.on_backedge(mid, clock, tid);
+                            if pending_switch {
+                                frame.set_pc(pc);
+                                t.frames.push(frame);
+                                break 'slice;
+                            }
+                        }
+                    }
+                    Op::JumpIfZero(target) | Op::JumpIfNonZero(target) => {
+                        let v = pop_val(&mut frame, mid, pc)?;
+                        let jump = if matches!(op, Op::JumpIfZero(_)) {
+                            !v.is_truthy()
+                        } else {
+                            v.is_truthy()
+                        };
+                        if jump {
+                            let backedge = target <= pc;
+                            pc = target;
+                            if backedge && flavor.has_backedge_yieldpoints() {
+                                profiler.on_backedge(mid, clock, tid);
+                                if pending_switch {
+                                    frame.set_pc(pc);
+                                    t.frames.push(frame);
+                                    break 'slice;
+                                }
+                            }
+                        } else {
+                            pc += 1;
+                        }
+                    }
+                    Op::Call { site, target } => {
+                        calls += 1;
+                        invocations[target.index()] += 1;
+                        // Reattach the caller; `push_callee` writes the
+                        // return address (pc + 1) and pending site into it.
+                        t.frames.push(frame);
+                        push_callee(
+                            t,
+                            program,
+                            mid,
+                            pc,
+                            site,
+                            target,
+                            self.config.max_stack_depth,
+                        )?;
+                        profiler.on_entry(&CallEvent {
+                            edge: CallEdge::new(mid, site, target),
+                            clock,
+                            thread: tid,
+                            stack: StackSlice::new(&t.frames),
+                        });
+                        if pending_switch {
+                            break 'slice;
+                        }
+                        frame = t.frames.pop().expect("callee frame just pushed");
+                        pc = 0;
+                        mid = target;
+                        code = program.method(mid).code();
+                        costs = cost_rows[mid.index()].as_slice();
+                        fused = self.fused_rows[mid.index()].as_slice();
+                    }
+                    Op::CallVirtual { site, slot, arity } => {
+                        let receiver = frame
+                            .peek(usize::from(arity) - 1)
+                            .ok_or(VmError::OperandUnderflow { method: mid, pc })?;
+                        let r = receiver.as_ref().ok_or(VmError::TypeMismatch {
+                            method: mid,
+                            pc,
+                            expected: "object receiver",
+                        })?;
+                        let target = self
+                            .program
+                            .class(heap.class_of(r))
+                            .resolve(slot)
+                            .ok_or(VmError::BadVirtualDispatch { method: mid, pc })?;
+                        calls += 1;
+                        invocations[target.index()] += 1;
+                        t.frames.push(frame);
+                        push_callee(
+                            t,
+                            program,
+                            mid,
+                            pc,
+                            site,
+                            target,
+                            self.config.max_stack_depth,
+                        )?;
+                        profiler.on_entry(&CallEvent {
+                            edge: CallEdge::new(mid, site, target),
+                            clock,
+                            thread: tid,
+                            stack: StackSlice::new(&t.frames),
+                        });
+                        if pending_switch {
+                            break 'slice;
+                        }
+                        frame = t.frames.pop().expect("callee frame just pushed");
+                        pc = 0;
+                        mid = target;
+                        code = program.method(mid).code();
+                        costs = cost_rows[mid.index()].as_slice();
+                        fused = self.fused_rows[mid.index()].as_slice();
+                    }
+                    Op::Return => {
+                        let rv = pop_val(&mut frame, mid, pc)?;
+                        if t.frames.is_empty() {
+                            t.done = true;
+                            live -= 1;
+                            t.result = rv;
+                            frame.set_pc(pc);
+                            t.frames.push(frame);
+                            break 'slice;
+                        }
+                        if flavor.samples_exits() {
+                            // The exit event shows the stack with the
+                            // returning frame still on top, as the
+                            // reference interpreter does.
+                            frame.set_pc(pc);
+                            t.frames.push(frame);
+                            let caller = &t.frames[t.frames.len() - 2];
+                            let edge = CallEdge::new(
+                                caller.method(),
+                                caller.pending_site().expect("caller has in-flight site"),
+                                mid,
+                            );
+                            profiler.on_exit(&CallEvent {
+                                edge,
+                                clock,
+                                thread: tid,
+                                stack: StackSlice::new(&t.frames),
+                            });
+                            let retired = t.frames.pop().expect("returning frame");
+                            t.pool.push(retired);
+                        } else {
+                            t.pool.push(frame);
+                        }
+                        let caller = t.frames.last_mut().expect("caller frame");
+                        caller.set_pending_site(None);
+                        caller.push(rv);
+                        mid = caller.method();
+                        if pending_switch {
+                            break 'slice;
+                        }
+                        frame = t.frames.pop().expect("caller frame");
+                        pc = frame.pc();
+                        code = program.method(mid).code();
+                        costs = cost_rows[mid.index()].as_slice();
+                        fused = self.fused_rows[mid.index()].as_slice();
+                    }
+                    Op::GetField(n) => {
+                        let r = pop_obj(&mut frame, mid, pc)?;
+                        let v = heap
+                            .get_field(r, n)
+                            .ok_or(VmError::FieldOutOfRange { method: mid, pc })?;
+                        frame.push(v);
+                        pc += 1;
+                    }
+                    Op::PutField(n) => {
+                        let v = pop_val(&mut frame, mid, pc)?;
+                        let r = pop_obj(&mut frame, mid, pc)?;
+                        if !heap.put_field(r, n, v) {
+                            return Err(VmError::FieldOutOfRange { method: mid, pc });
+                        }
+                        pc += 1;
+                    }
+                    Op::New(class) => {
+                        let num_fields = program.class(class).num_fields();
+                        let r = heap.alloc(class, num_fields);
+                        frame.push(Value::Ref(r));
+                        pc += 1;
+                    }
+                    Op::GuardClass { class, not_taken } => {
+                        let r = pop_obj(&mut frame, mid, pc)?;
+                        if heap.class_of(r) == class {
+                            pc += 1;
+                        } else {
+                            pc = not_taken;
+                        }
+                    }
+                    Op::Io(_) => {
+                        // Cost was charged above; the "result" is a dummy.
+                        frame.push(Value::Int(0));
+                        pc += 1;
+                    }
+                    Op::Nop => {
+                        pc += 1;
+                    }
+                }
+            }
+
+            cur = (cur + 1) % threads.len();
+        }
+
+        profiler.on_finish(clock);
+        Ok(ExecReport {
+            cycles: clock,
+            seconds: self.config.cycles_to_seconds(clock),
+            instructions,
+            calls,
+            ticks,
+            invocations,
+            return_values: threads.into_iter().map(|t| t.result).collect(),
+        })
+    }
+
+    /// The pre-optimization interpreter, kept verbatim as a baseline.
+    ///
+    /// This is the original dyn-dispatch hot path: per-op
+    /// `program.method(mid).code()[pc]` fetch and `CostModel::op_cost`
+    /// match, per-slice `threads.iter().any(..)` liveness scan, `Option`
+    /// fuel check, and a fresh `Frame` allocation per call. It exists so
+    /// that (a) the `interp_throughput` bench can assert the optimized
+    /// path's speedup against the real pre-optimization code rather than
+    /// a guess, and (b) differential tests can pin that the optimized
+    /// interpreter is observationally identical. Not part of the public
+    /// API contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on the same conditions as [`Vm::run`].
+    #[doc(hidden)]
+    pub fn run_reference(&self, profiler: &mut dyn Profiler) -> Result<ExecReport, VmError> {
         let program = self.program;
         let cost = &self.config.cost;
         let flavor = self.config.flavor;
@@ -90,6 +830,7 @@ impl<'p> Vm<'p> {
                     frames: vec![Frame::new(entry, entry_locals)],
                     done: false,
                     result: Value::default(),
+                    pool: Vec::new(),
                 }
             })
             .collect();
@@ -410,6 +1151,7 @@ impl<'p> Vm<'p> {
             cur = (cur + 1) % threads.len();
         }
 
+        profiler.on_finish(clock);
         Ok(ExecReport {
             cycles: clock,
             seconds: self.config.cycles_to_seconds(clock),
@@ -423,6 +1165,12 @@ impl<'p> Vm<'p> {
 }
 
 /// Pops the callee's arguments from the caller, pushes the callee frame.
+///
+/// The callee frame is recycled from the thread's frame pool when one is
+/// available (the optimized interpreter returns frames there on
+/// `Op::Return`), falling back to a fresh allocation. The reference
+/// interpreter never fills the pool, so it keeps the original
+/// allocate-per-call behavior through this same function.
 fn push_callee(
     t: &mut ThreadState,
     program: &Program,
@@ -436,7 +1184,13 @@ fn push_callee(
         return Err(VmError::StackOverflow { limit: max_depth });
     }
     let callee = program.method(target);
-    let mut frame = Frame::new(target, callee.num_locals());
+    let mut frame = match t.pool.pop() {
+        Some(mut recycled) => {
+            recycled.reset(target, callee.num_locals());
+            recycled
+        }
+        None => Frame::new(target, callee.num_locals()),
+    };
     let arity = usize::from(callee.num_params());
     {
         let caller_frame = t.frames.last_mut().expect("caller frame");
@@ -736,6 +1490,233 @@ mod tests {
         let exact_vm = Vm::new(&p, exact_cfg);
         let r2 = exact_vm.run_unprofiled().unwrap();
         assert_eq!(r2.ticks, r2.cycles / exact_vm.config().timer_period());
+    }
+
+    /// Satellite regression test for the tick-at-yieldpoint semantics
+    /// documented at the tick-delivery loop: ticks fire at instruction
+    /// boundaries (after the op's cost is charged, before it executes),
+    /// so a tick landing "inside" a backedge jump is seen by that
+    /// backedge's yieldpoint. The counts below pin the exact behavior for
+    /// a tight loop under both flavors — any change to where ticks are
+    /// delivered relative to the backedge (e.g. delivering them after the
+    /// op executes, or one op late) shifts these numbers.
+    #[test]
+    fn tick_counts_are_pinned_per_flavor() {
+        use crate::config::VmFlavor;
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let main = b
+            .function("main", cls, 0, 1, |c| {
+                c.counted_loop(0, 200_000, |c| {
+                    c.nop();
+                });
+                c.const_(0).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let p = b.build().unwrap();
+
+        // The flavors differ only in event delivery, never in timing:
+        // the virtual clock advances identically, so the (jittered,
+        // seeded) tick sequence is identical too.
+        for flavor in [VmFlavor::Jikes, VmFlavor::J9] {
+            let cfg = VmConfig {
+                flavor,
+                ..VmConfig::default()
+            };
+            let r = Vm::new(&p, cfg).run_unprofiled().unwrap();
+            assert_eq!(
+                (r.cycles, r.ticks),
+                (1_600_010, 15),
+                "pinned tick count changed under {flavor:?}"
+            );
+        }
+
+        // With jitter disabled every period is exact, so the count is
+        // exactly cycles / period.
+        for flavor in [VmFlavor::Jikes, VmFlavor::J9] {
+            let cfg = VmConfig {
+                flavor,
+                timer_jitter: 0,
+                ..VmConfig::default()
+            };
+            let vm = Vm::new(&p, cfg);
+            let r = vm.run_unprofiled().unwrap();
+            assert_eq!(r.ticks, r.cycles / vm.config().timer_period());
+            assert_eq!(r.ticks, 16, "pinned exact-period tick count");
+        }
+    }
+
+    /// The optimized interpreter and the preserved reference interpreter
+    /// must be observationally identical (the full differential suite
+    /// lives in `tests/dispatch_equivalence.rs`; this is the in-crate
+    /// smoke version).
+    #[test]
+    fn optimized_run_matches_reference() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let f = b
+            .function("f", cls, 1, 0, |c| {
+                c.load(0).const_(3).mul().ret();
+            })
+            .unwrap();
+        let main = b
+            .function("main", cls, 0, 1, |c| {
+                c.counted_loop(0, 5_000, |c| {
+                    c.const_(2).call(f).pop();
+                });
+                c.const_(0).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let p = b.build().unwrap();
+        let config = VmConfig {
+            num_threads: 2,
+            ..VmConfig::default()
+        };
+        let vm = Vm::new(&p, config);
+        let optimized = vm.run_with(&mut NullProfiler).unwrap();
+        let reference = vm.run_reference(&mut NullProfiler).unwrap();
+        assert_eq!(optimized, reference);
+    }
+
+    /// Superinstruction fusion must bail to the per-op path whenever a
+    /// timer tick or the cycle budget would land inside a fused run, and
+    /// the bail must be invisible. Shrinking the timer period to a few
+    /// cycles makes nearly every fused run fail its guard, so this pins
+    /// the fallback path against the reference interpreter.
+    #[test]
+    fn fused_runs_bail_identically_under_dense_ticks_and_budget() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", 0);
+        let main = b
+            .function("main", cls, 0, 2, |c| {
+                // Body dominated by fusible work-run quads, looped so the
+                // fused entry pcs are hit thousands of times.
+                c.counted_loop(0, 2_000, |c| {
+                    c.load(1).const_(5).add().store(1);
+                    c.load(1).const_(3).mul().store(1);
+                    c.load(1).const_(0x55).bxor().store(1);
+                    c.load(1).const_(7).sub().store(1);
+                });
+                c.load(1).ret();
+            })
+            .unwrap();
+        b.set_entry(main);
+        let p = b.build().unwrap();
+
+        // timer_hz 500_000 -> period 20 cycles, shorter than one quad
+        // run, so the `next_tick > end_clock` guard fails constantly;
+        // the default 100 Hz config covers the guard-passes side.
+        for (timer_hz, timer_jitter) in [(500_000, 0), (100_000, 12_500), (100, 12_500)] {
+            let cfg = VmConfig {
+                timer_hz,
+                timer_jitter,
+                ..VmConfig::default()
+            };
+            let vm = Vm::new(&p, cfg);
+            let optimized = vm.run_with(&mut NullProfiler).unwrap();
+            let reference = vm.run_reference(&mut NullProfiler).unwrap();
+            assert_eq!(optimized, reference, "hz={timer_hz} jitter={timer_jitter}");
+            if timer_hz > 100 {
+                assert!(optimized.ticks > 0, "ticks must land inside fused runs");
+            }
+        }
+
+        // A budget expiring mid-run must surface the identical error from
+        // both interpreters (the fusion guard also covers OutOfFuel).
+        let cfg = VmConfig {
+            max_cycles: Some(12_345),
+            ..VmConfig::default()
+        };
+        let vm = Vm::new(&p, cfg);
+        let optimized = vm.run_with(&mut NullProfiler).unwrap_err();
+        let reference = vm.run_reference(&mut NullProfiler).unwrap_err();
+        assert_eq!(optimized, reference);
+    }
+
+    /// Pins which shapes `scan_fused` recognizes: maximal work runs,
+    /// forward-only test-branches, fold-accumulates, and the non-zero
+    /// constant requirement for fused division.
+    #[test]
+    fn scan_fused_recognizes_expected_templates() {
+        let costs = |code: &[Op]| vec![1u64; code.len()];
+
+        // Two consecutive quads on slot 0 fuse into one maximal run
+        // starting at pc 0; interior pcs stay per-op.
+        let run = [
+            Op::Load(0),
+            Op::Const(5),
+            Op::Add,
+            Op::Store(0),
+            Op::Load(0),
+            Op::Const(1),
+            Op::Xor,
+            Op::Store(0),
+            Op::Return,
+        ];
+        let fused = scan_fused(&run, &costs(&run));
+        let f = fused[0].as_deref().expect("work run fuses");
+        assert_eq!((f.num_ops, f.next_pc, f.total_cost), (8, 8, 8));
+        assert!(matches!(&f.kind, FusedKind::WorkRun { slot: 0, steps } if steps.len() == 2));
+        assert!(fused[1..].iter().all(Option::is_none), "interiors per-op");
+
+        // Division fuses only when the constant divisor is non-zero.
+        let div0 = [Op::Load(0), Op::Const(0), Op::Div, Op::Store(0), Op::Return];
+        assert!(scan_fused(&div0, &costs(&div0))[0].is_none());
+        let div2 = [Op::Load(0), Op::Const(2), Op::Div, Op::Store(0), Op::Return];
+        assert!(scan_fused(&div2, &costs(&div2))[0].is_some());
+
+        // Test-branch fuses only on a forward target: a backward jump is
+        // a backedge yieldpoint and must stay per-op.
+        let fwd = [
+            Op::Load(1),
+            Op::Const(3),
+            Op::And,
+            Op::JumpIfZero(6),
+            Op::Nop,
+            Op::Nop,
+            Op::Return,
+        ];
+        let f = scan_fused(&fwd, &costs(&fwd))[0]
+            .as_deref()
+            .expect("forward test-branch fuses")
+            .clone();
+        assert_eq!((f.num_ops, f.next_pc), (4, 4));
+        assert!(matches!(
+            f.kind,
+            FusedKind::TestBranch {
+                slot: 1,
+                k: 3,
+                target: 6,
+                jump_if_zero: true,
+                ..
+            }
+        ));
+        let back = [
+            Op::Nop,
+            Op::Load(1),
+            Op::Const(3),
+            Op::And,
+            Op::JumpIfNonZero(0),
+            Op::Return,
+        ];
+        assert!(scan_fused(&back, &costs(&back))[1].is_none());
+
+        // Fold-accumulate: Load/binop/Store on the same slot.
+        let fold = [Op::Load(2), Op::Add, Op::Store(2), Op::Return];
+        let f = scan_fused(&fold, &costs(&fold))[0]
+            .as_deref()
+            .expect("fold fuses")
+            .clone();
+        assert_eq!((f.num_ops, f.next_pc, f.total_cost), (3, 3, 3));
+        assert!(matches!(
+            f.kind,
+            FusedKind::FoldAccum {
+                slot: 2,
+                op: Op::Add
+            }
+        ));
     }
 
     #[test]

@@ -5,8 +5,22 @@
 # The workspace has zero external dependencies (randomness comes from the
 # in-repo cbs-prng crate, benches from cbs-bench), so everything here runs
 # with --offline against the committed Cargo.lock.
+#
+# Flags:
+#   --bench-smoke   additionally execute every bench binary once under
+#                   CBS_BENCH_SMOKE=1 (one iteration, no wall-clock
+#                   assertions, no artifact writes) so the bench code
+#                   paths stay green in CI without timing flakiness.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+BENCH_SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) BENCH_SMOKE=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -22,5 +36,10 @@ cargo test --offline --locked -q
 
 echo "==> cargo test -q --workspace (member-crate unit tests)"
 cargo test --offline --locked -q --workspace
+
+if [[ "$BENCH_SMOKE" == "1" ]]; then
+  echo "==> cargo bench (smoke: CBS_BENCH_SMOKE=1, one iteration per bench)"
+  CBS_BENCH_SMOKE=1 cargo bench --offline --locked --workspace
+fi
 
 echo "OK: all gates passed"

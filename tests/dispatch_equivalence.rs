@@ -1,0 +1,150 @@
+//! Differential tests for the interpreter's dispatch strategies.
+//!
+//! `Vm::run_with` (monomorphized), `Vm::run` (the `&mut dyn Profiler`
+//! wrapper) and `Vm::run_reference` (the preserved pre-optimization
+//! interpreter) must be observationally indistinguishable: identical
+//! [`ExecReport`]s and identical profiler state — graphs, sample counts
+//! and simulated overhead — for every profiler mechanism, workload and
+//! VM configuration. This is what licenses the hot-path optimizations
+//! (cached code cursors, frame pooling, live-thread counter, batched DCG
+//! flushes) to claim bit-identical output.
+//!
+//! [`ExecReport`]: cbs_vm::ExecReport
+
+use cbs_prng::prop::run_cases;
+use cbs_prng::SmallRng;
+use cbs_profiler::{CbsConfig, CounterBasedSampler, ExhaustiveProfiler, TimerSampler};
+use cbs_repro::prelude::*;
+use cbs_vm::ExecReport;
+
+/// The three workloads the property sweeps (scaled down so a full
+/// dyn/generic/reference triple stays fast).
+fn workload(idx: usize) -> Program {
+    let bench = [Benchmark::Jess, Benchmark::Javac, Benchmark::Mtrt][idx % 3];
+    cbs_repro::workloads::generator::build(&bench.spec(InputSize::Small).scaled(0.02))
+        .expect("spec builds")
+}
+
+/// Draws a VM configuration that exercises both flavors, multiple
+/// threads, and the jittered/exact timer regimes.
+fn draw_config(rng: &mut SmallRng) -> VmConfig {
+    VmConfig {
+        flavor: if rng.gen_range(0..2u32) == 0 {
+            VmFlavor::Jikes
+        } else {
+            VmFlavor::J9
+        },
+        num_threads: rng.gen_range(1..=3u32),
+        timer_jitter: [0u64, 12_500][rng.gen_range(0..2u32) as usize],
+        ..VmConfig::default()
+    }
+}
+
+/// Runs `mk()`-built profilers through all three dispatch paths and
+/// asserts the reports and the profiler fingerprints coincide.
+fn assert_paths_agree<P, F>(program: &Program, config: &VmConfig, mk: impl Fn() -> P, fp: F)
+where
+    P: cbs_vm::Profiler + CallGraphProfiler,
+    F: Fn(&mut P) -> (DynamicCallGraph, u64, u64),
+{
+    let vm = Vm::new(program, config.clone());
+
+    let mut generic = mk();
+    let generic_report: ExecReport = vm.run_with(&mut generic).expect("generic path runs");
+
+    let mut dynamic = mk();
+    let dyn_report = vm.run(&mut dynamic).expect("dyn path runs");
+
+    let mut reference = mk();
+    let reference_report = vm
+        .run_reference(&mut reference)
+        .expect("reference path runs");
+
+    assert_eq!(generic_report, dyn_report, "generic vs dyn ExecReport");
+    assert_eq!(
+        generic_report, reference_report,
+        "generic vs reference ExecReport"
+    );
+
+    let g = fp(&mut generic);
+    let d = fp(&mut dynamic);
+    let r = fp(&mut reference);
+    assert_eq!(g, d, "generic vs dyn profiler state");
+    assert_eq!(g, r, "generic vs reference profiler state");
+}
+
+/// `(dcg, samples_taken, overhead_cycles)` — everything a profiler run
+/// leaves behind. `take_dcg` also exercises the flush-on-take path.
+fn fingerprint<P: CallGraphProfiler>(p: &mut P) -> (DynamicCallGraph, u64, u64) {
+    (p.take_dcg(), p.samples_taken(), p.overhead_cycles())
+}
+
+#[test]
+fn cbs_state_identical_across_dispatch_paths() {
+    run_cases("cbs_dispatch_equivalence", 6, |rng| {
+        let program = workload(rng.gen_range(0..3u32) as usize);
+        let config = draw_config(rng);
+        let stride = rng.gen_range(1..=5u32);
+        let samples = rng.gen_range(1..=24u32);
+        let policy = match rng.gen_range(0..3u32) {
+            0 => SkipPolicy::Fixed,
+            1 => SkipPolicy::RoundRobin,
+            _ => SkipPolicy::Random {
+                seed: rng.next_u64(),
+            },
+        };
+        assert_paths_agree(
+            &program,
+            &config,
+            || {
+                CounterBasedSampler::new(CbsConfig {
+                    stride,
+                    samples_per_tick: samples,
+                    skip_policy: policy.clone(),
+                    ..CbsConfig::default()
+                })
+            },
+            fingerprint,
+        );
+    });
+}
+
+#[test]
+fn timer_state_identical_across_dispatch_paths() {
+    run_cases("timer_dispatch_equivalence", 4, |rng| {
+        let program = workload(rng.gen_range(0..3u32) as usize);
+        let config = draw_config(rng);
+        assert_paths_agree(&program, &config, TimerSampler::new, fingerprint);
+    });
+}
+
+#[test]
+fn exhaustive_state_identical_across_dispatch_paths() {
+    run_cases("exhaustive_dispatch_equivalence", 4, |rng| {
+        let program = workload(rng.gen_range(0..3u32) as usize);
+        let config = draw_config(rng);
+        assert_paths_agree(&program, &config, ExhaustiveProfiler::new, fingerprint);
+    });
+}
+
+/// The three workloads, pinned (not randomized) so every benchmark in
+/// the suite is guaranteed covered at least once per run, under both
+/// flavors.
+#[test]
+fn every_workload_agrees_under_both_flavors() {
+    for idx in 0..3 {
+        let program = workload(idx);
+        for flavor in [VmFlavor::Jikes, VmFlavor::J9] {
+            let config = VmConfig {
+                flavor,
+                ..VmConfig::default()
+            };
+            assert_paths_agree(
+                &program,
+                &config,
+                || CounterBasedSampler::new(CbsConfig::new(3, 16)),
+                fingerprint,
+            );
+        }
+    }
+}
