@@ -1,0 +1,169 @@
+//! Profile-ingestion throughput: edge records per wall-second through
+//! the binary codec and the sharded aggregator.
+//!
+//! A synthetic 50k-edge call graph (deterministic SplitMix64 ids and
+//! integral weights, shaped like a real CBS profile: dense low method
+//! ids, a long cold tail) is cut into 64 delta frames. The bench
+//! measures
+//!
+//! * `codec/encode` and `codec/decode` — the wire format alone;
+//! * `aggregate/shards=N/serial` — one thread ingesting every frame
+//!   into an aggregator with N ∈ {1, 4, 8} shards;
+//! * `aggregate/shards=N/threads=4` — four pusher threads splitting the
+//!   frames, where shard count governs lock contention.
+//!
+//! Emits `BENCH_ingest.json` at the repo root (skipped in smoke mode,
+//! like every other bench artifact).
+
+use cbs_bench::{smoke_mode, BenchGroup, BenchResult};
+use cbs_core::bytecode::{CallSiteId, MethodId};
+use cbs_core::dcg::CallEdge;
+use cbs_core::profiled::{AggregatorConfig, DcgCodec, DcgFrame, ShardedAggregator};
+
+const EDGES: usize = 50_000;
+const FRAMES: usize = 64;
+const PUSHERS: usize = 4;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic profile-shaped record stream: most callers in a hot
+/// core, weights on the codec's integral fast path.
+fn synthetic_records() -> Vec<(CallEdge, f64)> {
+    let mut state = 0xC0FFEE;
+    (0..EDGES)
+        .map(|_| {
+            let r = splitmix(&mut state);
+            let caller = if r % 8 < 7 {
+                (r >> 3) % 512
+            } else {
+                (r >> 3) % 100_000
+            } as u32;
+            let site = ((r >> 24) % 16) as u32;
+            let callee = ((r >> 32) % 4096) as u32;
+            let weight = (1 + (r >> 48) % 1000) as f64;
+            (
+                CallEdge::new(
+                    MethodId::new(caller),
+                    CallSiteId::new(site),
+                    MethodId::new(callee),
+                ),
+                weight,
+            )
+        })
+        .collect()
+}
+
+/// Records-per-second at the median iteration time.
+fn rate(records: usize, r: &BenchResult) -> f64 {
+    records as f64 / r.median().as_secs_f64()
+}
+
+fn json_entry(name: &str, records: usize, r: &BenchResult) -> String {
+    format!(
+        "    {{ \"config\": \"{name}\", \"median_ns\": {}, \"records_per_sec\": {:.1} }}",
+        r.median().as_nanos(),
+        rate(records, r)
+    )
+}
+
+fn main() {
+    let records = synthetic_records();
+    let frames: Vec<Vec<u8>> = records
+        .chunks(records.len().div_ceil(FRAMES))
+        .map(DcgCodec::encode_delta)
+        .collect();
+    let decoded: Vec<DcgFrame> = frames
+        .iter()
+        .map(|f| DcgCodec::decode(f).expect("own encoding decodes"))
+        .collect();
+    let wire_bytes: usize = frames.iter().map(Vec::len).sum();
+    eprintln!(
+        "profile_ingest: {EDGES} records, {FRAMES} frames, {wire_bytes} wire bytes \
+         ({:.2} B/record)",
+        wire_bytes as f64 / EDGES as f64
+    );
+
+    let mut group = BenchGroup::new("profile_ingest", 20);
+    let mut entries = Vec::new();
+
+    let encode = group
+        .bench("codec/encode", || {
+            records
+                .chunks(records.len().div_ceil(FRAMES))
+                .map(DcgCodec::encode_delta)
+                .map(|f| f.len())
+                .sum::<usize>()
+        })
+        .clone();
+    entries.push(json_entry("codec/encode", EDGES, &encode));
+    let decode = group
+        .bench("codec/decode", || {
+            frames
+                .iter()
+                .map(|f| DcgCodec::decode(f).expect("valid").edges.len())
+                .sum::<usize>()
+        })
+        .clone();
+    entries.push(json_entry("codec/decode", EDGES, &decode));
+
+    for shards in [1usize, 4, 8] {
+        let serial = group
+            .bench(&format!("aggregate/shards={shards}/serial"), || {
+                let agg = ShardedAggregator::new(AggregatorConfig::with_shards(shards));
+                for frame in &decoded {
+                    agg.ingest(frame);
+                }
+                agg.stats().records
+            })
+            .clone();
+        entries.push(json_entry(
+            &format!("aggregate/shards={shards}/serial"),
+            EDGES,
+            &serial,
+        ));
+
+        let threaded = group
+            .bench(
+                &format!("aggregate/shards={shards}/threads={PUSHERS}"),
+                || {
+                    let agg = ShardedAggregator::new(AggregatorConfig::with_shards(shards));
+                    std::thread::scope(|scope| {
+                        let agg = &agg;
+                        for chunk in decoded.chunks(decoded.len().div_ceil(PUSHERS)) {
+                            scope.spawn(move || {
+                                for frame in chunk {
+                                    agg.ingest(frame);
+                                }
+                            });
+                        }
+                    });
+                    agg.stats().records
+                },
+            )
+            .clone();
+        entries.push(json_entry(
+            &format!("aggregate/shards={shards}/threads={PUSHERS}"),
+            EDGES,
+            &threaded,
+        ));
+    }
+
+    if smoke_mode() {
+        eprintln!("profile_ingest: smoke mode, skipping BENCH_ingest.json");
+        return;
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"profile_ingest\",\n  \"records\": {EDGES},\n  \"frames\": {FRAMES},\n  \
+         \"wire_bytes\": {wire_bytes},\n  \"configs\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+    std::fs::write(path, json).expect("write BENCH_ingest.json");
+    eprintln!("profile_ingest: wrote BENCH_ingest.json");
+}

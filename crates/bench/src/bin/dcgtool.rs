@@ -1,5 +1,6 @@
-//! Offline profile tooling: compare, characterize and visualize
-//! serialized dynamic call graphs (the `cbs-dcg v1` text format).
+//! Offline profile tooling: compare, characterize, convert and ship
+//! serialized dynamic call graphs (the `cbs-dcg v1` text format and the
+//! `cbs-profiled` binary wire format).
 //!
 //! ```text
 //! dcgtool collect <benchmark> <small|large> <out.dcg> [stride samples]
@@ -8,15 +9,23 @@
 //! dcgtool compare <a.dcg> <b.dcg>         # overlap percentage
 //! dcgtool shape   <a.dcg>                 # distribution statistics
 //! dcgtool dot     <a.dcg> [max_edges]     # DOT digraph on stdout
+//! dcgtool convert <in> <out> [--to text|binary]  # text v1 <-> binary
+//! dcgtool push    <host:port> <profile>...       # send to a profiled server
+//! dcgtool pull    <host:port> <out>              # fetch merged fleet profile
 //! ```
 //!
 //! `collect-all` profiles the whole suite (small inputs), sharding
 //! benchmarks across `--jobs` worker threads; the written profiles are
 //! identical for every jobs value.
+//!
+//! `convert`/`push`/`pull` accept either format on input (binary frames
+//! are sniffed by their `CBSP` magic); `convert` picks the output format
+//! from the extension (`.dcgb` → binary) unless `--to` overrides it.
 
 use cbs_core::dcg::{dot, overlap, serialize, stats, DynamicCallGraph};
 use cbs_core::parallel::{run_cells, Parallelism};
 use cbs_core::prelude::*;
+use cbs_core::profiled::{DcgCodec, NetConfig, ProfileClient};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -33,6 +42,37 @@ fn main() -> ExitCode {
 fn load(path: &str) -> Result<DynamicCallGraph, Box<dyn std::error::Error>> {
     let text = std::fs::read_to_string(path)?;
     Ok(serialize::from_text(&text)?)
+}
+
+/// Loads a profile in either format, sniffing binary frames by magic.
+fn load_any(path: &str) -> Result<DynamicCallGraph, Box<dyn std::error::Error>> {
+    let bytes = std::fs::read(path)?;
+    if bytes.starts_with(b"CBSP") {
+        Ok(DcgCodec::decode(&bytes)
+            .map_err(|e| format!("{path}: {e}"))?
+            .to_graph())
+    } else {
+        Ok(serialize::from_text(std::str::from_utf8(&bytes).map_err(
+            |_| format!("{path}: neither CBSP binary nor UTF-8 text"),
+        )?)?)
+    }
+}
+
+/// Output format of `convert`.
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Binary,
+}
+
+fn format_for(path: &str, explicit: Option<&str>) -> Result<Format, Box<dyn std::error::Error>> {
+    match explicit {
+        Some("text") => Ok(Format::Text),
+        Some("binary") => Ok(Format::Binary),
+        Some(other) => Err(format!("--to must be `text` or `binary`, got `{other}`").into()),
+        None if path.ends_with(".dcgb") => Ok(Format::Binary),
+        None => Ok(Format::Text),
+    }
 }
 
 fn collect_one(
@@ -161,6 +201,64 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             );
             Ok(())
         }
-        _ => Err("usage: dcgtool collect|collect-all|merge|compare|shape|dot …".into()),
+        Some("convert") => {
+            let input = args.get(1).ok_or("convert needs an input path")?;
+            let out = args.get(2).ok_or("convert needs an output path")?;
+            let explicit = match args.get(3).map(String::as_str) {
+                Some("--to") => Some(
+                    args.get(4)
+                        .ok_or("--to requires `text` or `binary`")?
+                        .as_str(),
+                ),
+                Some(other) => return Err(format!("unknown flag `{other}`").into()),
+                None => None,
+            };
+            let g = load_any(input)?;
+            match format_for(out, explicit)? {
+                Format::Text => std::fs::write(out, serialize::to_text(&g))?,
+                Format::Binary => std::fs::write(out, DcgCodec::encode_snapshot(&g))?,
+            }
+            eprintln!("wrote {out}: {} edges", g.num_edges());
+            Ok(())
+        }
+        Some("push") => {
+            let addr = args.get(1).ok_or("push needs a server address")?;
+            if args.len() < 3 {
+                return Err("push needs at least one profile".into());
+            }
+            let mut client = ProfileClient::connect(addr.as_str(), NetConfig::default())?;
+            for path in &args[2..] {
+                // Binary files are pushed verbatim (preserving snapshot
+                // vs delta kind); text profiles go up as snapshots.
+                let bytes = std::fs::read(path)?;
+                if bytes.starts_with(b"CBSP") {
+                    client.push_frame(&bytes)?;
+                } else {
+                    client.push_snapshot(&load(path)?)?;
+                }
+                eprintln!("pushed {path}");
+            }
+            eprintln!("{}", client.stats_text()?.trim_end());
+            Ok(())
+        }
+        Some("pull") => {
+            let addr = args.get(1).ok_or("pull needs a server address")?;
+            let out = args.get(2).ok_or("pull needs an output path")?;
+            let mut client = ProfileClient::connect(addr.as_str(), NetConfig::default())?;
+            let merged = client.pull()?;
+            match format_for(out, None)? {
+                Format::Text => std::fs::write(out, serialize::to_text(&merged))?,
+                Format::Binary => std::fs::write(out, DcgCodec::encode_snapshot(&merged))?,
+            }
+            eprintln!(
+                "wrote {out}: {} edges, total weight {}",
+                merged.num_edges(),
+                merged.total_weight()
+            );
+            Ok(())
+        }
+        _ => Err(
+            "usage: dcgtool collect|collect-all|merge|compare|shape|dot|convert|push|pull …".into(),
+        ),
     }
 }

@@ -1,0 +1,68 @@
+//! The profile-ingestion daemon: serves a [`ShardedAggregator`] over
+//! TCP for a fleet of VMs.
+//!
+//! ```text
+//! profiled [--addr <host:port>] [--shards <n>] [--decay <f64>]
+//!          [--min-weight <f64>] [--max-frame-bytes <n>] [--max-inflight <n>]
+//! ```
+//!
+//! Binds `--addr` (default `127.0.0.1:0`, an OS-assigned port), prints
+//! one line `listening <addr>` on stdout so scripts can discover the
+//! port, then serves until killed. Push profiles with `dcgtool push`,
+//! read the merged fleet profile back with `dcgtool pull`.
+//!
+//! [`ShardedAggregator`]: cbs_core::profiled::ShardedAggregator
+
+use cbs_core::profiled::{serve, AggregatorConfig, NetConfig, ShardedAggregator};
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("profiled: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:0".to_owned();
+    let mut agg_config = AggregatorConfig::default();
+    let mut net_config = NetConfig::default();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} requires a value"));
+        match a.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--shards" => agg_config.shards = value("--shards")?.parse()?,
+            "--decay" => agg_config.decay_factor = value("--decay")?.parse()?,
+            "--min-weight" => agg_config.min_weight = value("--min-weight")?.parse()?,
+            "--max-frame-bytes" => {
+                net_config.max_frame_bytes = value("--max-frame-bytes")?.parse()?
+            }
+            "--max-inflight" => net_config.max_inflight = value("--max-inflight")?.parse()?,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: profiled [--addr <host:port>] [--shards <n>] [--decay <f64>] \
+                     [--min-weight <f64>] [--max-frame-bytes <n>] [--max-inflight <n>]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag `{other}`").into()),
+        }
+    }
+
+    let aggregator = Arc::new(ShardedAggregator::new(agg_config));
+    let server = serve(addr.as_str(), aggregator, net_config)?;
+    println!("listening {}", server.addr());
+    std::io::stdout().flush()?;
+    // Serve until killed: the accept loop runs on its own thread, so
+    // park this one instead of spinning.
+    loop {
+        std::thread::park();
+    }
+}

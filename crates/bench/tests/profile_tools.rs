@@ -1,0 +1,184 @@
+//! End-to-end tests of the `dcgtool` and `profiled` binaries: format
+//! conversion round-trips and a loopback push/pull session.
+
+use cbs_core::bytecode::{CallSiteId, MethodId};
+use cbs_core::dcg::{serialize, CallEdge, DynamicCallGraph};
+use std::io::{BufRead as _, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+fn dcgtool(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dcgtool"))
+        .args(args)
+        .output()
+        .expect("dcgtool runs")
+}
+
+fn sample_graph() -> DynamicCallGraph {
+    let mut g = DynamicCallGraph::new();
+    // Mixed integral and fractional weights across several callers, so
+    // the binary codec exercises both weight encodings.
+    for (caller, site, callee, weight) in [
+        (0u32, 0u32, 1u32, 10.0),
+        (0, 1, 2, 5.25),
+        (3, 0, 1, 100.0),
+        (3, 0, 2, 0.125),
+        (700_000, 9, 700_001, 1e9),
+    ] {
+        g.record(
+            CallEdge::new(
+                MethodId::new(caller),
+                CallSiteId::new(site),
+                MethodId::new(callee),
+            ),
+            weight,
+        );
+    }
+    g
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("cbs-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        Self(dir)
+    }
+
+    fn path(&self, file: &str) -> String {
+        self.0.join(file).to_str().expect("utf-8 path").to_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn convert_text_binary_text_is_byte_identical() {
+    let dir = TempDir::new("convert");
+    let text = dir.path("a.dcg");
+    let binary = dir.path("a.dcgb");
+    let back = dir.path("a2.dcg");
+    std::fs::write(&text, serialize::to_text(&sample_graph())).unwrap();
+
+    let out = dcgtool(&["convert", &text, &binary]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        std::fs::read(&binary).unwrap().starts_with(b"CBSP"),
+        ".dcgb extension selects the binary format"
+    );
+    let out = dcgtool(&["convert", &binary, &back]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    assert_eq!(
+        std::fs::read(&text).unwrap(),
+        std::fs::read(&back).unwrap(),
+        "text -> binary -> text must be byte-identical"
+    );
+}
+
+#[test]
+fn convert_honors_explicit_format_flag() {
+    let dir = TempDir::new("convert-flag");
+    let text = dir.path("a.dcg");
+    let odd = dir.path("a.bin"); // no .dcgb extension
+    let back = dir.path("a2.dcg");
+    std::fs::write(&text, serialize::to_text(&sample_graph())).unwrap();
+
+    let out = dcgtool(&["convert", &text, &odd, "--to", "binary"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(std::fs::read(&odd).unwrap().starts_with(b"CBSP"));
+    let out = dcgtool(&["convert", &odd, &back, "--to", "text"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(std::fs::read(&text).unwrap(), std::fs::read(&back).unwrap());
+
+    let out = dcgtool(&["convert", &text, &odd, "--to", "sideways"]);
+    assert!(!out.status.success(), "unknown format must fail");
+}
+
+/// Kills the server child even when an assertion panics mid-test.
+struct ServerGuard(Child);
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn_server() -> (ServerGuard, String) {
+    let child = Command::new(env!("CARGO_BIN_EXE_profiled"))
+        .args(["--addr", "127.0.0.1:0", "--shards", "4"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("profiled spawns");
+    let mut guard = ServerGuard(child);
+    let stdout = guard.0.stdout.take().expect("stdout piped");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("reads");
+    let addr = line
+        .strip_prefix("listening ")
+        .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+        .trim()
+        .to_owned();
+    (guard, addr)
+}
+
+#[test]
+fn push_pull_round_trips_through_a_live_server() {
+    let dir = TempDir::new("pushpull");
+    let text = dir.path("profile.dcg");
+    let binary = dir.path("profile.dcgb");
+    let pulled = dir.path("merged.dcg");
+    std::fs::write(&text, serialize::to_text(&sample_graph())).unwrap();
+    let out = dcgtool(&["convert", &text, &binary]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let (_server, addr) = spawn_server();
+    let out = dcgtool(&["push", &addr, &binary]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("frames=1"), "stats after push: {stderr}");
+
+    let out = dcgtool(&["pull", &addr, &pulled]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&text).unwrap(),
+        std::fs::read(&pulled).unwrap(),
+        "one pushed snapshot pulls back byte-identical"
+    );
+    assert!(Path::new(&pulled).exists());
+}

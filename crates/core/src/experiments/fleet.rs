@@ -1,0 +1,276 @@
+//! Fleet-scale profile aggregation: many VMs, one merged call graph.
+//!
+//! The paper collects one profile per VM. This experiment simulates the
+//! service deployment the `cbs-profiled` crate targets: `K` VMs run the
+//! same benchmark under counter-based sampling with *decorrelated*
+//! sampler configurations (different strides and timer seeds), each
+//! streams its profile through the binary codec — one snapshot frame
+//! followed by a delta frame, exactly what a periodic flusher emits —
+//! into a [`ShardedAggregator`], and the merged fleet profile is scored
+//! against the union of the exhaustive (perfect) profiles.
+//!
+//! Pooling decorrelated samples is a variance reduction, so the merged
+//! profile's overlap should meet or beat the mean single-VM overlap —
+//! asserted by the tier-1 tests and visible in the rendered table's
+//! `gain` column.
+//!
+//! Determinism: VM cells run under [`run_cells`] (input-order results),
+//! frames are ingested serially in VM order, and the aggregator merges
+//! shards in index order, so the whole pipeline is bit-identical for any
+//! `--jobs` value.
+
+use super::ExperimentError;
+use crate::parallel::{run_cells, Parallelism};
+use crate::render::{f2, TextTable};
+use cbs_dcg::{overlap, DynamicCallGraph};
+use cbs_profiled::{AggregatorConfig, DcgCodec, ShardedAggregator};
+use cbs_profiler::{CbsConfig, CounterBasedSampler};
+use cbs_vm::VmConfig;
+use cbs_workloads::{Benchmark, InputSize};
+
+/// Per-VM sampler strides; their pairwise co-primality decorrelates the
+/// replicas' sample streams.
+const STRIDES: [u32; 4] = [3, 5, 7, 11];
+
+/// Number of simulated VMs per benchmark.
+pub const FLEET_SIZE: usize = STRIDES.len();
+
+/// One benchmark's fleet-aggregation outcome.
+#[derive(Debug, Clone)]
+pub struct FleetRow {
+    /// Benchmark.
+    pub benchmark: Benchmark,
+    /// VMs in this benchmark's fleet.
+    pub vms: usize,
+    /// Edges in the merged fleet profile.
+    pub merged_edges: usize,
+    /// Total wire bytes across all snapshot and delta frames.
+    pub wire_bytes: usize,
+    /// Mean per-VM overlap with that VM's own exhaustive profile (0–100).
+    pub mean_single: f64,
+    /// Merged-profile overlap with the union of exhaustive profiles
+    /// (0–100).
+    pub fleet: f64,
+}
+
+impl FleetRow {
+    /// Percentage-point gain of the merged profile over the mean
+    /// single-VM profile.
+    pub fn gain(&self) -> f64 {
+        self.fleet - self.mean_single
+    }
+}
+
+/// The fleet-aggregation experiment report.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    /// Per-benchmark rows, suite order.
+    pub rows: Vec<FleetRow>,
+    /// Mean of the per-benchmark `mean_single` column.
+    pub mean_single: f64,
+    /// Mean of the per-benchmark `fleet` column.
+    pub mean_fleet: f64,
+}
+
+impl Fleet {
+    /// Renders the report table with a trailing `MEAN` row.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            format!(
+                "Fleet aggregation: {FLEET_SIZE} CBS VMs per benchmark, \
+                 snapshot+delta frames through the sharded aggregator"
+            ),
+            &[
+                "Benchmark",
+                "VMs",
+                "Edges",
+                "Wire (B)",
+                "Single (%)",
+                "Fleet (%)",
+                "Gain (pp)",
+            ],
+        );
+        for r in &self.rows {
+            t.row([
+                r.benchmark.name().to_owned(),
+                r.vms.to_string(),
+                r.merged_edges.to_string(),
+                r.wire_bytes.to_string(),
+                f2(r.mean_single),
+                f2(r.fleet),
+                f2(r.gain()),
+            ]);
+        }
+        t.row([
+            "MEAN".to_owned(),
+            String::new(),
+            String::new(),
+            String::new(),
+            f2(self.mean_single),
+            f2(self.mean_fleet),
+            f2(self.mean_fleet - self.mean_single),
+        ]);
+        t.to_string()
+    }
+}
+
+/// One VM's contribution: its sampled profile and its ground truth.
+struct VmProfile {
+    sampled: DynamicCallGraph,
+    perfect: DynamicCallGraph,
+    single_overlap: f64,
+}
+
+/// Runs one VM replica of `bench` with a replica-specific stride and
+/// timer seed.
+fn run_replica(bench: Benchmark, replica: usize, scale: f64) -> Result<VmProfile, ExperimentError> {
+    let spec = bench.spec(InputSize::Small).scaled(scale);
+    let program = cbs_workloads::generator::build(&spec)?;
+    let vm_config = VmConfig {
+        // Decorrelate the replicas' timer phases; execution (and thus
+        // the perfect profile) is unaffected.
+        timer_seed: 0xF1EE7 + replica as u64,
+        ..VmConfig::default()
+    };
+    let cbs = CounterBasedSampler::new(CbsConfig::new(STRIDES[replica % STRIDES.len()], 16));
+    let m = crate::measure::measure(&program, vm_config, vec![Box::new(cbs)])?;
+    let outcome = &m.outcomes[0];
+    Ok(VmProfile {
+        sampled: outcome.dcg.clone(),
+        perfect: m.perfect,
+        single_overlap: outcome.accuracy,
+    })
+}
+
+/// Streams `graph` into `agg` the way a periodically-flushing VM would:
+/// the first half of its edges as a snapshot frame, the remainder as a
+/// delta frame produced by [`DynamicCallGraph::drain_delta`]. Returns
+/// the wire bytes consumed.
+fn stream_profile(graph: &DynamicCallGraph, agg: &ShardedAggregator) -> usize {
+    let edges: Vec<_> = graph.iter().map(|(e, w)| (*e, w)).collect();
+    let split = edges.len() / 2;
+    let mut live = DynamicCallGraph::new();
+    for &(e, w) in &edges[..split] {
+        live.record(e, w);
+    }
+    let snapshot = DcgCodec::encode_snapshot(&live);
+    live.drain_delta(); // mark everything flushed
+    for &(e, w) in &edges[split..] {
+        live.record(e, w);
+    }
+    let delta = DcgCodec::encode_delta(&live.drain_delta());
+    let mut bytes = 0;
+    for frame_bytes in [&snapshot, &delta] {
+        bytes += frame_bytes.len();
+        let frame = DcgCodec::decode(frame_bytes).expect("own encoding decodes");
+        agg.ingest(&frame);
+    }
+    bytes
+}
+
+/// Runs the fleet-aggregation experiment serially.
+///
+/// # Errors
+///
+/// Propagates generation or VM failures.
+pub fn fleet(scale: f64) -> Result<Fleet, ExperimentError> {
+    fleet_with(scale, Parallelism::SERIAL)
+}
+
+/// [`fleet`] with VM replicas sharded across `jobs` worker threads.
+/// Output is bit-identical for any `jobs` value — see the module docs.
+///
+/// # Errors
+///
+/// Propagates generation or VM failures.
+pub fn fleet_with(scale: f64, jobs: Parallelism) -> Result<Fleet, ExperimentError> {
+    let cells: Vec<(Benchmark, usize)> = Benchmark::all()
+        .into_iter()
+        .flat_map(|b| (0..FLEET_SIZE).map(move |r| (b, r)))
+        .collect();
+    let profiles = run_cells(cells, jobs, |(bench, replica)| {
+        run_replica(bench, replica, scale)
+    })?;
+
+    let mut rows = Vec::new();
+    for (i, bench) in Benchmark::all().into_iter().enumerate() {
+        let fleet = &profiles[i * FLEET_SIZE..(i + 1) * FLEET_SIZE];
+        let agg = ShardedAggregator::new(AggregatorConfig::with_shards(4));
+        let mut wire_bytes = 0;
+        for vm in fleet {
+            wire_bytes += stream_profile(&vm.sampled, &agg);
+        }
+        let merged = agg.merged_snapshot();
+        let union = DynamicCallGraph::merge_all(fleet.iter().map(|vm| &vm.perfect));
+        rows.push(FleetRow {
+            benchmark: bench,
+            vms: fleet.len(),
+            merged_edges: merged.num_edges(),
+            wire_bytes,
+            mean_single: fleet.iter().map(|vm| vm.single_overlap).sum::<f64>() / fleet.len() as f64,
+            fleet: overlap(&merged, &union),
+        });
+    }
+    let n = rows.len() as f64;
+    let mean_single = rows.iter().map(|r| r.mean_single).sum::<f64>() / n;
+    let mean_fleet = rows.iter().map(|r| r.fleet).sum::<f64>() / n;
+    Ok(Fleet {
+        rows,
+        mean_single,
+        mean_fleet,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pooled_profiles_meet_or_beat_single_vms() {
+        let f = fleet(0.02).unwrap();
+        assert_eq!(f.rows.len(), 13);
+        for r in &f.rows {
+            assert_eq!(r.vms, FLEET_SIZE);
+            assert!(r.merged_edges > 0, "{}", r.benchmark);
+            assert!(r.wire_bytes > 0);
+            assert!((0.0..=100.0).contains(&r.mean_single));
+            assert!((0.0..=100.0).contains(&r.fleet));
+        }
+        // Pooling decorrelated samples is a variance reduction: the
+        // fleet profile must beat the mean single-VM profile on average,
+        // and must not lose on any individual benchmark by more than
+        // sampling noise.
+        assert!(
+            f.mean_fleet >= f.mean_single,
+            "fleet {} vs single {}",
+            f.mean_fleet,
+            f.mean_single
+        );
+        for r in &f.rows {
+            assert!(
+                r.gain() > -2.0,
+                "{}: fleet {} far below single {}",
+                r.benchmark,
+                r.fleet,
+                r.mean_single
+            );
+        }
+        let text = f.render();
+        assert!(text.contains("MEAN"));
+        assert!(text.contains("Gain"));
+    }
+
+    #[test]
+    fn fleet_is_bit_identical_for_any_job_count() {
+        let serial = fleet_with(0.01, Parallelism::SERIAL).unwrap();
+        for jobs in [2, 5] {
+            let par = fleet_with(0.01, Parallelism::jobs(jobs)).unwrap();
+            assert_eq!(par.render(), serial.render(), "jobs={jobs}");
+            for (a, b) in par.rows.iter().zip(&serial.rows) {
+                assert_eq!(a.fleet.to_bits(), b.fleet.to_bits(), "{}", a.benchmark);
+                assert_eq!(a.mean_single.to_bits(), b.mean_single.to_bits());
+                assert_eq!(a.wire_bytes, b.wire_bytes);
+            }
+        }
+    }
+}

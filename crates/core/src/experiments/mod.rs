@@ -15,10 +15,12 @@
 //! | §5.1 old-vs-new inliner | [`inliner_ablation`] |
 //! | §3.1 exhaustive-counter cost | [`exhaustive_overhead`] |
 //! | §3.2 burst-profiling hazard | [`patching_vs_cbs`] |
+//! | Fleet aggregation (beyond the paper) | [`fleet`] |
 
 mod ablations;
 mod figure1;
 mod figure5;
+mod fleet;
 mod table1;
 mod table2;
 mod table3;
@@ -32,6 +34,7 @@ pub use ablations::{
 };
 pub use figure1::{figure1_demo, Figure1Demo, Figure1Row};
 pub use figure5::{figure5, figure5_with, Figure5, Figure5Row, FIGURE5_BENCHMARKS};
+pub use fleet::{fleet, fleet_with, Fleet, FleetRow, FLEET_SIZE};
 pub use table1::{
     table1, table1_with, workload_shapes, workload_shapes_with, Table1, Table1Row, WorkloadShapes,
 };

@@ -18,6 +18,8 @@
 //! * [`opt`] / [`inliner`] — a real optimizer and inlining transform with
 //!   the paper's three inliner policies;
 //! * [`adaptive`] — a full adaptive optimization system;
+//! * [`profiled`] — fleet-scale profile collection: a binary wire
+//!   codec, a sharded aggregation service, and its TCP server/client;
 //! * [`workloads`] — the 13-benchmark synthetic suite and adversarial
 //!   programs;
 //! * [`experiments`] — functions regenerating **every table and figure**
@@ -60,6 +62,7 @@ pub use cbs_bytecode as bytecode;
 pub use cbs_dcg as dcg;
 pub use cbs_inliner as inliner;
 pub use cbs_opt as opt;
+pub use cbs_profiled as profiled;
 pub use cbs_profiler as profiler;
 pub use cbs_vm as vm;
 pub use cbs_workloads as workloads;

@@ -49,6 +49,9 @@ pub struct DynamicCallGraph {
     weights: Vec<f64>,
     /// Slots in ascending edge order (the sorted-at-boundary invariant).
     sorted: Vec<u32>,
+    /// Slot → weight as of the last [`drain_delta`](Self::drain_delta)
+    /// call (lazily grown; empty until the first drain).
+    flushed: Vec<f64>,
     total: f64,
 }
 
@@ -217,6 +220,40 @@ impl DynamicCallGraph {
         self.total = self.sorted.iter().map(|&s| self.weights[s as usize]).sum();
     }
 
+    /// Drains the weight growth since the previous drain, in ascending
+    /// edge order.
+    ///
+    /// Returns `(edge, current_weight - weight_at_last_drain)` for every
+    /// edge that gained weight, and marks the current weights as flushed.
+    /// The first drain therefore returns the whole graph (a *snapshot* in
+    /// the `cbs-profiled` wire format); later drains return only the
+    /// increments (*delta* frames). All returned deltas are positive and
+    /// finite, so replaying them through [`record`](Self::record) on any
+    /// other graph reconstructs this graph's growth exactly: unit samples
+    /// sum to exactly representable values, and an arbitrary weight `w`
+    /// splits across drains as `w1 + (w - w1)` which
+    /// [`record`](Self::record)'s additions re-sum bit-identically.
+    ///
+    /// Weight *loss* between drains (only possible via [`decay`]) is not
+    /// emitted — the flushed mark is silently lowered instead. Decay is an
+    /// aggregator-side operation in the profile service; clients that
+    /// stream their graphs out must not decay locally.
+    ///
+    /// [`decay`]: Self::decay
+    pub fn drain_delta(&mut self) -> Vec<(CallEdge, f64)> {
+        self.flushed.resize(self.weights.len(), 0.0);
+        let mut out = Vec::new();
+        for &s in &self.sorted {
+            let slot = s as usize;
+            let cur = self.weights[slot];
+            if cur > self.flushed[slot] {
+                out.push((self.edges[slot], cur - self.flushed[slot]));
+            }
+            self.flushed[slot] = cur;
+        }
+        out
+    }
+
     /// Multiplies every weight by `factor` (exponential decay for
     /// continuous profiling). Edges whose weight falls below `min_weight`
     /// are dropped.
@@ -231,20 +268,27 @@ impl DynamicCallGraph {
         }
         if self.weights.iter().any(|w| *w < min_weight) {
             // Rare path: rebuild the store around the surviving edges,
-            // preserving first-observation order.
-            let survivors: Vec<(CallEdge, f64)> = self
+            // preserving first-observation order. Flushed marks travel
+            // with their edge through the slot reshuffle.
+            let survivors: Vec<(CallEdge, f64, f64)> = self
                 .edges
                 .iter()
                 .zip(&self.weights)
-                .filter(|(_, &w)| w >= min_weight)
-                .map(|(&e, &w)| (e, w))
+                .enumerate()
+                .filter(|(_, (_, &w))| w >= min_weight)
+                .map(|(slot, (&e, &w))| (e, w, self.flushed.get(slot).copied().unwrap_or(0.0)))
                 .collect();
+            let had_flushed = !self.flushed.is_empty();
             self.index.clear();
             self.edges.clear();
             self.weights.clear();
             self.sorted.clear();
-            for (e, w) in survivors {
+            self.flushed.clear();
+            for (e, w, f) in survivors {
                 self.bump(e, w);
+                if had_flushed {
+                    self.flushed.push(f);
+                }
             }
         }
         self.recompute_total();
@@ -540,6 +584,64 @@ mod tests {
         g.record(e(0, 1, 2), 2.0);
         assert_eq!(g.weight(&e(0, 1, 2)), 2.0);
         assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn drain_delta_first_drain_is_a_snapshot() {
+        let mut g = DynamicCallGraph::new();
+        g.record(e(1, 0, 2), 3.0);
+        g.record(e(0, 0, 1), 1.0);
+        let d = g.drain_delta();
+        // Full graph, ascending edge order.
+        assert_eq!(d, vec![(e(0, 0, 1), 1.0), (e(1, 0, 2), 3.0)]);
+        // Nothing changed since: empty delta.
+        assert!(g.drain_delta().is_empty());
+    }
+
+    #[test]
+    fn drain_delta_emits_only_growth() {
+        let mut g = DynamicCallGraph::new();
+        g.record(e(0, 0, 1), 2.0);
+        g.drain_delta();
+        g.record(e(0, 0, 1), 0.5);
+        g.record(e(2, 1, 3), 4.0);
+        let d = g.drain_delta();
+        assert_eq!(d, vec![(e(0, 0, 1), 0.5), (e(2, 1, 3), 4.0)]);
+        assert!(g.drain_delta().is_empty());
+    }
+
+    #[test]
+    fn drain_delta_replay_reconstructs_growth_exactly() {
+        let mut src = DynamicCallGraph::new();
+        let mut dst = DynamicCallGraph::new();
+        for round in 0..5u32 {
+            for i in 0..20u32 {
+                src.record(e(i % 7, i % 3, i % 5), f64::from(round * i + 1) * 0.25);
+            }
+            for (edge, dw) in src.drain_delta() {
+                dst.record(edge, dw);
+            }
+        }
+        assert_eq!(src, dst, "replayed deltas must rebuild the source graph");
+        assert_eq!(src.total_weight().to_bits(), dst.total_weight().to_bits());
+    }
+
+    #[test]
+    fn drain_delta_survives_decay_rebuild() {
+        let mut g = DynamicCallGraph::new();
+        g.record(e(0, 0, 1), 8.0);
+        g.record(e(1, 1, 2), 0.5);
+        g.drain_delta();
+        // Prune e(1,1,2); slots are rebuilt, flushed marks must follow
+        // their edges (and be lowered to the decayed weights).
+        g.decay(0.5, 0.5);
+        assert_eq!(g.num_edges(), 1);
+        // No growth since the drain: decay loss is not emitted.
+        assert!(g.drain_delta().is_empty());
+        g.record(e(0, 0, 1), 1.0);
+        g.record(e(1, 1, 2), 2.0);
+        let d = g.drain_delta();
+        assert_eq!(d, vec![(e(0, 0, 1), 1.0), (e(1, 1, 2), 2.0)]);
     }
 
     #[test]

@@ -181,6 +181,27 @@ mod tests {
         assert_eq!(from_text(&text), Err(ParseDcgError::BadWeight { line: 2 }));
     }
 
+    /// Regression test: `DynamicCallGraph::record` silently ignores
+    /// non-finite weights, so a crafted profile file must not be able to
+    /// smuggle `NaN`/`inf` past the parser (every spelling Rust's float
+    /// parser accepts is rejected with `BadWeight`, not silently dropped).
+    #[test]
+    fn non_finite_weight_spellings_rejected_on_parse() {
+        for bad in [
+            "nan", "NaN", "-nan", "inf", "+inf", "-inf", "infinity", "Infinity",
+        ] {
+            let text = format!("{HEADER}\n0 1 2 {bad}\n");
+            assert_eq!(
+                from_text(&text),
+                Err(ParseDcgError::BadWeight { line: 2 }),
+                "weight `{bad}` must be rejected"
+            );
+        }
+        // Huge literals that overflow to infinity are rejected too.
+        let text = format!("{HEADER}\n0 1 2 1e400\n");
+        assert_eq!(from_text(&text), Err(ParseDcgError::BadWeight { line: 2 }));
+    }
+
     #[test]
     fn empty_graph_round_trips() {
         let g = DynamicCallGraph::new();

@@ -1,0 +1,417 @@
+//! The sharded, decaying, fleet-wide profile aggregator.
+//!
+//! Frames from many VM instances are folded into `N` shard graphs,
+//! hash-partitioned by **caller** so every edge of a method — and hence
+//! every call site's whole receiver distribution — lives in exactly one
+//! shard. Ingestion from concurrent connections therefore contends only
+//! on the shards a frame actually touches, while the 40%-rule queries
+//! ([`site_distribution`]) stay single-graph exact.
+//!
+//! Freshness is a *virtual epoch clock*: [`advance_epoch`] only bumps an
+//! atomic counter; each shard applies `decay_factor^(elapsed epochs)`
+//! lazily the next time it is locked. Decay is multiplicative per epoch,
+//! so a shard that sleeps through `k` epochs catches up in one
+//! `decay(factor.powi(k))` — identical to having decayed every epoch.
+//!
+//! Consistency: [`merged_snapshot`] locks all shards (in index order —
+//! every multi-shard path uses that order, so there is no lock-order
+//! inversion), brings each to the current epoch, and merges in shard
+//! order. The result is a true cut: it contains exactly the frames
+//! ingested before the lock sweep completed, and two snapshots of the
+//! same ingestion history are bit-identical.
+//!
+//! [`advance_epoch`]: ShardedAggregator::advance_epoch
+//! [`merged_snapshot`]: ShardedAggregator::merged_snapshot
+//! [`site_distribution`]: ShardedAggregator::site_distribution
+
+use crate::codec::DcgFrame;
+use cbs_bytecode::{CallSiteId, MethodId};
+use cbs_dcg::{CallEdge, DynamicCallGraph};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Tuning for a [`ShardedAggregator`].
+#[derive(Debug, Clone, Copy)]
+pub struct AggregatorConfig {
+    /// Number of shards (`0` is treated as `1`).
+    pub shards: usize,
+    /// Per-epoch multiplicative decay (`1.0` disables decay).
+    pub decay_factor: f64,
+    /// Edges whose decayed weight falls below this are dropped.
+    pub min_weight: f64,
+}
+
+impl Default for AggregatorConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            decay_factor: 1.0,
+            min_weight: 0.0,
+        }
+    }
+}
+
+impl AggregatorConfig {
+    /// Config with `shards` shards and decay disabled.
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards,
+            ..Self::default()
+        }
+    }
+}
+
+/// One shard: a graph plus the epoch its decay has been applied up to.
+#[derive(Debug, Default)]
+struct Shard {
+    graph: DynamicCallGraph,
+    epoch: u64,
+}
+
+/// Counters describing an aggregator's ingestion history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggregatorStats {
+    /// Frames ingested (snapshots + deltas).
+    pub frames: u64,
+    /// Edge records applied across all frames.
+    pub records: u64,
+    /// Current epoch.
+    pub epoch: u64,
+    /// Distinct edges currently held, per shard (index order).
+    pub shard_edges: Vec<usize>,
+}
+
+impl AggregatorStats {
+    /// Distinct edges across all shards.
+    pub fn total_edges(&self) -> usize {
+        self.shard_edges.iter().sum()
+    }
+}
+
+/// A concurrent, sharded, epoch-decayed profile aggregator.
+///
+/// All methods take `&self`; the type is `Sync` and is shared across
+/// server connection threads behind an `Arc`.
+#[derive(Debug)]
+pub struct ShardedAggregator {
+    shards: Vec<Mutex<Shard>>,
+    epoch: AtomicU64,
+    frames: AtomicU64,
+    records: AtomicU64,
+    decay_factor: f64,
+    min_weight: f64,
+}
+
+impl ShardedAggregator {
+    /// Creates an empty aggregator.
+    pub fn new(config: AggregatorConfig) -> Self {
+        let n = config.shards.max(1);
+        Self {
+            shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
+            epoch: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            records: AtomicU64::new(0),
+            decay_factor: config.decay_factor,
+            min_weight: config.min_weight,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard an edge belongs to. Partitioning is by caller, mixed
+    /// through SplitMix64's finalizer so dense `MethodId`s spread evenly
+    /// over any shard count.
+    pub fn shard_of(&self, caller: MethodId) -> usize {
+        let mut z = u64::from(u32::from(caller)).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % self.shards.len() as u64) as usize
+    }
+
+    /// Locks `shard` and brings its decay up to the current epoch.
+    fn locked_current(&self, shard: usize) -> MutexGuard<'_, Shard> {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let mut guard = self.shards[shard].lock().expect("shard lock");
+        if guard.epoch < epoch {
+            let elapsed = (epoch - guard.epoch).min(i32::MAX as u64) as i32;
+            if self.decay_factor != 1.0 {
+                guard
+                    .graph
+                    .decay(self.decay_factor.powi(elapsed), self.min_weight);
+            }
+            guard.epoch = epoch;
+        }
+        guard
+    }
+
+    /// Folds a decoded frame into the shards.
+    ///
+    /// Snapshot and delta frames are both *additive*: a snapshot is a
+    /// VM's first flush, deltas are its subsequent growth, so the
+    /// aggregate over a fleet is simply the sum of everything pushed
+    /// (then decayed by the epoch clock). Records are grouped so each
+    /// touched shard is locked exactly once per frame.
+    pub fn ingest(&self, frame: &DcgFrame) {
+        self.ingest_records(&frame.edges);
+        self.frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds raw `(edge, weight)` records (already validated positive and
+    /// finite, as the codec guarantees) into the shards.
+    pub fn ingest_records(&self, records: &[(CallEdge, f64)]) {
+        if self.shards.len() == 1 {
+            let mut guard = self.locked_current(0);
+            for &(e, w) in records {
+                guard.graph.record(e, w);
+            }
+        } else {
+            // One pass per touched shard. Frames are edge-sorted, so each
+            // shard's records are applied in edge order — the same order
+            // every time, keeping repeated ingestion histories
+            // bit-identical.
+            let mut touched: Vec<bool> = vec![false; self.shards.len()];
+            for (e, _) in records {
+                touched[self.shard_of(e.caller)] = true;
+            }
+            for (shard, hit) in touched.into_iter().enumerate() {
+                if !hit {
+                    continue;
+                }
+                let mut guard = self.locked_current(shard);
+                for &(e, w) in records {
+                    if self.shard_of(e.caller) == shard {
+                        guard.graph.record(e, w);
+                    }
+                }
+            }
+        }
+        self.records
+            .fetch_add(records.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Advances the virtual epoch clock by one, returning the new epoch.
+    ///
+    /// O(1): shards decay lazily on their next lock.
+    pub fn advance_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// A consistent fleet-wide snapshot: all shards locked (index
+    /// order), decayed to the current epoch, and merged in shard order.
+    pub fn merged_snapshot(&self) -> DynamicCallGraph {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let mut guards: Vec<MutexGuard<'_, Shard>> = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let mut guard = shard.lock().expect("shard lock");
+            if guard.epoch < epoch {
+                let elapsed = (epoch - guard.epoch).min(i32::MAX as u64) as i32;
+                if self.decay_factor != 1.0 {
+                    guard
+                        .graph
+                        .decay(self.decay_factor.powi(elapsed), self.min_weight);
+                }
+                guard.epoch = epoch;
+            }
+            guards.push(guard);
+        }
+        DynamicCallGraph::merge_all(guards.iter().map(|g| &g.graph))
+    }
+
+    /// Fleet-wide hot edges: edges holding at least `percent` of the
+    /// merged total weight, heaviest first (the inliner's hot-edge
+    /// query).
+    pub fn hot_edges(&self, percent: f64) -> Vec<(CallEdge, f64)> {
+        self.merged_snapshot().hot_edges(percent)
+    }
+
+    /// The fleet-wide receiver distribution of one call site, sorted by
+    /// descending weight — the input to the paper's 40% guarded-inlining
+    /// rule.
+    ///
+    /// A call site lives inside exactly one caller, so its whole
+    /// distribution sits in one shard; only `caller`'s shard is locked.
+    pub fn site_distribution(&self, caller: MethodId, site: CallSiteId) -> Vec<(MethodId, f64)> {
+        let guard = self.locked_current(self.shard_of(caller));
+        guard.graph.site_distribution(site)
+    }
+
+    /// Total weight flowing out of `caller`, from its single shard.
+    pub fn outgoing_weight(&self, caller: MethodId) -> f64 {
+        let guard = self.locked_current(self.shard_of(caller));
+        guard.graph.outgoing_weight(caller)
+    }
+
+    /// Ingestion counters and per-shard sizes.
+    pub fn stats(&self) -> AggregatorStats {
+        AggregatorStats {
+            frames: self.frames.load(Ordering::Relaxed),
+            records: self.records.load(Ordering::Relaxed),
+            epoch: self.epoch(),
+            shard_edges: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("shard lock").graph.num_edges())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::DcgCodec;
+
+    fn e(caller: u32, site: u32, callee: u32) -> CallEdge {
+        CallEdge::new(
+            MethodId::new(caller),
+            CallSiteId::new(site),
+            MethodId::new(callee),
+        )
+    }
+
+    fn graph(entries: &[(CallEdge, f64)]) -> DynamicCallGraph {
+        entries.iter().copied().collect()
+    }
+
+    #[test]
+    fn sharded_merge_equals_direct_merge_for_any_shard_count() {
+        let a = graph(&[(e(0, 0, 1), 3.0), (e(7, 1, 2), 1.0), (e(93, 2, 3), 4.0)]);
+        let b = graph(&[(e(0, 0, 1), 2.0), (e(41, 3, 5), 8.0)]);
+        let expected = DynamicCallGraph::merge_all([&a, &b]);
+        for shards in [1, 2, 4, 8, 13] {
+            let agg = ShardedAggregator::new(AggregatorConfig::with_shards(shards));
+            agg.ingest(&DcgCodec::decode(&DcgCodec::encode_snapshot(&a)).unwrap());
+            agg.ingest(&DcgCodec::decode(&DcgCodec::encode_snapshot(&b)).unwrap());
+            let merged = agg.merged_snapshot();
+            assert_eq!(merged, expected, "shards={shards}");
+            assert_eq!(agg.stats().frames, 2);
+            assert_eq!(agg.stats().records, 5);
+            assert_eq!(agg.stats().total_edges(), merged.num_edges());
+        }
+    }
+
+    #[test]
+    fn caller_partitioning_keeps_sites_whole() {
+        let agg = ShardedAggregator::new(AggregatorConfig::with_shards(8));
+        // Virtual site 4 in caller 2 dispatches to three receivers.
+        agg.ingest_records(&[
+            (e(2, 4, 10), 50.0),
+            (e(2, 4, 11), 45.0),
+            (e(2, 4, 12), 5.0),
+            (e(3, 9, 10), 100.0),
+        ]);
+        let dist = agg.site_distribution(MethodId::new(2), CallSiteId::new(4));
+        assert_eq!(dist.len(), 3);
+        assert_eq!(dist[0], (MethodId::new(10), 50.0));
+        // 40%-rule shares are exact per-site fractions.
+        let total: f64 = dist.iter().map(|(_, w)| w).sum();
+        assert!((dist[0].1 / total - 0.5).abs() < 1e-12);
+        assert_eq!(agg.outgoing_weight(MethodId::new(2)), 100.0);
+        // All of caller 2's edges share one shard.
+        let s = agg.shard_of(MethodId::new(2));
+        let shard_sizes = agg.stats().shard_edges;
+        assert!(shard_sizes[s] >= 3);
+    }
+
+    #[test]
+    fn lazy_epoch_decay_matches_eager_per_epoch_decay() {
+        let cfg = AggregatorConfig {
+            shards: 4,
+            decay_factor: 0.5,
+            min_weight: 0.0,
+        };
+        let agg = ShardedAggregator::new(cfg);
+        agg.ingest_records(&[(e(0, 0, 1), 16.0), (e(9, 1, 2), 4.0)]);
+        // Three epochs pass without the shards being touched.
+        agg.advance_epoch();
+        agg.advance_epoch();
+        agg.advance_epoch();
+        let merged = agg.merged_snapshot();
+        assert!(
+            (merged.weight(&e(0, 0, 1)) - 2.0).abs() < 1e-12,
+            "16 × 0.5³"
+        );
+        assert!((merged.weight(&e(9, 1, 2)) - 0.5).abs() < 1e-12);
+        // Fresh weight lands undecayed after the catch-up.
+        agg.ingest_records(&[(e(0, 0, 1), 1.0)]);
+        assert!((agg.merged_snapshot().weight(&e(0, 0, 1)) - 3.0).abs() < 1e-12);
+        assert_eq!(agg.epoch(), 3);
+    }
+
+    #[test]
+    fn decay_prunes_below_min_weight() {
+        let cfg = AggregatorConfig {
+            shards: 2,
+            decay_factor: 0.1,
+            min_weight: 0.5,
+        };
+        let agg = ShardedAggregator::new(cfg);
+        agg.ingest_records(&[(e(0, 0, 1), 100.0), (e(1, 1, 2), 1.0)]);
+        agg.advance_epoch();
+        let merged = agg.merged_snapshot();
+        assert_eq!(merged.num_edges(), 1, "light edge pruned: {merged:?}");
+        assert!((merged.weight(&e(0, 0, 1)) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_edges_are_fleet_wide() {
+        let agg = ShardedAggregator::new(AggregatorConfig::with_shards(4));
+        // Two "VMs" each see half of a hot edge's traffic.
+        agg.ingest_records(&[(e(0, 0, 1), 49.0), (e(5, 1, 2), 1.0)]);
+        agg.ingest_records(&[(e(0, 0, 1), 49.0), (e(6, 2, 3), 1.0)]);
+        let hot = agg.hot_edges(50.0);
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].0, e(0, 0, 1));
+        assert_eq!(hot[0].1, 98.0);
+    }
+
+    #[test]
+    fn concurrent_ingestion_converges_to_the_same_multiset() {
+        use std::sync::Arc;
+        let agg = Arc::new(ShardedAggregator::new(AggregatorConfig::with_shards(4)));
+        let frames: Vec<Vec<(CallEdge, f64)>> = (0..16u32)
+            .map(|i| {
+                (0..50u32)
+                    .map(|j| (e(j % 11, j % 5, (i + j) % 7), 1.0))
+                    .collect()
+            })
+            .collect();
+        // Expected: same records ingested serially.
+        let serial = ShardedAggregator::new(AggregatorConfig::with_shards(4));
+        for f in &frames {
+            serial.ingest_records(f);
+        }
+        let expected = serial.merged_snapshot();
+
+        std::thread::scope(|scope| {
+            for chunk in frames.chunks(4) {
+                let agg = Arc::clone(&agg);
+                scope.spawn(move || {
+                    for f in chunk {
+                        agg.ingest_records(f);
+                    }
+                });
+            }
+        });
+        // Unit weights: addition is exact, so any interleaving converges
+        // to the identical graph.
+        assert_eq!(agg.merged_snapshot(), expected);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let agg = ShardedAggregator::new(AggregatorConfig::with_shards(0));
+        assert_eq!(agg.num_shards(), 1);
+        agg.ingest_records(&[(e(0, 0, 1), 1.0)]);
+        assert_eq!(agg.merged_snapshot().num_edges(), 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Client library for the profile-ingestion service.
+//!
+//! A [`ProfileClient`] holds one persistent connection and issues
+//! synchronous request/response exchanges: push a snapshot or delta
+//! frame, pull the merged fleet profile, advance the decay epoch, or
+//! fetch stats. Every server-side rejection (malformed frame, frame
+//! limit, backpressure) surfaces as [`ClientError::Server`] with the
+//! server's reason string.
+
+use crate::codec::{CodecError, DcgCodec};
+use crate::wire::{read_msg, write_msg, NetConfig, OP_EPOCH, OP_PULL, OP_PUSH, OP_STATS, ST_OK};
+use cbs_dcg::{CallEdge, DynamicCallGraph};
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A failure of one client exchange.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, timeout, reset, oversized reply).
+    Io(io::Error),
+    /// The server's reply payload failed to decode.
+    Codec(CodecError),
+    /// The server answered `ST_ERR` with this reason.
+    Server(String),
+    /// The reply violated the wire protocol.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Codec(e) => write!(f, "undecodable reply: {e}"),
+            ClientError::Server(msg) => write!(f, "server rejected request: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl Error for ClientError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<CodecError> for ClientError {
+    fn from(e: CodecError) -> Self {
+        ClientError::Codec(e)
+    }
+}
+
+/// One persistent connection to a profile server.
+#[derive(Debug)]
+pub struct ProfileClient {
+    stream: TcpStream,
+    max_frame_bytes: usize,
+}
+
+impl ProfileClient {
+    /// Connects and applies the configured timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configuration failures.
+    pub fn connect(addr: impl ToSocketAddrs, config: NetConfig) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(config.read_timeout))?;
+        stream.set_write_timeout(Some(config.write_timeout))?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            stream,
+            max_frame_bytes: config.max_frame_bytes,
+        })
+    }
+
+    fn exchange(&mut self, op: u8, body: &[u8]) -> Result<Vec<u8>, ClientError> {
+        write_msg(&mut self.stream, &[&[op], body])?;
+        let reply = read_msg(&mut self.stream, self.max_frame_bytes)?
+            .ok_or_else(|| ClientError::Protocol("server closed before replying".into()))?;
+        match reply.split_first() {
+            Some((&ST_OK, payload)) => Ok(payload.to_vec()),
+            Some((_, payload)) => Err(ClientError::Server(
+                String::from_utf8_lossy(payload).into_owned(),
+            )),
+            None => Err(ClientError::Protocol("empty reply".into())),
+        }
+    }
+
+    /// Pushes a pre-encoded codec frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-side rejection.
+    pub fn push_frame(&mut self, frame_bytes: &[u8]) -> Result<(), ClientError> {
+        self.exchange(OP_PUSH, frame_bytes).map(drop)
+    }
+
+    /// Pushes a whole graph as a snapshot frame (a VM's first flush).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-side rejection.
+    pub fn push_snapshot(&mut self, graph: &DynamicCallGraph) -> Result<(), ClientError> {
+        self.push_frame(&DcgCodec::encode_snapshot(graph))
+    }
+
+    /// Pushes weight increments (from
+    /// [`DynamicCallGraph::drain_delta`]) as a delta frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-side rejection.
+    pub fn push_delta(&mut self, increments: &[(CallEdge, f64)]) -> Result<(), ClientError> {
+        self.push_frame(&DcgCodec::encode_delta(increments))
+    }
+
+    /// Pulls the fleet-wide merged snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a server-side rejection, or an undecodable
+    /// reply.
+    pub fn pull(&mut self) -> Result<DynamicCallGraph, ClientError> {
+        let payload = self.exchange(OP_PULL, &[])?;
+        Ok(DcgCodec::decode_snapshot(&payload)?)
+    }
+
+    /// Advances the server's decay epoch, returning the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a server-side rejection, or a malformed
+    /// reply.
+    pub fn advance_epoch(&mut self) -> Result<u64, ClientError> {
+        let payload = self.exchange(OP_EPOCH, &[])?;
+        String::from_utf8_lossy(&payload)
+            .trim()
+            .parse()
+            .map_err(|_| ClientError::Protocol("non-numeric epoch reply".into()))
+    }
+
+    /// Fetches the server's ingestion counters as `key=value` lines.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-side rejection.
+    pub fn stats_text(&mut self) -> Result<String, ClientError> {
+        let payload = self.exchange(OP_STATS, &[])?;
+        Ok(String::from_utf8_lossy(&payload).into_owned())
+    }
+}

@@ -1,0 +1,616 @@
+//! The compact binary profile format (`DcgCodec`).
+//!
+//! A *frame* carries one flush of a dynamic call graph:
+//!
+//! ```text
+//! frame    := magic "CBSP" | version u8 (=1) | kind u8 | varint(n) | n × record
+//! record   := varint(key step) | weight
+//! weight   := varint(2·m)            -- non-negative integral weight m
+//!           | varint(1) | f64-bits   -- 8 raw little-endian bytes otherwise
+//! ```
+//!
+//! Edge identity is packed into a 96-bit key
+//! `caller·2⁶⁴ + site·2³² + callee`; records are sorted in ascending key
+//! order (exactly [`DynamicCallGraph::iter`] order) and each record
+//! stores the *difference* from the previous key — the first record
+//! stores its key absolutely. Because keys strictly increase, every
+//! subsequent step is ≥ 1, and dense id spaces (the common case: dense
+//! `MethodId`/`CallSiteId` from one program) compress to 1–2 byte steps.
+//! Varints are LEB128 (7 data bits per byte, little-endian groups).
+//!
+//! Two frame kinds exist. A **snapshot** carries absolute weights of a
+//! whole graph; a **delta** carries only the positive weight *increments*
+//! since the producer's previous flush (see
+//! [`DynamicCallGraph::drain_delta`]). Both are additive for a consumer
+//! that started from the producer's first flush, which is what lets the
+//! aggregator treat every frame as "add these weights".
+//!
+//! Round-trip guarantee: decoding reproduces every edge weight
+//! **bit-exactly**. The rebuilt graph's running total is accumulated in
+//! canonical (ascending-edge) order, which is bit-identical to the total
+//! of any merged or drained graph — i.e. of every graph this crate
+//! actually ships (the aggregator's merged snapshots, `drain_delta`
+//! output). Only a graph whose local observation history happened to sum
+//! fractional weights in a different order can differ, and then only in
+//! the final rounding bit of the derived total, never in an edge weight.
+//!
+//! Decoding is strict: unknown magic/version/kind, truncated input,
+//! overlong varints, non-finite or non-positive weights, duplicate or
+//! unsorted keys, keys exceeding 96 bits, and trailing bytes are all
+//! distinct [`CodecError`]s — a server can reject any malformed frame
+//! without trusting the sender.
+
+use cbs_bytecode::{CallSiteId, MethodId};
+use cbs_dcg::{CallEdge, DynamicCallGraph};
+use std::error::Error;
+use std::fmt;
+
+/// Magic bytes opening every frame.
+pub const MAGIC: [u8; 4] = *b"CBSP";
+/// Current (only) format version.
+pub const VERSION: u8 = 1;
+
+/// What a frame's weights mean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Absolute weights of a producer's whole graph (its first flush).
+    Snapshot,
+    /// Positive weight increments since the producer's previous flush.
+    Delta,
+}
+
+impl FrameKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameKind::Snapshot => 0,
+            FrameKind::Delta => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(FrameKind::Snapshot),
+            1 => Some(FrameKind::Delta),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded frame: the kind plus `(edge, weight)` records in
+/// ascending edge order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcgFrame {
+    /// Snapshot or delta.
+    pub kind: FrameKind,
+    /// Records in ascending edge order; weights are positive and finite.
+    pub edges: Vec<(CallEdge, f64)>,
+}
+
+impl DcgFrame {
+    /// Rebuilds a [`DynamicCallGraph`] from this frame's records.
+    ///
+    /// For a snapshot this *is* the producer's graph; for a delta it is
+    /// just the increments.
+    pub fn to_graph(&self) -> DynamicCallGraph {
+        let mut g = DynamicCallGraph::new();
+        for &(e, w) in &self.edges {
+            g.record(e, w);
+        }
+        g
+    }
+}
+
+/// A failure to decode a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The frame does not start with [`MAGIC`].
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Unknown frame kind byte.
+    BadKind(u8),
+    /// The input ended mid-frame.
+    Truncated,
+    /// A varint ran past its maximum width.
+    VarintOverflow,
+    /// An edge key exceeded 96 bits.
+    KeyOverflow,
+    /// Keys were duplicated or out of order.
+    UnsortedKeys,
+    /// A weight was non-positive, non-finite, or used a reserved tag.
+    BadWeight,
+    /// Bytes remained after the last declared record.
+    TrailingBytes,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a CBSP frame (bad magic)"),
+            CodecError::BadVersion(v) => write!(f, "unsupported CBSP version {v}"),
+            CodecError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            CodecError::Truncated => write!(f, "frame truncated"),
+            CodecError::VarintOverflow => write!(f, "varint wider than 96 bits"),
+            CodecError::KeyOverflow => write!(f, "edge key exceeds 96 bits"),
+            CodecError::UnsortedKeys => write!(f, "edge keys duplicated or out of order"),
+            CodecError::BadWeight => write!(f, "weight not positive and finite"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes after last record"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// Packs an edge into its 96-bit wire key.
+fn key_of(e: &CallEdge) -> u128 {
+    (u128::from(u32::from(e.caller)) << 64)
+        | (u128::from(u32::from(e.site)) << 32)
+        | u128::from(u32::from(e.callee))
+}
+
+/// Unpacks a wire key (must fit in 96 bits).
+fn edge_of(key: u128) -> Result<CallEdge, CodecError> {
+    if key >> 96 != 0 {
+        return Err(CodecError::KeyOverflow);
+    }
+    Ok(CallEdge::new(
+        MethodId::new((key >> 64) as u32),
+        CallSiteId::new((key >> 32) as u32),
+        MethodId::new(key as u32),
+    ))
+}
+
+/// Appends a LEB128 varint.
+fn put_varint(out: &mut Vec<u8>, mut v: u128) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Cursor over an encoded frame.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        let slice = self.buf.get(self.pos..end).ok_or(CodecError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn byte(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn varint(&mut self) -> Result<u128, CodecError> {
+        let mut v: u128 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            // Nothing on the wire is wider than a 96-bit key (15 LEB128
+            // groups reach 105 bits — comfortably inside u128, so the
+            // accumulate below cannot overflow before this cap fires).
+            if shift > 98 {
+                return Err(CodecError::VarintOverflow);
+            }
+            v |= u128::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Weights that compress to a varint: non-negative integers below 2⁶²
+/// whose `f64` representation is exact.
+fn integral_weight(w: f64) -> Option<u64> {
+    if w >= 0.0 && w < (1u64 << 62) as f64 && w.fract() == 0.0 {
+        let m = w as u64;
+        if m as f64 == w {
+            return Some(m);
+        }
+    }
+    None
+}
+
+fn put_weight(out: &mut Vec<u8>, w: f64) {
+    match integral_weight(w) {
+        Some(m) => put_varint(out, u128::from(m) << 1),
+        None => {
+            put_varint(out, 1);
+            out.extend_from_slice(&w.to_bits().to_le_bytes());
+        }
+    }
+}
+
+fn read_weight(r: &mut Reader<'_>) -> Result<f64, CodecError> {
+    let tag = r.varint()?;
+    let w = if tag & 1 == 0 {
+        let m = u64::try_from(tag >> 1).map_err(|_| CodecError::BadWeight)?;
+        m as f64
+    } else if tag == 1 {
+        let bytes: [u8; 8] = r.take(8)?.try_into().expect("take(8) returns 8 bytes");
+        f64::from_bits(u64::from_le_bytes(bytes))
+    } else {
+        return Err(CodecError::BadWeight);
+    };
+    if !w.is_finite() || w <= 0.0 {
+        return Err(CodecError::BadWeight);
+    }
+    Ok(w)
+}
+
+/// Encoder/decoder for the binary profile format.
+///
+/// Stateless; all methods are associated functions. See the
+/// [module docs](self) for the wire layout.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DcgCodec;
+
+impl DcgCodec {
+    /// Encodes a whole graph as a snapshot frame.
+    ///
+    /// Records are emitted in the graph's (ascending-edge) iteration
+    /// order; weights round-trip bit-exactly.
+    pub fn encode_snapshot(graph: &DynamicCallGraph) -> Vec<u8> {
+        Self::encode_records(
+            FrameKind::Snapshot,
+            graph.iter().map(|(e, w)| (*e, w)),
+            graph.num_edges(),
+        )
+    }
+
+    /// Encodes weight increments (e.g. from
+    /// [`DynamicCallGraph::drain_delta`]) as a delta frame.
+    ///
+    /// Records are sorted by edge; duplicate edges are coalesced by
+    /// summing. Non-positive and non-finite increments are skipped, per
+    /// the graph's weight contract.
+    pub fn encode_delta(increments: &[(CallEdge, f64)]) -> Vec<u8> {
+        let mut records: Vec<(CallEdge, f64)> = increments
+            .iter()
+            .filter(|(_, w)| w.is_finite() && *w > 0.0)
+            .copied()
+            .collect();
+        // Stable sort: duplicate edges keep their input order, so the
+        // coalescing additions below are bit-deterministic.
+        records.sort_by_key(|r| r.0);
+        records.dedup_by(|later, first| {
+            if later.0 == first.0 {
+                first.1 += later.1;
+                true
+            } else {
+                false
+            }
+        });
+        let n = records.len();
+        Self::encode_records(FrameKind::Delta, records.into_iter(), n)
+    }
+
+    fn encode_records(
+        kind: FrameKind,
+        records: impl Iterator<Item = (CallEdge, f64)>,
+        count: usize,
+    ) -> Vec<u8> {
+        // ~3 bytes/record for dense ids and small integral weights.
+        let mut out = Vec::with_capacity(8 + count * 8);
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(kind.to_byte());
+        put_varint(&mut out, count as u128);
+        let mut prev: Option<u128> = None;
+        for (e, w) in records {
+            let key = key_of(&e);
+            let step = match prev {
+                None => key,
+                Some(p) => {
+                    debug_assert!(key > p, "records must be in ascending edge order");
+                    key - p
+                }
+            };
+            prev = Some(key);
+            put_varint(&mut out, step);
+            put_weight(&mut out, w);
+        }
+        out
+    }
+
+    /// Decodes a frame.
+    ///
+    /// # Errors
+    ///
+    /// Any malformed input yields a [`CodecError`]; no partial frame is
+    /// ever returned.
+    pub fn decode(bytes: &[u8]) -> Result<DcgFrame, CodecError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = r.byte()?;
+        if version != VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        let kind = r.byte()?;
+        let kind = FrameKind::from_byte(kind).ok_or(CodecError::BadKind(kind))?;
+        let count = usize::try_from(r.varint()?).map_err(|_| CodecError::VarintOverflow)?;
+        // A record is ≥ 2 bytes; a count promising more than the input
+        // holds is rejected before allocating.
+        if count > bytes.len() / 2 {
+            return Err(CodecError::Truncated);
+        }
+        let mut edges = Vec::with_capacity(count);
+        let mut prev: Option<u128> = None;
+        for _ in 0..count {
+            let step = r.varint()?;
+            let key = match prev {
+                None => step,
+                Some(p) => {
+                    if step == 0 {
+                        return Err(CodecError::UnsortedKeys);
+                    }
+                    p.checked_add(step).ok_or(CodecError::KeyOverflow)?
+                }
+            };
+            prev = Some(key);
+            let edge = edge_of(key)?;
+            edges.push((edge, read_weight(&mut r)?));
+        }
+        if !r.done() {
+            return Err(CodecError::TrailingBytes);
+        }
+        Ok(DcgFrame { kind, edges })
+    }
+
+    /// Decodes a frame and requires it to be a snapshot, returning the
+    /// reconstructed graph.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::BadKind`] if the frame is a delta, plus any decode
+    /// error.
+    pub fn decode_snapshot(bytes: &[u8]) -> Result<DynamicCallGraph, CodecError> {
+        let frame = Self::decode(bytes)?;
+        if frame.kind != FrameKind::Snapshot {
+            return Err(CodecError::BadKind(frame.kind.to_byte()));
+        }
+        Ok(frame.to_graph())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(caller: u32, site: u32, callee: u32) -> CallEdge {
+        CallEdge::new(
+            MethodId::new(caller),
+            CallSiteId::new(site),
+            MethodId::new(callee),
+        )
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = DynamicCallGraph::new();
+        let bytes = DcgCodec::encode_snapshot(&g);
+        assert_eq!(bytes.len(), 7, "magic + version + kind + count");
+        let frame = DcgCodec::decode(&bytes).unwrap();
+        assert_eq!(frame.kind, FrameKind::Snapshot);
+        assert!(frame.edges.is_empty());
+        assert_eq!(DcgCodec::decode_snapshot(&bytes).unwrap(), g);
+    }
+
+    #[test]
+    fn single_edge_round_trips() {
+        let mut g = DynamicCallGraph::new();
+        g.record(e(3, 1, 4), 1.5);
+        let back = DcgCodec::decode_snapshot(&DcgCodec::encode_snapshot(&g)).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.weight(&e(3, 1, 4)).to_bits(), 1.5f64.to_bits());
+    }
+
+    #[test]
+    fn dense_ids_and_integral_weights_compress() {
+        // 100 edges within one caller, unit-ish weights: ~3 bytes/record.
+        let mut g = DynamicCallGraph::new();
+        for i in 0..100u32 {
+            g.record(e(1, i, i + 1), f64::from(i + 1));
+        }
+        let bytes = DcgCodec::encode_snapshot(&g);
+        assert!(
+            bytes.len() < 7 + 100 * 8,
+            "delta+varint must beat fixed-width: {} bytes",
+            bytes.len()
+        );
+        assert_eq!(DcgCodec::decode_snapshot(&bytes).unwrap(), g);
+    }
+
+    #[test]
+    fn varint_boundary_edge_ids_round_trip() {
+        // Ids straddling every 7-bit varint group boundary, including
+        // >2^21 (the 3→4 byte step) and the u32 extremes.
+        let ids = [
+            0u32,
+            1,
+            (1 << 7) - 1,
+            1 << 7,
+            (1 << 14) - 1,
+            1 << 14,
+            (1 << 21) - 1,
+            1 << 21,
+            (1 << 21) + 12345,
+            (1 << 28) - 1,
+            1 << 28,
+            u32::MAX - 1,
+            u32::MAX,
+        ];
+        let mut g = DynamicCallGraph::new();
+        for &c in &ids {
+            for &s in &ids {
+                g.record(e(c, s, c ^ s), 2.0);
+            }
+        }
+        let back = DcgCodec::decode_snapshot(&DcgCodec::encode_snapshot(&g)).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn non_integral_and_extreme_weights_are_bit_exact() {
+        let weights = [
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            (1u64 << 53) as f64 + 2.0, // integral but above the varint-exact band? still exact
+            ((1u64 << 62) as f64) * 4.0, // too large for the integral tag
+            1e-300,
+        ];
+        let mut g = DynamicCallGraph::new();
+        for (i, &w) in weights.iter().enumerate() {
+            g.record(e(i as u32, 0, 1), w);
+        }
+        let back = DcgCodec::decode_snapshot(&DcgCodec::encode_snapshot(&g)).unwrap();
+        for (i, &w) in weights.iter().enumerate() {
+            assert_eq!(
+                back.weight(&e(i as u32, 0, 1)).to_bits(),
+                w.to_bits(),
+                "weight {w} must round-trip bit-exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_frames_sort_and_coalesce() {
+        let incs = vec![
+            (e(2, 0, 1), 1.0),
+            (e(0, 0, 1), 0.5),
+            (e(2, 0, 1), 2.0),
+            (e(1, 1, 1), f64::NAN), // dropped per weight contract
+            (e(1, 1, 1), -3.0),     // dropped
+        ];
+        let frame = DcgCodec::decode(&DcgCodec::encode_delta(&incs)).unwrap();
+        assert_eq!(frame.kind, FrameKind::Delta);
+        assert_eq!(frame.edges, vec![(e(0, 0, 1), 0.5), (e(2, 0, 1), 3.0)]);
+    }
+
+    #[test]
+    fn truncated_frames_rejected_at_every_byte() {
+        let mut g = DynamicCallGraph::new();
+        g.record(e(5, 6, 7), 0.125); // raw-weight path: 8-byte payload
+        g.record(e(1000000, 2, 3), 9.0);
+        let bytes = DcgCodec::encode_snapshot(&g);
+        for cut in 0..bytes.len() {
+            let err = DcgCodec::decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Truncated),
+                "cut at {cut}: got {err:?}"
+            );
+        }
+        assert!(DcgCodec::decode(&bytes).is_ok());
+    }
+
+    #[test]
+    fn malformed_headers_rejected() {
+        assert_eq!(DcgCodec::decode(b"XXXXxxx"), Err(CodecError::BadMagic));
+        let mut bytes = DcgCodec::encode_snapshot(&DynamicCallGraph::new());
+        bytes[4] = 9;
+        assert_eq!(DcgCodec::decode(&bytes), Err(CodecError::BadVersion(9)));
+        bytes[4] = VERSION;
+        bytes[5] = 7;
+        assert_eq!(DcgCodec::decode(&bytes), Err(CodecError::BadKind(7)));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut g = DynamicCallGraph::new();
+        g.record(e(0, 0, 1), 1.0);
+        let mut bytes = DcgCodec::encode_snapshot(&g);
+        bytes.push(0);
+        assert_eq!(DcgCodec::decode(&bytes), Err(CodecError::TrailingBytes));
+    }
+
+    #[test]
+    fn zero_step_and_bad_weights_rejected() {
+        // Hand-build: header, count=2, key 5, weight 1, step 0 (duplicate).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(0);
+        bytes.push(2); // count
+        bytes.push(5); // first key
+        bytes.push(2); // weight 1 (tag 2 = integral 1)
+        bytes.push(0); // zero step: duplicate key
+        bytes.push(2);
+        assert_eq!(DcgCodec::decode(&bytes), Err(CodecError::UnsortedKeys));
+
+        // Integral weight 0 is non-positive.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(0);
+        bytes.push(1);
+        bytes.push(5);
+        bytes.push(0); // weight tag 0 → 0.0
+        assert_eq!(DcgCodec::decode(&bytes), Err(CodecError::BadWeight));
+
+        // Raw weight NaN rejected.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(0);
+        bytes.push(1);
+        bytes.push(5);
+        bytes.push(1); // raw tag
+        bytes.extend_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert_eq!(DcgCodec::decode(&bytes), Err(CodecError::BadWeight));
+    }
+
+    #[test]
+    fn overlong_varint_and_key_overflow_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(0);
+        bytes.push(1);
+        // 15 continuation bytes: wider than any valid key.
+        bytes.extend_from_slice(&[0xff; 15]);
+        bytes.push(0x01);
+        assert_eq!(DcgCodec::decode(&bytes), Err(CodecError::VarintOverflow));
+
+        // A 97-bit key fits the varint cap but overflows the key space.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(0);
+        bytes.push(1);
+        put_varint(&mut bytes, 1u128 << 96);
+        bytes.push(2);
+        assert_eq!(DcgCodec::decode(&bytes), Err(CodecError::KeyOverflow));
+    }
+
+    #[test]
+    fn hostile_count_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(0);
+        // Claims ~2^35 records with an empty body.
+        put_varint(&mut bytes, 1u128 << 35);
+        assert_eq!(DcgCodec::decode(&bytes), Err(CodecError::Truncated));
+    }
+}

@@ -1,0 +1,61 @@
+//! # cbs-profiled
+//!
+//! Fleet-scale profile ingestion and aggregation for the Arnold–Grove
+//! CGO'05 reproduction: the tier that turns many per-VM dynamic call
+//! graph streams into one fleet-wide profile for the inliners.
+//!
+//! Three layers, each usable on its own:
+//!
+//! * [`codec`] — [`DcgCodec`], the compact binary wire format: varint +
+//!   delta-encoded 96-bit edge keys, bit-exact weights, and two frame
+//!   kinds (full *snapshot*, incremental *delta* fed by
+//!   [`cbs_dcg::DynamicCallGraph::drain_delta`]);
+//! * [`aggregator`] — [`ShardedAggregator`], hash-partitioned by caller
+//!   across N shards with a lazily-applied exponential-decay epoch
+//!   clock, consistent merged snapshots, and the hot-edge /
+//!   receiver-distribution queries the 40%-rule inliner consumes;
+//! * [`server`]/[`client`] — a `std::net` TCP service speaking
+//!   length-prefixed frames with per-connection timeouts, frame-size and
+//!   inflight-connection limits, and malformed-frame rejection that
+//!   never takes the server down.
+//!
+//! ## Loopback example
+//!
+//! ```
+//! use cbs_profiled::{serve, AggregatorConfig, NetConfig, ProfileClient, ShardedAggregator};
+//! use cbs_bytecode::{CallSiteId, MethodId};
+//! use cbs_dcg::{CallEdge, DynamicCallGraph};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let agg = Arc::new(ShardedAggregator::new(AggregatorConfig::with_shards(4)));
+//! let server = serve("127.0.0.1:0", agg, NetConfig::default())?;
+//!
+//! let mut vm_profile = DynamicCallGraph::new();
+//! vm_profile.record(
+//!     CallEdge::new(MethodId::new(0), CallSiteId::new(0), MethodId::new(1)),
+//!     42.0,
+//! );
+//! let mut client = ProfileClient::connect(server.addr(), NetConfig::default())?;
+//! client.push_snapshot(&vm_profile)?;
+//! let fleet = client.pull()?;
+//! assert_eq!(fleet, vm_profile);
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aggregator;
+pub mod client;
+pub mod codec;
+pub mod server;
+pub mod wire;
+
+pub use aggregator::{AggregatorConfig, AggregatorStats, ShardedAggregator};
+pub use client::{ClientError, ProfileClient};
+pub use codec::{CodecError, DcgCodec, DcgFrame, FrameKind};
+pub use server::{serve, ServerHandle};
+pub use wire::NetConfig;

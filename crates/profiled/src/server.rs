@@ -1,0 +1,208 @@
+//! The TCP profile-ingestion server.
+//!
+//! One blocking accept loop hands each connection to its own thread,
+//! bounded by [`NetConfig::max_inflight`]; over the limit a connection is
+//! answered `ST_ERR busy` and closed, pushing backpressure to the
+//! client rather than queueing unboundedly. Connections are persistent:
+//! each serves a sequence of request/response exchanges until the peer
+//! closes, a timeout fires, or a malformed message arrives (answered
+//! with `ST_ERR`, then the connection — never the server — is dropped).
+//!
+//! All connection threads share one [`ShardedAggregator`] behind an
+//! `Arc`, so pushes from many VMs interleave at shard granularity.
+
+use crate::aggregator::ShardedAggregator;
+use crate::codec::DcgCodec;
+use crate::wire::{
+    read_msg, write_msg, NetConfig, OP_EPOCH, OP_PULL, OP_PUSH, OP_STATS, ST_ERR, ST_OK,
+};
+use std::io::{self, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running profile server; dropping the handle leaves the server
+/// running detached, [`shutdown`](Self::shutdown) stops it.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    aggregator: Arc<ShardedAggregator>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the OS-assigned port when bound to `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared aggregator, for in-process inspection alongside the
+    /// network interface.
+    pub fn aggregator(&self) -> &Arc<ShardedAggregator> {
+        &self.aggregator
+    }
+
+    /// Stops accepting connections and joins the accept loop.
+    ///
+    /// In-flight connection threads finish their current exchanges and
+    /// exit on their own (their sockets carry read timeouts, so none can
+    /// linger forever).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"` for an OS-assigned port) and
+/// serves `aggregator` on a background accept thread.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve(
+    addr: impl ToSocketAddrs,
+    aggregator: Arc<ShardedAggregator>,
+    config: NetConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_thread = {
+        let aggregator = Arc::clone(&aggregator);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || accept_loop(&listener, &aggregator, &stop, config))
+    };
+    Ok(ServerHandle {
+        addr: local,
+        stop,
+        accept_thread: Some(accept_thread),
+        aggregator,
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    aggregator: &Arc<ShardedAggregator>,
+    stop: &Arc<AtomicBool>,
+    config: NetConfig,
+) {
+    let active = Arc::new(AtomicUsize::new(0));
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // Backpressure: admission-check *before* spawning.
+        if active.load(Ordering::Acquire) >= config.max_inflight {
+            refuse_busy(stream, config);
+            continue;
+        }
+        active.fetch_add(1, Ordering::AcqRel);
+        let aggregator = Arc::clone(aggregator);
+        let active = Arc::clone(&active);
+        std::thread::spawn(move || {
+            // A panic in one connection must not leak the slot; the
+            // handler itself never panics on malformed input (every
+            // decode error is a ST_ERR reply), so this is belt and
+            // braces around e.g. allocation failure.
+            let _ = serve_connection(stream, &aggregator, config);
+            active.fetch_sub(1, Ordering::AcqRel);
+        });
+    }
+}
+
+fn refuse_busy(mut stream: TcpStream, config: NetConfig) {
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let _ = write_msg(&mut stream, &[&[ST_ERR], b"busy: max inflight connections"]);
+}
+
+/// Serves one connection until EOF, timeout, or a fatal protocol error.
+/// Every malformed input is answered with `ST_ERR` before closing, so
+/// clients always learn why they were dropped; errors never propagate
+/// past the connection.
+fn serve_connection(
+    mut stream: TcpStream,
+    aggregator: &ShardedAggregator,
+    config: NetConfig,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
+    stream.set_nodelay(true).ok();
+    loop {
+        let msg = match read_msg(&mut stream, config.max_frame_bytes) {
+            Ok(Some(msg)) => msg,
+            Ok(None) => return Ok(()), // clean close
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Oversized frame: the unread payload makes the stream
+                // unframeable, so answer and drop the connection.
+                let _ = write_msg(&mut stream, &[&[ST_ERR], e.to_string().as_bytes()]);
+                return Ok(());
+            }
+            Err(e) => return Err(e), // timeout / reset: just drop
+        };
+        let (op, body) = match msg.split_first() {
+            Some(x) => x,
+            None => {
+                let _ = write_msg(&mut stream, &[&[ST_ERR], b"empty request"]);
+                return Ok(());
+            }
+        };
+        match *op {
+            OP_PUSH => match DcgCodec::decode(body) {
+                Ok(frame) => {
+                    aggregator.ingest(&frame);
+                    write_msg(&mut stream, &[&[ST_OK]])?;
+                }
+                Err(e) => {
+                    // Reject the frame, keep serving: framing is intact,
+                    // only the payload was bad.
+                    write_msg(
+                        &mut stream,
+                        &[&[ST_ERR], format!("bad frame: {e}").as_bytes()],
+                    )?;
+                }
+            },
+            OP_PULL => {
+                let snapshot = DcgCodec::encode_snapshot(&aggregator.merged_snapshot());
+                if snapshot.len() + 1 > config.max_frame_bytes {
+                    write_msg(
+                        &mut stream,
+                        &[&[ST_ERR], b"merged snapshot exceeds the frame limit"],
+                    )?;
+                } else {
+                    write_msg(&mut stream, &[&[ST_OK], &snapshot])?;
+                }
+            }
+            OP_STATS => {
+                let s = aggregator.stats();
+                let text = format!(
+                    "frames={}\nrecords={}\nepoch={}\nedges={}\nshards={}\n",
+                    s.frames,
+                    s.records,
+                    s.epoch,
+                    s.total_edges(),
+                    s.shard_edges.len(),
+                );
+                write_msg(&mut stream, &[&[ST_OK], text.as_bytes()])?;
+            }
+            OP_EPOCH => {
+                let epoch = aggregator.advance_epoch();
+                write_msg(&mut stream, &[&[ST_OK], epoch.to_string().as_bytes()])?;
+            }
+            other => {
+                let _ = write_msg(
+                    &mut stream,
+                    &[&[ST_ERR], format!("unknown op {other}").as_bytes()],
+                );
+                return Ok(());
+            }
+        }
+        stream.flush()?;
+    }
+}

@@ -1,0 +1,143 @@
+//! Length-prefixed message framing and the request/response byte codes.
+//!
+//! Every message on a profile-service connection is
+//! `u32 big-endian length | length bytes`. Requests open with an op
+//! byte, responses with a status byte:
+//!
+//! ```text
+//! request  := OP_PUSH  | codec frame          -- fold a frame in
+//!           | OP_PULL                          -- fetch merged snapshot
+//!           | OP_STATS                         -- fetch ingestion counters
+//!           | OP_EPOCH                         -- advance the decay epoch
+//! response := ST_OK    | payload               -- op-specific payload
+//!           | ST_ERR   | utf-8 reason
+//! ```
+//!
+//! The reader enforces a maximum frame length *before* allocating, so a
+//! hostile or corrupt length prefix cannot balloon memory; oversized and
+//! malformed messages are surfaced as errors the server answers with
+//! `ST_ERR` and a connection close — never a crash.
+
+use std::io::{self, Read, Write};
+
+/// Push one codec frame (body: the frame bytes).
+pub const OP_PUSH: u8 = 1;
+/// Request the merged snapshot (no body; response body: snapshot frame).
+pub const OP_PULL: u8 = 2;
+/// Request ingestion counters (no body; response body: `key=value` lines).
+pub const OP_STATS: u8 = 3;
+/// Advance the epoch clock (no body; response body: new epoch, decimal).
+pub const OP_EPOCH: u8 = 4;
+
+/// Success status byte.
+pub const ST_OK: u8 = 0;
+/// Error status byte (payload: utf-8 reason).
+pub const ST_ERR: u8 = 1;
+
+/// Limits and timeouts for one side of a profile-service connection.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Largest accepted message payload, in bytes. Both sides enforce it
+    /// on reads; the server also refuses to send a snapshot above it.
+    pub max_frame_bytes: usize,
+    /// Server-side cap on concurrently served connections; excess
+    /// connections receive `ST_ERR busy` and are closed (backpressure).
+    pub max_inflight: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: std::time::Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: std::time::Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            max_frame_bytes: 64 << 20,
+            max_inflight: 64,
+            read_timeout: std::time::Duration::from_secs(10),
+            write_timeout: std::time::Duration::from_secs(10),
+        }
+    }
+}
+
+/// Reads one length-prefixed message.
+///
+/// Returns `Ok(None)` on clean end-of-stream (the peer closed between
+/// messages).
+///
+/// # Errors
+///
+/// I/O failures, truncation mid-message, and length prefixes above
+/// `max_frame_bytes` (surfaced as [`io::ErrorKind::InvalidData`]).
+pub fn read_msg(r: &mut impl Read, max_frame_bytes: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // A clean EOF is only clean on the first header byte.
+    match r.read(&mut len_buf[..1])? {
+        0 => return Ok(None),
+        1 => {}
+        _ => unreachable!("read of a 1-byte buffer returns 0 or 1"),
+    }
+    r.read_exact(&mut len_buf[1..])?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > max_frame_bytes {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("message of {len} bytes exceeds the {max_frame_bytes}-byte frame limit"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// Writes one length-prefixed message built from `parts` (concatenated),
+/// flushing afterwards.
+///
+/// # Errors
+///
+/// I/O failures, and a combined length above `u32::MAX`.
+pub fn write_msg(w: &mut impl Write, parts: &[&[u8]]) -> io::Result<()> {
+    let len: usize = parts.iter().map(|p| p.len()).sum();
+    let len32 = u32::try_from(len)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "message exceeds u32 length"))?;
+    w.write_all(&len32.to_be_bytes())?;
+    for p in parts {
+        w.write_all(p)?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn messages_round_trip() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &[&[OP_PUSH], b"payload"]).unwrap();
+        write_msg(&mut buf, &[&[]]).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_msg(&mut cur, 1024).unwrap().unwrap(), b"\x01payload");
+        assert_eq!(read_msg(&mut cur, 1024).unwrap().unwrap(), b"");
+        assert_eq!(read_msg(&mut cur, 1024).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        // Claims 4 GiB-ish with no body.
+        let buf = u32::MAX.to_be_bytes().to_vec();
+        let err = read_msg(&mut Cursor::new(buf), 1 << 20).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncation_mid_message_is_an_error_not_a_clean_eof() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &[b"hello"]).unwrap();
+        for cut in 1..buf.len() {
+            let got = read_msg(&mut Cursor::new(&buf[..cut]), 1024);
+            assert!(got.is_err(), "cut at {cut} must error, got {got:?}");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Fuzz-style property tests for the binary codec: `decode(encode(g))`
+//! must reproduce `g` bit-exactly for arbitrary random graphs, and no
+//! random mutilation of a valid frame may crash the decoder.
+
+use cbs_bytecode::{CallSiteId, MethodId};
+use cbs_dcg::{CallEdge, DynamicCallGraph};
+use cbs_prng::prop::run_cases;
+use cbs_prng::SmallRng;
+use cbs_profiled::{DcgCodec, FrameKind};
+
+fn random_graph(rng: &mut SmallRng) -> DynamicCallGraph {
+    let mut g = DynamicCallGraph::new();
+    let edges = rng.gen_range(0..200usize);
+    for _ in 0..edges {
+        // Bias ids toward the dense low range but sprinkle the full u32
+        // space (varint width transitions included).
+        let id = |rng: &mut SmallRng| -> u32 {
+            if rng.gen_bool(0.8) {
+                rng.gen_range(0..500u32)
+            } else {
+                rng.gen_range(0..=u32::MAX)
+            }
+        };
+        let edge = CallEdge::new(
+            MethodId::new(id(rng)),
+            CallSiteId::new(id(rng)),
+            MethodId::new(id(rng)),
+        );
+        // Mix integral (varint path) and fractional (raw-bits path)
+        // weights across many magnitudes.
+        let w = if rng.gen_bool(0.5) {
+            rng.gen_range(1..1u64 << 40) as f64
+        } else {
+            rng.gen_f64() * 10f64.powi(rng.gen_range(-12i32..12)) + f64::MIN_POSITIVE
+        };
+        g.record(edge, w);
+    }
+    g
+}
+
+#[test]
+fn decode_encode_is_identity_on_random_graphs() {
+    run_cases("codec_round_trip", 64, |rng| {
+        let g = random_graph(rng);
+        let bytes = DcgCodec::encode_snapshot(&g);
+        let back = DcgCodec::decode_snapshot(&bytes).expect("own encoding decodes");
+        // Every edge weight round-trips bit-exactly.
+        assert_eq!(back.num_edges(), g.num_edges());
+        for (edge, w) in g.iter() {
+            assert_eq!(back.weight(edge).to_bits(), w.to_bits(), "edge {edge}");
+        }
+        // The running total is recomputed in canonical (edge) order —
+        // identical to a merged/drained graph's total. A graph whose
+        // observation history summed fractional weights in a different
+        // order can differ in the last total bit, so compare against the
+        // canonical form of `g`, which is full equality (weights *and*
+        // total).
+        let canon = DynamicCallGraph::merge_all([&g]);
+        assert_eq!(back, canon);
+        if !g.is_empty() {
+            // (Empty graphs compare equal but not bitwise: an empty
+            // `f64` sum is `-0.0`, a fresh graph's total is `+0.0`.)
+            assert_eq!(
+                back.total_weight().to_bits(),
+                canon.total_weight().to_bits()
+            );
+        }
+    });
+}
+
+#[test]
+fn delta_frames_round_trip_drained_increments() {
+    run_cases("codec_delta_round_trip", 32, |rng| {
+        let mut g = random_graph(rng);
+        g.drain_delta();
+        let extra: Vec<(CallEdge, f64)> = (0..rng.gen_range(1..50usize))
+            .map(|i| {
+                (
+                    CallEdge::new(
+                        MethodId::new(rng.gen_range(0..100u32)),
+                        CallSiteId::new(i as u32),
+                        MethodId::new(rng.gen_range(0..100u32)),
+                    ),
+                    rng.gen_range(1..1000u64) as f64,
+                )
+            })
+            .collect();
+        for &(e, w) in &extra {
+            g.record(e, w);
+        }
+        let drained = g.drain_delta();
+        let frame = DcgCodec::decode(&DcgCodec::encode_delta(&drained)).expect("delta decodes");
+        assert_eq!(frame.kind, FrameKind::Delta);
+        assert_eq!(frame.edges, drained, "drain order is already wire order");
+    });
+}
+
+#[test]
+fn decoder_never_panics_on_mutilated_frames() {
+    run_cases("codec_no_panic_on_garbage", 64, |rng| {
+        let g = random_graph(rng);
+        let mut bytes = DcgCodec::encode_snapshot(&g);
+        match rng.gen_range(0..3u32) {
+            0 => {
+                // Truncate anywhere.
+                let cut = rng.gen_range(0..=bytes.len());
+                bytes.truncate(cut);
+            }
+            1 => {
+                // Flip random bytes.
+                for _ in 0..rng.gen_range(1..8usize) {
+                    if bytes.is_empty() {
+                        break;
+                    }
+                    let i = rng.gen_range(0..bytes.len());
+                    bytes[i] = rng.next_u64() as u8;
+                }
+            }
+            _ => {
+                // Pure noise.
+                bytes = (0..rng.gen_range(0..64usize))
+                    .map(|_| rng.next_u64() as u8)
+                    .collect();
+            }
+        }
+        // Must return (Ok or Err), never panic or hang.
+        let _ = DcgCodec::decode(&bytes);
+    });
+}

@@ -42,4 +42,32 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
   CBS_BENCH_SMOKE=1 cargo bench --offline --locked --workspace
 fi
 
+echo "==> profiled loopback smoke (server + dcgtool push/pull/convert)"
+SMOKE_DIR="$(mktemp -d)"
+PROFILED_PID=""
+cleanup() {
+  [[ -n "$PROFILED_PID" ]] && kill "$PROFILED_PID" 2>/dev/null || true
+  rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT
+PROFILED=target/release/profiled
+DCGTOOL=target/release/dcgtool
+printf '# cbs-dcg v1\n3 0 1 100\n0 0 1 10\n0 1 2 5.25\n' > "$SMOKE_DIR/a.dcg"
+timeout 60 "$DCGTOOL" convert "$SMOKE_DIR/a.dcg" "$SMOKE_DIR/a.dcgb"
+timeout 60 "$DCGTOOL" convert "$SMOKE_DIR/a.dcgb" "$SMOKE_DIR/a2.dcg"
+cmp "$SMOKE_DIR/a.dcg" "$SMOKE_DIR/a2.dcg" \
+  || { echo "FAIL: text -> binary -> text round-trip not byte-identical" >&2; exit 1; }
+"$PROFILED" --addr 127.0.0.1:0 --shards 4 > "$SMOKE_DIR/server.out" &
+PROFILED_PID=$!
+for _ in $(seq 1 50); do
+  grep -q '^listening ' "$SMOKE_DIR/server.out" && break
+  sleep 0.1
+done
+ADDR="$(awk '/^listening /{print $2; exit}' "$SMOKE_DIR/server.out")"
+[[ -n "$ADDR" ]] || { echo "FAIL: profiled did not report its address" >&2; exit 1; }
+timeout 60 "$DCGTOOL" push "$ADDR" "$SMOKE_DIR/a.dcgb"
+timeout 60 "$DCGTOOL" pull "$ADDR" "$SMOKE_DIR/merged.dcg"
+cmp "$SMOKE_DIR/a.dcg" "$SMOKE_DIR/merged.dcg" \
+  || { echo "FAIL: pulled fleet profile differs from the single pushed snapshot" >&2; exit 1; }
+
 echo "OK: all gates passed"
