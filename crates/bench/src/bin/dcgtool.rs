@@ -21,12 +21,28 @@
 //! `convert`/`push`/`pull` accept either format on input (binary frames
 //! are sniffed by their `CBSP` magic); `convert` picks the output format
 //! from the extension (`.dcgb` → binary) unless `--to` overrides it.
+//!
+//! `push`/`pull` take resilient-transport flags; any of them switches
+//! from the plain one-connection client to the reconnecting
+//! [`ResilientClient`] (exactly-once sequenced pushes, chunked pulls):
+//!
+//! ```text
+//! --retries <n>      attempts per operation before giving up (default 16)
+//! --backoff-ms <n>   base reconnect backoff, doubling per retry (default 25)
+//! --seed <u64>       backoff-jitter seed (default 0x5EED)
+//! --faults <seed>    route the connection through the deterministic
+//!                    fault injector seeded here (testing/demos)
+//! --fault-rate <f>   injected fault probability per exchange (default 0.25)
+//! ```
 
 use cbs_core::dcg::{dot, overlap, serialize, stats, DynamicCallGraph};
 use cbs_core::parallel::{run_cells, Parallelism};
 use cbs_core::prelude::*;
-use cbs_core::profiled::{DcgCodec, NetConfig, ProfileClient};
+use cbs_core::profiled::{
+    DcgCodec, FaultSchedule, NetConfig, ProfileClient, ResilientClient, RetryPolicy,
+};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -91,6 +107,109 @@ fn collect_one(
     )?;
     let o = m.outcomes.remove(0);
     Ok((o.dcg, o.accuracy, o.overhead_pct))
+}
+
+/// Resilient-transport options shared by `push` and `pull`. Passing any
+/// of them opts into the reconnecting client.
+struct TransportOpts {
+    retries: Option<u32>,
+    backoff_ms: Option<u64>,
+    seed: Option<u64>,
+    faults: Option<u64>,
+    fault_rate: f64,
+}
+
+impl TransportOpts {
+    fn resilient(&self) -> bool {
+        self.retries.is_some()
+            || self.backoff_ms.is_some()
+            || self.seed.is_some()
+            || self.faults.is_some()
+    }
+
+    fn policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: self.retries.unwrap_or(16).max(1),
+            base_backoff: Duration::from_millis(self.backoff_ms.unwrap_or(25)),
+            seed: self.seed.unwrap_or(0x5EED),
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// Splits `--retries/--backoff-ms/--seed/--faults/--fault-rate` out of
+/// `args`, returning the remaining positional arguments.
+fn split_transport_flags(
+    args: &[String],
+) -> Result<(Vec<&String>, TransportOpts), Box<dyn std::error::Error>> {
+    let mut opts = TransportOpts {
+        retries: None,
+        backoff_ms: None,
+        seed: None,
+        faults: None,
+        fault_rate: 0.25,
+    };
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, Box<dyn std::error::Error>> {
+            it.next()
+                .ok_or_else(|| format!("{flag} requires a value").into())
+        };
+        match a.as_str() {
+            "--retries" => opts.retries = Some(value("--retries")?.parse()?),
+            "--backoff-ms" => opts.backoff_ms = Some(value("--backoff-ms")?.parse()?),
+            "--seed" => opts.seed = Some(value("--seed")?.parse()?),
+            "--faults" => opts.faults = Some(value("--faults")?.parse()?),
+            "--fault-rate" => opts.fault_rate = value("--fault-rate")?.parse()?,
+            _ => positional.push(a),
+        }
+    }
+    Ok((positional, opts))
+}
+
+/// Pushes each profile's edges as an exactly-once sequenced delta
+/// through the resilient client, then reports delivery stats.
+fn resilient_push<S: std::io::Read + std::io::Write>(
+    client: &mut ResilientClient<S>,
+    paths: &[&String],
+) -> Result<(), Box<dyn std::error::Error>> {
+    for path in paths {
+        let g = load_any(path)?;
+        client.push_delta(g.iter().map(|(e, w)| (*e, w)).collect())?;
+        eprintln!("pushed {path}");
+    }
+    client.flush()?;
+    eprintln!("{}", client.stats_text()?.trim_end());
+    let s = client.stats();
+    eprintln!(
+        "transport: connects={} reconnects={} retries={} duplicates={}",
+        s.connects, s.reconnects, s.retries, s.duplicates
+    );
+    Ok(())
+}
+
+/// Pulls the merged snapshot through the resilient client (paged, so
+/// snapshots beyond the frame limit still arrive) and writes it out.
+fn resilient_pull<S: std::io::Read + std::io::Write>(
+    client: &mut ResilientClient<S>,
+    out: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let (merged, pages) = client.pull_counted()?;
+    match format_for(out, None)? {
+        Format::Text => std::fs::write(out, serialize::to_text(&merged))?,
+        Format::Binary => std::fs::write(out, DcgCodec::encode_snapshot(&merged))?,
+    }
+    let s = client.stats();
+    eprintln!(
+        "wrote {out}: {} edges, total weight {}, {pages} page(s); \
+         transport: reconnects={} retries={}",
+        merged.num_edges(),
+        merged.total_weight(),
+        s.reconnects,
+        s.retries
+    );
+    Ok(())
 }
 
 fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
@@ -222,40 +341,84 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             Ok(())
         }
         Some("push") => {
-            let addr = args.get(1).ok_or("push needs a server address")?;
-            if args.len() < 3 {
+            let (positional, opts) = split_transport_flags(&args[1..])?;
+            let addr = positional.first().ok_or("push needs a server address")?;
+            let paths = &positional[1..];
+            if paths.is_empty() {
                 return Err("push needs at least one profile".into());
             }
-            let mut client = ProfileClient::connect(addr.as_str(), NetConfig::default())?;
-            for path in &args[2..] {
-                // Binary files are pushed verbatim (preserving snapshot
-                // vs delta kind); text profiles go up as snapshots.
-                let bytes = std::fs::read(path)?;
-                if bytes.starts_with(b"CBSP") {
-                    client.push_frame(&bytes)?;
-                } else {
-                    client.push_snapshot(&load(path)?)?;
+            if let Some(fault_seed) = opts.faults {
+                let schedule = FaultSchedule::seeded(fault_seed, opts.fault_rate).shared();
+                let mut client = ResilientClient::connect_faulty(
+                    addr.as_str(),
+                    NetConfig::default(),
+                    opts.policy(),
+                    fault_seed,
+                    schedule,
+                );
+                resilient_push(&mut client, paths)
+            } else if opts.resilient() {
+                let mut client = ResilientClient::connect_tcp(
+                    addr.as_str(),
+                    NetConfig::default(),
+                    opts.policy(),
+                    opts.seed.unwrap_or(0x5EED),
+                );
+                resilient_push(&mut client, paths)
+            } else {
+                let mut client = ProfileClient::connect(addr.as_str(), NetConfig::default())?;
+                for path in paths {
+                    // Binary files are pushed verbatim (preserving
+                    // snapshot vs delta kind); text profiles go up as
+                    // snapshots.
+                    let bytes = std::fs::read(path)?;
+                    if bytes.starts_with(b"CBSP") {
+                        client.push_frame(&bytes)?;
+                    } else {
+                        client.push_snapshot(&load(path)?)?;
+                    }
+                    eprintln!("pushed {path}");
                 }
-                eprintln!("pushed {path}");
+                eprintln!("{}", client.stats_text()?.trim_end());
+                Ok(())
             }
-            eprintln!("{}", client.stats_text()?.trim_end());
-            Ok(())
         }
         Some("pull") => {
-            let addr = args.get(1).ok_or("pull needs a server address")?;
-            let out = args.get(2).ok_or("pull needs an output path")?;
-            let mut client = ProfileClient::connect(addr.as_str(), NetConfig::default())?;
-            let merged = client.pull()?;
-            match format_for(out, None)? {
-                Format::Text => std::fs::write(out, serialize::to_text(&merged))?,
-                Format::Binary => std::fs::write(out, DcgCodec::encode_snapshot(&merged))?,
+            let (positional, opts) = split_transport_flags(&args[1..])?;
+            let addr = positional.first().ok_or("pull needs a server address")?;
+            let out = positional.get(1).ok_or("pull needs an output path")?;
+            if let Some(fault_seed) = opts.faults {
+                let schedule = FaultSchedule::seeded(fault_seed, opts.fault_rate).shared();
+                let mut client = ResilientClient::connect_faulty(
+                    addr.as_str(),
+                    NetConfig::default(),
+                    opts.policy(),
+                    fault_seed,
+                    schedule,
+                );
+                resilient_pull(&mut client, out)
+            } else if opts.resilient() {
+                let mut client = ResilientClient::connect_tcp(
+                    addr.as_str(),
+                    NetConfig::default(),
+                    opts.policy(),
+                    opts.seed.unwrap_or(0x5EED),
+                );
+                resilient_pull(&mut client, out)
+            } else {
+                let mut client = ProfileClient::connect(addr.as_str(), NetConfig::default())?;
+                let merged = client.pull()?;
+                match format_for(out, None)? {
+                    Format::Text => std::fs::write(out, serialize::to_text(&merged))?,
+                    Format::Binary => std::fs::write(out, DcgCodec::encode_snapshot(&merged))?,
+                }
+                eprintln!(
+                    "wrote {out}: {} edges, total weight {}",
+                    merged.num_edges(),
+                    merged.total_weight()
+                );
+                Ok(())
             }
-            eprintln!(
-                "wrote {out}: {} edges, total weight {}",
-                merged.num_edges(),
-                merged.total_weight()
-            );
-            Ok(())
         }
         _ => Err(
             "usage: dcgtool collect|collect-all|merge|compare|shape|dot|convert|push|pull …".into(),

@@ -16,9 +16,10 @@
 //! reduction order is preserved — see `cbs_core::parallel`).
 
 use cbs_core::experiments::{
-    context_sensitivity_with, exhaustive_overhead_with, figure1_demo, figure5_with, fleet_with,
-    frequency_sweep, hardware_vs_cbs_with, inline_depth_ablation_with, inliner_ablation_with,
-    patching_vs_cbs_with, table1_with, table2, table3_with, workload_shapes_with, Table2Options,
+    context_sensitivity_with, exhaustive_overhead_with, figure1_demo, figure5_with,
+    fleet_faults_with, fleet_with, frequency_sweep, hardware_vs_cbs_with,
+    inline_depth_ablation_with, inliner_ablation_with, patching_vs_cbs_with, table1_with, table2,
+    table3_with, workload_shapes_with, Table2Options,
 };
 use cbs_core::parallel::Parallelism;
 use cbs_core::vm::VmFlavor;
@@ -28,10 +29,20 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
     let mut jobs = Parallelism::SERIAL;
+    let mut faults = false;
+    let mut seed = 0xCB5u64;
     let mut artifacts: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--faults" => faults = true,
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("--seed requires an unsigned integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--scale" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => scale = v,
                 None => {
@@ -52,10 +63,13 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--scale <f64>] [--jobs <n|auto>] [table1|table2a|table2b|\
+                    "usage: repro [--scale <f64>] [--jobs <n|auto>] [--faults] [--seed <u64>] \
+                     [table1|table2a|table2b|\
                      table3|figure1|figure5-jikes|figure5-j9|inliner-ablation|\
                      exhaustive-overhead|patching|frequency-sweep|hardware|context|\
-                     inline-depth|shapes|fleet|all]"
+                     inline-depth|shapes|fleet|all]\n\
+                     --faults (fleet only): stream profiles through a deterministic \
+                     fault-injecting transport seeded by --seed"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -67,7 +81,7 @@ fn main() -> ExitCode {
     }
 
     for a in &artifacts {
-        if let Err(e) = run(a, scale, jobs) {
+        if let Err(e) = run(a, scale, jobs, faults, seed) {
             eprintln!("{a}: {e}");
             return ExitCode::FAILURE;
         }
@@ -75,7 +89,13 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn run(artifact: &str, scale: f64, jobs: Parallelism) -> Result<(), Box<dyn std::error::Error>> {
+fn run(
+    artifact: &str,
+    scale: f64,
+    jobs: Parallelism,
+    faults: bool,
+    seed: u64,
+) -> Result<(), Box<dyn std::error::Error>> {
     let known = [
         "all",
         "table1",
@@ -168,7 +188,11 @@ fn run(artifact: &str, scale: f64, jobs: Parallelism) -> Result<(), Box<dyn std:
     // Not part of `all`: the fleet experiment postdates the pinned
     // repro_output.txt and is requested explicitly.
     if artifact == "fleet" {
-        println!("{}", fleet_with(scale, jobs)?.render());
+        if faults {
+            println!("{}", fleet_faults_with(scale, jobs, seed)?.render());
+        } else {
+            println!("{}", fleet_with(scale, jobs)?.render());
+        }
     }
     Ok(())
 }

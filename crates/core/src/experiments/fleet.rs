@@ -22,11 +22,16 @@
 use super::ExperimentError;
 use crate::parallel::{run_cells, Parallelism};
 use crate::render::{f2, TextTable};
-use cbs_dcg::{overlap, DynamicCallGraph};
-use cbs_profiled::{AggregatorConfig, DcgCodec, ShardedAggregator};
+use cbs_dcg::{overlap, CallEdge, DynamicCallGraph};
+use cbs_profiled::{
+    serve, AggregatorConfig, DcgCodec, Fault, FaultCounts, FaultSchedule, NetConfig, ProfileClient,
+    ResilientClient, RetryPolicy, ShardedAggregator,
+};
 use cbs_profiler::{CbsConfig, CounterBasedSampler};
 use cbs_vm::VmConfig;
 use cbs_workloads::{Benchmark, InputSize};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Per-VM sampler strides; their pairwise co-primality decorrelates the
 /// replicas' sample streams.
@@ -221,6 +226,331 @@ pub fn fleet_with(scale: f64, jobs: Parallelism) -> Result<Fleet, ExperimentErro
     })
 }
 
+/// One benchmark's outcome under the faulty-transport fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetFaultsRow {
+    /// Benchmark.
+    pub benchmark: Benchmark,
+    /// VMs in this benchmark's fleet.
+    pub vms: usize,
+    /// Edges in the merged fleet profile pulled over the faulty link.
+    pub merged_edges: usize,
+    /// Fault decisions drawn (one per exchange, retries included).
+    pub exchanges: usize,
+    /// Exchanges the schedule faulted.
+    pub faulted: usize,
+    /// Failed attempts retried by the resilient clients.
+    pub retries: usize,
+    /// Connections re-established after a fault.
+    pub reconnects: usize,
+    /// Push batches acknowledged as already-applied duplicates.
+    pub duplicates: usize,
+    /// `OP_PULL_CHUNK` pages of the final snapshot pull.
+    pub pull_pages: u32,
+    /// Merged-profile overlap with the union of exhaustive profiles
+    /// (0–100), measured on the *faulty* run's pulled snapshot.
+    pub fleet: f64,
+    /// Whether the faulty run's pulled snapshot is bit-identical to the
+    /// fault-free run's (every weight and the running total).
+    pub bit_identical: bool,
+}
+
+impl FleetFaultsRow {
+    /// Fraction of exchanges faulted, 0–100.
+    pub fn fault_pct(&self) -> f64 {
+        if self.exchanges == 0 {
+            0.0
+        } else {
+            100.0 * self.faulted as f64 / self.exchanges as f64
+        }
+    }
+}
+
+/// The faulty-transport fleet experiment report.
+#[derive(Debug, Clone)]
+pub struct FleetFaults {
+    /// Per-benchmark rows, suite order.
+    pub rows: Vec<FleetFaultsRow>,
+    /// Injection counts pooled over every schedule in the run.
+    pub counts: FaultCounts,
+    /// Whether every benchmark's faulty pull was bit-identical to its
+    /// fault-free pull.
+    pub all_bit_identical: bool,
+}
+
+impl FleetFaults {
+    /// Renders the report table with a fault-summary footer.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            format!(
+                "Fleet aggregation under injected transport faults: \
+                 {FLEET_SIZE} CBS VMs per benchmark through the resilient \
+                 client (exactly-once pushes, chunked pulls)"
+            ),
+            &[
+                "Benchmark",
+                "VMs",
+                "Edges",
+                "Exch",
+                "Fault (%)",
+                "Retry",
+                "Reconn",
+                "Dup",
+                "Pages",
+                "Fleet (%)",
+                "Bit-id",
+            ],
+        );
+        for r in &self.rows {
+            t.row([
+                r.benchmark.name().to_owned(),
+                r.vms.to_string(),
+                r.merged_edges.to_string(),
+                r.exchanges.to_string(),
+                f2(r.fault_pct()),
+                r.retries.to_string(),
+                r.reconnects.to_string(),
+                r.duplicates.to_string(),
+                r.pull_pages.to_string(),
+                f2(r.fleet),
+                if r.bit_identical { "yes" } else { "NO" }.to_owned(),
+            ]);
+        }
+        let c = &self.counts;
+        format!(
+            "{}faults injected: {} of {} exchanges ({}) — drops {}, stale replies {}, \
+             truncations {}, resets {}, busy refusals {}\n\
+             pooled profiles bit-identical to fault-free runs: {}\n",
+            t,
+            c.faulted(),
+            c.total(),
+            f2(100.0 * c.faulted() as f64 / c.total().max(1) as f64),
+            c.drops,
+            c.delays,
+            c.truncations,
+            c.resets,
+            c.busies,
+            if self.all_bit_identical { "yes" } else { "NO" },
+        )
+    }
+}
+
+fn transport(e: impl std::fmt::Display) -> ExperimentError {
+    ExperimentError::Transport(e.to_string())
+}
+
+/// Deterministic per-(benchmark, vm) seed derivation.
+fn stream_seed(seed: u64, bench: usize, vm: usize) -> u64 {
+    seed ^ (bench as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (vm as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03)
+}
+
+/// Bitwise graph comparison: same edges, same weight bits, same total
+/// bits (stricter than `==`, which compares by value).
+fn bits_identical(a: &DynamicCallGraph, b: &DynamicCallGraph) -> bool {
+    a.num_edges() == b.num_edges()
+        && a.total_weight().to_bits() == b.total_weight().to_bits()
+        && a.iter()
+            .zip(b.iter())
+            .all(|((ea, wa), (eb, wb))| ea == eb && wa.to_bits() == wb.to_bits())
+}
+
+/// Each VM's profile cut into delta batches small enough that every
+/// push frame fits the reduced fault-run frame limit.
+fn delta_batches(vm: &DynamicCallGraph) -> Vec<Vec<(CallEdge, f64)>> {
+    let all: Vec<(CallEdge, f64)> = vm.iter().map(|(e, w)| (*e, w)).collect();
+    all.chunks(64).map(<[_]>::to_vec).collect()
+}
+
+/// [`fleet_faults_with`] run serially.
+///
+/// # Errors
+///
+/// Propagates generation, VM, or unrecoverable transport failures.
+pub fn fleet_faults(scale: f64, seed: u64) -> Result<FleetFaults, ExperimentError> {
+    fleet_faults_with(scale, Parallelism::SERIAL, seed)
+}
+
+/// The fleet experiment over a *faulty* transport: every VM streams its
+/// profile through the resilient client while a seeded schedule drops,
+/// delays, truncates, and resets roughly a quarter of all exchanges
+/// (plus one scripted busy refusal per benchmark), and the final
+/// snapshot is pulled in pages over the same faulty link. For each
+/// benchmark the same batches are also delivered over a clean
+/// connection; the faulty pull must reproduce that profile
+/// **bit-identically** — the retry/requeue/exactly-once machinery may
+/// cost retries, never weight.
+///
+/// Deterministic for a fixed `seed` and any `jobs` value: fault
+/// schedules and backoff jitter are seeded, injected timeouts return
+/// immediately, and backoff sleeps are recorded rather than slept.
+///
+/// # Errors
+///
+/// Propagates generation, VM, or unrecoverable transport failures.
+pub fn fleet_faults_with(
+    scale: f64,
+    jobs: Parallelism,
+    seed: u64,
+) -> Result<FleetFaults, ExperimentError> {
+    const FAULT_RATE: f64 = 0.25;
+    // A reduced frame limit so paged pulls actually page.
+    let config = NetConfig {
+        max_frame_bytes: 2048,
+        ..NetConfig::default()
+    };
+    let push_policy = RetryPolicy {
+        max_attempts: 6,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(20),
+        seed,
+        max_outbox_batches: 8,
+    };
+    // Pull attempts span many page exchanges, each of which can fault,
+    // so the pull budget is much larger (attempts are cheap: injected
+    // timeouts return immediately).
+    let pull_policy = RetryPolicy {
+        max_attempts: 200,
+        ..push_policy
+    };
+
+    let cells: Vec<(Benchmark, usize)> = Benchmark::all()
+        .into_iter()
+        .flat_map(|b| (0..FLEET_SIZE).map(move |r| (b, r)))
+        .collect();
+    let profiles = run_cells(cells, jobs, |(bench, replica)| {
+        run_replica(bench, replica, scale)
+    })?;
+
+    let mut rows = Vec::new();
+    let mut counts = FaultCounts::default();
+    let mut all_bit_identical = true;
+    for (i, bench) in Benchmark::all().into_iter().enumerate() {
+        let fleet_vms = &profiles[i * FLEET_SIZE..(i + 1) * FLEET_SIZE];
+        let batches: Vec<Vec<Vec<(CallEdge, f64)>>> = fleet_vms
+            .iter()
+            .map(|vm| delta_batches(&vm.sampled))
+            .collect();
+
+        // Fault-free reference: the same batches over a clean link.
+        let clean_server = serve(
+            "127.0.0.1:0",
+            Arc::new(ShardedAggregator::new(AggregatorConfig::with_shards(4))),
+            config,
+        )
+        .map_err(transport)?;
+        let mut clean = ProfileClient::connect(clean_server.addr(), config).map_err(transport)?;
+        for vm_batches in &batches {
+            for batch in vm_batches {
+                clean.push_delta(batch).map_err(transport)?;
+            }
+        }
+        let (clean_pulled, _) = clean.pull_chunked_counted().map_err(transport)?;
+        clean_server.shutdown();
+
+        // Faulty run: same batches, hostile schedule, one resilient
+        // client per VM (schedules persist across its reconnects).
+        let faulty_server = serve(
+            "127.0.0.1:0",
+            Arc::new(ShardedAggregator::new(AggregatorConfig::with_shards(4))),
+            config,
+        )
+        .map_err(transport)?;
+        let addr = faulty_server.addr().to_string();
+        let mut schedules = Vec::new();
+        let (mut retries, mut reconnects, mut duplicates) = (0, 0, 0);
+        for (v, vm_batches) in batches.iter().enumerate() {
+            let schedule = FaultSchedule::seeded(stream_seed(seed, i, v), FAULT_RATE);
+            let schedule = if v == 0 {
+                // Guarantee at least one server-busy refusal per fleet.
+                schedule.with_script([Fault::Busy])
+            } else {
+                schedule
+            };
+            let schedule = schedule.shared();
+            schedules.push(Arc::clone(&schedule));
+            let mut client = ResilientClient::connect_faulty(
+                addr.clone(),
+                config,
+                RetryPolicy {
+                    seed: stream_seed(seed, i, v).rotate_left(17),
+                    ..push_policy
+                },
+                v as u64 + 1,
+                schedule,
+            )
+            .with_sleep(Box::new(|_| {}));
+            for batch in vm_batches {
+                // A failed push leaves its batch requeued in the
+                // outbox; later pushes and the final flush retry it.
+                let _ = client.push_delta(batch.clone());
+            }
+            let mut flushes = 0;
+            while client.outbox_len() > 0 {
+                flushes += 1;
+                if flushes > 100 {
+                    client.flush().map_err(transport)?;
+                } else {
+                    let _ = client.flush();
+                }
+            }
+            let s = client.stats();
+            retries += s.retries;
+            reconnects += s.reconnects;
+            duplicates += s.duplicates;
+        }
+        let pull_schedule = FaultSchedule::seeded(stream_seed(seed, i, 0xFF), FAULT_RATE).shared();
+        schedules.push(Arc::clone(&pull_schedule));
+        let mut puller =
+            ResilientClient::connect_faulty(addr, config, pull_policy, 0xFFFF, pull_schedule)
+                .with_sleep(Box::new(|_| {}));
+        let (faulty_pulled, pull_pages) = puller.pull_counted().map_err(transport)?;
+        let s = puller.stats();
+        retries += s.retries;
+        reconnects += s.reconnects;
+        faulty_server.shutdown();
+
+        let mut bench_counts = FaultCounts::default();
+        for schedule in &schedules {
+            let c = schedule.lock().expect("schedule lock").counts();
+            bench_counts.clean += c.clean;
+            bench_counts.drops += c.drops;
+            bench_counts.delays += c.delays;
+            bench_counts.truncations += c.truncations;
+            bench_counts.resets += c.resets;
+            bench_counts.busies += c.busies;
+        }
+        counts.clean += bench_counts.clean;
+        counts.drops += bench_counts.drops;
+        counts.delays += bench_counts.delays;
+        counts.truncations += bench_counts.truncations;
+        counts.resets += bench_counts.resets;
+        counts.busies += bench_counts.busies;
+
+        let bit_identical = bits_identical(&faulty_pulled, &clean_pulled);
+        all_bit_identical &= bit_identical;
+        let union = DynamicCallGraph::merge_all(fleet_vms.iter().map(|vm| &vm.perfect));
+        rows.push(FleetFaultsRow {
+            benchmark: bench,
+            vms: fleet_vms.len(),
+            merged_edges: faulty_pulled.num_edges(),
+            exchanges: bench_counts.total(),
+            faulted: bench_counts.faulted(),
+            retries,
+            reconnects,
+            duplicates,
+            pull_pages,
+            fleet: overlap(&faulty_pulled, &union),
+            bit_identical,
+        });
+    }
+    Ok(FleetFaults {
+        rows,
+        counts,
+        all_bit_identical,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +588,51 @@ mod tests {
         let text = f.render();
         assert!(text.contains("MEAN"));
         assert!(text.contains("Gain"));
+    }
+
+    #[test]
+    fn faulty_transport_pools_bit_identical_profiles() {
+        let f = fleet_faults(0.01, 0xCB5).unwrap();
+        assert_eq!(f.rows.len(), 13);
+        assert!(
+            f.all_bit_identical,
+            "a faulted run lost or double-counted weight:\n{}",
+            f.render()
+        );
+        for r in &f.rows {
+            assert!(r.bit_identical, "{}", r.benchmark);
+            assert!(r.merged_edges > 0, "{}", r.benchmark);
+            assert!(r.pull_pages >= 1);
+            assert!((0.0..=100.0).contains(&r.fleet));
+        }
+        // The schedule really was hostile: >= 20% of all exchanges
+        // faulted, every fault kind occurred, and at least one busy
+        // refusal per benchmark was scripted.
+        let rate = f.counts.faulted() as f64 / f.counts.total() as f64;
+        assert!(
+            rate >= 0.20,
+            "observed fault rate {rate:.3}: {:?}",
+            f.counts
+        );
+        assert!(f.counts.drops > 0);
+        assert!(f.counts.delays > 0);
+        assert!(f.counts.truncations > 0);
+        assert!(f.counts.resets > 0);
+        assert!(f.counts.busies >= f.rows.len());
+        // Faults forced real recovery work.
+        assert!(f.rows.iter().map(|r| r.retries).sum::<usize>() > 0);
+        assert!(f.rows.iter().map(|r| r.reconnects).sum::<usize>() > 0);
+        let text = f.render();
+        assert!(
+            text.contains("bit-identical to fault-free runs: yes"),
+            "{text}"
+        );
+
+        // Same seed, same report — the whole faulty pipeline is
+        // deterministic (seeded schedules, instant injected timeouts,
+        // recorded backoff sleeps).
+        let again = fleet_faults(0.01, 0xCB5).unwrap();
+        assert_eq!(again.render(), text);
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub use ablations::{
 };
 pub use figure1::{figure1_demo, Figure1Demo, Figure1Row};
 pub use figure5::{figure5, figure5_with, Figure5, Figure5Row, FIGURE5_BENCHMARKS};
-pub use fleet::{fleet, fleet_with, Fleet, FleetRow, FLEET_SIZE};
+pub use fleet::{
+    fleet, fleet_faults, fleet_faults_with, fleet_with, Fleet, FleetFaults, FleetFaultsRow,
+    FleetRow, FLEET_SIZE,
+};
 pub use table1::{
     table1, table1_with, workload_shapes, workload_shapes_with, Table1, Table1Row, WorkloadShapes,
 };
@@ -46,13 +49,17 @@ use cbs_vm::VmError;
 use std::error::Error;
 use std::fmt;
 
-/// An experiment failure: workload generation or VM trap.
+/// An experiment failure: workload generation, VM trap, or (for the
+/// service-backed fleet experiments) a profile-transport failure that
+/// outlived every retry.
 #[derive(Debug)]
 pub enum ExperimentError {
     /// Workload generation failed (generator bug).
     Build(BuildError),
     /// The VM trapped while running a workload.
     Vm(VmError),
+    /// The profile service could not be reached or exhausted retries.
+    Transport(String),
 }
 
 impl fmt::Display for ExperimentError {
@@ -60,6 +67,7 @@ impl fmt::Display for ExperimentError {
         match self {
             ExperimentError::Build(e) => write!(f, "workload generation failed: {e}"),
             ExperimentError::Vm(e) => write!(f, "benchmark trapped: {e}"),
+            ExperimentError::Transport(msg) => write!(f, "profile transport failed: {msg}"),
         }
     }
 }
@@ -69,6 +77,7 @@ impl Error for ExperimentError {
         match self {
             ExperimentError::Build(e) => Some(e),
             ExperimentError::Vm(e) => Some(e),
+            ExperimentError::Transport(_) => None,
         }
     }
 }

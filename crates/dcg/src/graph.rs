@@ -217,7 +217,17 @@ impl DynamicCallGraph {
     /// weights after bulk operations, so `overlap(g, g) == 100` holds for
     /// merged graphs to within one rounding step per edge.
     fn recompute_total(&mut self) {
-        self.total = self.sorted.iter().map(|&s| self.weights[s as usize]).sum();
+        // `Sum<f64>` folds from `-0.0` (the IEEE additive identity), so
+        // an empty sum is `-0.0` while a fresh graph's field default is
+        // `+0.0`. Adding `+0.0` canonicalizes `-0.0` to `+0.0` and is a
+        // bitwise no-op for every other value stored weights can sum to,
+        // keeping empty graphs bit-identical however they were produced.
+        self.total = self
+            .sorted
+            .iter()
+            .map(|&s| self.weights[s as usize])
+            .sum::<f64>()
+            + 0.0;
     }
 
     /// Drains the weight growth since the previous drain, in ascending
@@ -342,6 +352,40 @@ impl DynamicCallGraph {
         v.dedup();
         v
     }
+}
+
+/// Merges two increment batches (as produced by
+/// [`DynamicCallGraph::drain_delta`]) into one canonical batch: edges
+/// ascending, duplicates summed, non-positive and non-finite increments
+/// dropped per the graph weight contract.
+///
+/// This is the requeue/coalescing primitive of the resilient profile
+/// transport: two delta flushes that could not be shipped are merged
+/// into a single equivalent flush. Duplicate weights are summed in
+/// input order (`a` before `b`, each in its own order), so coalescing
+/// is bit-deterministic; for the integral sample counts every profiler
+/// in this workspace emits, it is also exactly lossless — replaying the
+/// merged batch through [`DynamicCallGraph::record`] yields the same
+/// graph as replaying the two originals in order.
+pub fn coalesce_increments(a: &[(CallEdge, f64)], b: &[(CallEdge, f64)]) -> Vec<(CallEdge, f64)> {
+    let mut records: Vec<(CallEdge, f64)> = a
+        .iter()
+        .chain(b)
+        .filter(|(_, w)| w.is_finite() && *w > 0.0)
+        .copied()
+        .collect();
+    // Stable sort: duplicates keep their input order, so the summation
+    // below always adds in the same order.
+    records.sort_by_key(|r| r.0);
+    records.dedup_by(|later, first| {
+        if later.0 == first.0 {
+            first.1 += later.1;
+            true
+        } else {
+            false
+        }
+    });
+    records
 }
 
 /// Graphs compare as (edge → weight) maps plus the running total, so
@@ -642,6 +686,51 @@ mod tests {
         g.record(e(1, 1, 2), 2.0);
         let d = g.drain_delta();
         assert_eq!(d, vec![(e(0, 0, 1), 1.0), (e(1, 1, 2), 2.0)]);
+    }
+
+    #[test]
+    fn recomputed_empty_total_is_canonical_positive_zero() {
+        // merge/decay recompute the total via `Sum<f64>`, whose identity
+        // is `-0.0`; the canonicalization keeps empty graphs bitwise
+        // identical to a fresh graph however they were reached.
+        let empty_merged = DynamicCallGraph::merge_all([&DynamicCallGraph::new()]);
+        assert_eq!(empty_merged.total_weight().to_bits(), 0.0f64.to_bits());
+        let mut decayed_empty = DynamicCallGraph::new();
+        decayed_empty.record(e(0, 0, 1), 1.0);
+        decayed_empty.decay(0.0, 0.5);
+        assert!(decayed_empty.is_empty());
+        assert_eq!(decayed_empty.total_weight().to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn coalesce_increments_is_lossless_and_canonical() {
+        let a = vec![(e(1, 0, 2), 2.0), (e(0, 0, 1), 1.0)];
+        let b = vec![
+            (e(1, 0, 2), 3.0),
+            (e(2, 1, 3), 4.0),
+            (e(9, 9, 9), f64::NAN), // dropped per weight contract
+            (e(9, 9, 9), -1.0),     // dropped
+        ];
+        let merged = coalesce_increments(&a, &b);
+        assert_eq!(
+            merged,
+            vec![(e(0, 0, 1), 1.0), (e(1, 0, 2), 5.0), (e(2, 1, 3), 4.0)]
+        );
+        // Replaying the merged batch equals replaying both originals.
+        let mut direct = DynamicCallGraph::new();
+        for &(edge, w) in a.iter().chain(&b) {
+            direct.record(edge, w);
+        }
+        let mut via_merged = DynamicCallGraph::new();
+        for &(edge, w) in &merged {
+            via_merged.record(edge, w);
+        }
+        assert_eq!(direct, via_merged);
+        // Coalescing a single batch canonicalizes it.
+        assert_eq!(
+            coalesce_increments(&a, &[]),
+            vec![(e(0, 0, 1), 1.0), (e(1, 0, 2), 2.0)]
+        );
     }
 
     #[test]

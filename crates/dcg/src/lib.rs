@@ -38,6 +38,6 @@ pub mod stats;
 
 pub use cct::{overlap_cct, CallingContextTree, CctNodeId, ContextStep};
 pub use edge::CallEdge;
-pub use graph::DynamicCallGraph;
+pub use graph::{coalesce_increments, DynamicCallGraph};
 pub use overlap::{accuracy, overlap};
 pub use static_graph::StaticCallGraph;

@@ -1,18 +1,37 @@
 //! Client library for the profile-ingestion service.
 //!
-//! A [`ProfileClient`] holds one persistent connection and issues
-//! synchronous request/response exchanges: push a snapshot or delta
-//! frame, pull the merged fleet profile, advance the decay epoch, or
+//! A [`ProfileClient`] holds one connection and issues synchronous
+//! request/response exchanges: push a snapshot or delta frame, pull the
+//! merged fleet profile (whole or paged), advance the decay epoch, or
 //! fetch stats. Every server-side rejection (malformed frame, frame
 //! limit, backpressure) surfaces as [`ClientError::Server`] with the
 //! server's reason string.
+//!
+//! ## Connection poisoning
+//!
+//! A request/response protocol desynchronizes the moment an exchange
+//! fails between the request write and the reply read: a late reply to
+//! request *N* would otherwise be decoded as the answer to request
+//! *N + 1*. [`ProfileClient`] therefore **poisons** itself on any
+//! mid-exchange transport or framing error — every later call fails
+//! fast with [`ClientError::Poisoned`] until the caller reconnects.
+//! Server-side rejections (`ST_ERR` replies) do *not* poison: framing
+//! stayed intact, so the connection remains usable. The reconnect loop
+//! lives one layer up, in [`ResilientClient`](crate::ResilientClient).
+//!
+//! The client is generic over its stream so the deterministic fault
+//! proxy ([`FaultStream`](crate::faults::FaultStream)) and tests can
+//! stand in for a real [`TcpStream`].
 
 use crate::codec::{CodecError, DcgCodec};
-use crate::wire::{read_msg, write_msg, NetConfig, OP_EPOCH, OP_PULL, OP_PUSH, OP_STATS, ST_OK};
+use crate::wire::{
+    read_msg, write_msg, NetConfig, OP_EPOCH, OP_PULL, OP_PULL_CHUNK, OP_PUSH, OP_PUSH_SEQ,
+    OP_STATS, ST_OK,
+};
 use cbs_dcg::{CallEdge, DynamicCallGraph};
 use std::error::Error;
 use std::fmt;
-use std::io;
+use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// A failure of one client exchange.
@@ -26,6 +45,9 @@ pub enum ClientError {
     Server(String),
     /// The reply violated the wire protocol.
     Protocol(String),
+    /// The connection was poisoned by an earlier mid-exchange failure
+    /// and must be re-established before further use.
+    Poisoned,
 }
 
 impl fmt::Display for ClientError {
@@ -35,6 +57,9 @@ impl fmt::Display for ClientError {
             ClientError::Codec(e) => write!(f, "undecodable reply: {e}"),
             ClientError::Server(msg) => write!(f, "server rejected request: {msg}"),
             ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ClientError::Poisoned => {
+                write!(f, "connection poisoned by an earlier mid-exchange failure")
+            }
         }
     }
 }
@@ -61,14 +86,28 @@ impl From<CodecError> for ClientError {
     }
 }
 
-/// One persistent connection to a profile server.
-#[derive(Debug)]
-pub struct ProfileClient {
-    stream: TcpStream,
-    max_frame_bytes: usize,
+/// Outcome of an exactly-once [`push_seq`](ProfileClient::push_seq).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The frame was applied to the aggregate.
+    Applied,
+    /// The server had already applied this (or a later) sequence for
+    /// this client id; the frame was acknowledged without re-applying.
+    Duplicate,
 }
 
-impl ProfileClient {
+/// One connection to a profile server.
+///
+/// Generic over the stream so tests and the fault-injection harness can
+/// substitute in-process transports; defaults to [`TcpStream`].
+#[derive(Debug)]
+pub struct ProfileClient<S: Read + Write = TcpStream> {
+    stream: S,
+    max_frame_bytes: usize,
+    poisoned: bool,
+}
+
+impl ProfileClient<TcpStream> {
     /// Connects and applies the configured timeouts.
     ///
     /// # Errors
@@ -79,23 +118,75 @@ impl ProfileClient {
         stream.set_read_timeout(Some(config.read_timeout))?;
         stream.set_write_timeout(Some(config.write_timeout))?;
         stream.set_nodelay(true).ok();
-        Ok(Self {
+        Ok(Self::from_stream(stream, config))
+    }
+}
+
+impl<S: Read + Write> ProfileClient<S> {
+    /// Wraps an already-established stream. Timeouts (if any) are the
+    /// caller's responsibility; only `max_frame_bytes` is taken from
+    /// `config`.
+    pub fn from_stream(stream: S, config: NetConfig) -> Self {
+        Self {
             stream,
             max_frame_bytes: config.max_frame_bytes,
-        })
+            poisoned: false,
+        }
     }
 
-    fn exchange(&mut self, op: u8, body: &[u8]) -> Result<Vec<u8>, ClientError> {
-        write_msg(&mut self.stream, &[&[op], body])?;
-        let reply = read_msg(&mut self.stream, self.max_frame_bytes)?
-            .ok_or_else(|| ClientError::Protocol("server closed before replying".into()))?;
+    /// Whether a mid-exchange failure has desynchronized this
+    /// connection. A poisoned client refuses every further exchange.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn exchange(&mut self, op: u8, body: &[&[u8]]) -> Result<Vec<u8>, ClientError> {
+        if self.poisoned {
+            return Err(ClientError::Poisoned);
+        }
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(1 + body.len());
+        parts.push(std::slice::from_ref(&op));
+        parts.extend_from_slice(body);
+        if let Err(e) = write_msg(&mut self.stream, &parts) {
+            // The request may have been partially written: the framing
+            // is unknown, so the connection is unusable.
+            self.poisoned = true;
+            return Err(e.into());
+        }
+        let reply = match read_msg(&mut self.stream, self.max_frame_bytes) {
+            Ok(r) => r,
+            Err(e) => {
+                // Timeout, reset, truncation, oversized reply: the reply
+                // to *this* request may still arrive later, so reusing
+                // the stream would misattribute it to the next request.
+                self.poisoned = true;
+                return Err(e.into());
+            }
+        };
+        let Some(reply) = reply else {
+            self.poisoned = true;
+            return Err(ClientError::Protocol(
+                "server closed before replying".into(),
+            ));
+        };
         match reply.split_first() {
             Some((&ST_OK, payload)) => Ok(payload.to_vec()),
             Some((_, payload)) => Err(ClientError::Server(
                 String::from_utf8_lossy(payload).into_owned(),
             )),
-            None => Err(ClientError::Protocol("empty reply".into())),
+            None => {
+                self.poisoned = true;
+                Err(ClientError::Protocol("empty reply".into()))
+            }
         }
+    }
+
+    /// Flags the connection as desynchronized and records why. Used by
+    /// multi-exchange operations (pagination) whose invariants span
+    /// replies.
+    fn poison_protocol(&mut self, msg: impl Into<String>) -> ClientError {
+        self.poisoned = true;
+        ClientError::Protocol(msg.into())
     }
 
     /// Pushes a pre-encoded codec frame.
@@ -104,7 +195,35 @@ impl ProfileClient {
     ///
     /// Transport failures or a server-side rejection.
     pub fn push_frame(&mut self, frame_bytes: &[u8]) -> Result<(), ClientError> {
-        self.exchange(OP_PUSH, frame_bytes).map(drop)
+        self.exchange(OP_PUSH, &[frame_bytes]).map(drop)
+    }
+
+    /// Pushes a pre-encoded codec frame with exactly-once semantics:
+    /// the server deduplicates on `(client_id, seq)`, so retrying a
+    /// maybe-delivered frame can never double-count it. Sequences must
+    /// be assigned in increasing order per client id.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-side rejection.
+    pub fn push_seq(
+        &mut self,
+        client_id: u64,
+        seq: u64,
+        frame_bytes: &[u8],
+    ) -> Result<PushOutcome, ClientError> {
+        let payload = self.exchange(
+            OP_PUSH_SEQ,
+            &[&client_id.to_be_bytes(), &seq.to_be_bytes(), frame_bytes],
+        )?;
+        match payload.as_slice() {
+            b"applied" => Ok(PushOutcome::Applied),
+            b"duplicate" => Ok(PushOutcome::Duplicate),
+            other => Err(self.poison_protocol(format!(
+                "unknown push-seq acknowledgement {:?}",
+                String::from_utf8_lossy(other)
+            ))),
+        }
     }
 
     /// Pushes a whole graph as a snapshot frame (a VM's first flush).
@@ -126,7 +245,11 @@ impl ProfileClient {
         self.push_frame(&DcgCodec::encode_delta(increments))
     }
 
-    /// Pulls the fleet-wide merged snapshot.
+    /// Pulls the fleet-wide merged snapshot in one frame.
+    ///
+    /// Fails with a server-side rejection when the snapshot exceeds the
+    /// frame limit; [`pull_chunked`](Self::pull_chunked) degrades
+    /// gracefully instead.
     ///
     /// # Errors
     ///
@@ -135,6 +258,58 @@ impl ProfileClient {
     pub fn pull(&mut self) -> Result<DynamicCallGraph, ClientError> {
         let payload = self.exchange(OP_PULL, &[])?;
         Ok(DcgCodec::decode_snapshot(&payload)?)
+    }
+
+    /// Pulls the fleet-wide merged snapshot via paged `OP_PULL_CHUNK`
+    /// exchanges, reassembling however many frames the snapshot needs.
+    /// Page 0 captures a consistent snapshot server-side, so the merge
+    /// cannot tear between pages.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a server-side rejection, an undecodable
+    /// reassembled frame, or pagination protocol violations (which
+    /// poison the connection).
+    pub fn pull_chunked(&mut self) -> Result<DynamicCallGraph, ClientError> {
+        Ok(self.pull_chunked_counted()?.0)
+    }
+
+    /// [`pull_chunked`](Self::pull_chunked), also returning how many
+    /// chunk frames were fetched.
+    ///
+    /// # Errors
+    ///
+    /// As [`pull_chunked`](Self::pull_chunked).
+    pub fn pull_chunked_counted(&mut self) -> Result<(DynamicCallGraph, u32), ClientError> {
+        let mut frame = Vec::new();
+        let mut page: u32 = 0;
+        let mut total: u32 = 1;
+        while page < total {
+            let payload = self.exchange(OP_PULL_CHUNK, &[&page.to_be_bytes()])?;
+            if payload.len() < 8 {
+                return Err(self.poison_protocol("chunk reply shorter than its header"));
+            }
+            let got_total = u32::from_be_bytes(payload[0..4].try_into().expect("4 bytes"));
+            let got_page = u32::from_be_bytes(payload[4..8].try_into().expect("4 bytes"));
+            if got_page != page {
+                return Err(
+                    self.poison_protocol(format!("asked for page {page}, got page {got_page}"))
+                );
+            }
+            if page == 0 {
+                if got_total == 0 {
+                    return Err(self.poison_protocol("chunked reply declared zero pages"));
+                }
+                total = got_total;
+            } else if got_total != total {
+                return Err(self.poison_protocol(format!(
+                    "total pages changed mid-pull ({total} -> {got_total})"
+                )));
+            }
+            frame.extend_from_slice(&payload[8..]);
+            page += 1;
+        }
+        Ok((DcgCodec::decode_snapshot(&frame)?, total))
     }
 
     /// Advances the server's decay epoch, returning the new epoch.

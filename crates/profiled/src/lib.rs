@@ -19,6 +19,17 @@
 //!   inflight-connection limits, and malformed-frame rejection that
 //!   never takes the server down.
 //!
+//! On top of the base client sit the resilience layers:
+//!
+//! * [`resilient`] — [`ResilientClient`], reconnect + bounded retries
+//!   with deterministic seeded backoff, an increment outbox with
+//!   merge-on-requeue, and exactly-once `OP_PUSH_SEQ` delivery so no
+//!   fault pattern can lose or double-count weight;
+//! * [`faults`] — [`FaultStream`]/[`FaultSchedule`], a deterministic
+//!   in-process fault proxy (drops, delays, truncations, resets, busy
+//!   refusals on a seeded schedule) used by the tests and the
+//!   `repro -- fleet --faults` experiment.
+//!
 //! ## Loopback example
 //!
 //! ```
@@ -51,11 +62,15 @@
 pub mod aggregator;
 pub mod client;
 pub mod codec;
+pub mod faults;
+pub mod resilient;
 pub mod server;
 pub mod wire;
 
 pub use aggregator::{AggregatorConfig, AggregatorStats, ShardedAggregator};
-pub use client::{ClientError, ProfileClient};
+pub use client::{ClientError, ProfileClient, PushOutcome};
 pub use codec::{CodecError, DcgCodec, DcgFrame, FrameKind};
+pub use faults::{Fault, FaultCounts, FaultSchedule, FaultStream};
+pub use resilient::{ResilientClient, RetryPolicy, TransportStats};
 pub use server::{serve, ServerHandle};
 pub use wire::NetConfig;

@@ -9,18 +9,34 @@
 //! with `ST_ERR`, then the connection — never the server — is dropped).
 //!
 //! All connection threads share one [`ShardedAggregator`] behind an
-//! `Arc`, so pushes from many VMs interleave at shard granularity.
+//! `Arc`, so pushes from many VMs interleave at shard granularity. A
+//! shared per-client sequence table backs the exactly-once
+//! `OP_PUSH_SEQ` op: retries of a maybe-delivered frame are
+//! acknowledged without being re-applied, which is what lets the
+//! resilient client requeue and blindly resend after any fault.
+//!
+//! Shutdown is drain-and-refuse: once [`ServerHandle::shutdown`] flips
+//! the stop flag, every connection still queued in the accept backlog —
+//! including one that raced the stop — receives an explicit
+//! `ST_ERR server shutting down` reply instead of being silently
+//! dropped.
 
 use crate::aggregator::ShardedAggregator;
 use crate::codec::DcgCodec;
 use crate::wire::{
-    read_msg, write_msg, NetConfig, OP_EPOCH, OP_PULL, OP_PUSH, OP_STATS, ST_ERR, ST_OK,
+    read_msg, write_msg, NetConfig, CHUNK_REPLY_OVERHEAD, OP_EPOCH, OP_PULL, OP_PULL_CHUNK,
+    OP_PUSH, OP_PUSH_SEQ, OP_STATS, ST_ERR, ST_OK,
 };
+use std::collections::HashMap;
 use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// Highest applied push sequence per client id (the `OP_PUSH_SEQ`
+/// dedup table), shared by every connection thread.
+type SeqTable = Arc<Mutex<HashMap<u64, u64>>>;
 
 /// A running profile server; dropping the handle leaves the server
 /// running detached, [`shutdown`](Self::shutdown) stops it.
@@ -46,12 +62,16 @@ impl ServerHandle {
 
     /// Stops accepting connections and joins the accept loop.
     ///
+    /// Connections already queued in the accept backlog are drained and
+    /// answered `ST_ERR server shutting down` — never silently dropped.
     /// In-flight connection threads finish their current exchanges and
     /// exit on their own (their sockets carry read timeouts, so none can
     /// linger forever).
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::Release);
-        // Wake the blocking accept with a throwaway connection.
+        // Wake the blocking accept with a throwaway connection; the
+        // accept loop refuses it (and anything queued around it) with
+        // an explicit shutdown reply.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
@@ -86,6 +106,24 @@ pub fn serve(
     })
 }
 
+/// Owns one admission slot of the `max_inflight` budget; releasing is
+/// tied to `Drop` so a panicking connection thread can never leak its
+/// slot — the unwind releases it like any other exit path.
+struct SlotGuard(Arc<AtomicUsize>);
+
+impl SlotGuard {
+    fn acquire(active: &Arc<AtomicUsize>) -> Self {
+        active.fetch_add(1, Ordering::AcqRel);
+        Self(Arc::clone(active))
+    }
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 fn accept_loop(
     listener: &TcpListener,
     aggregator: &Arc<ShardedAggregator>,
@@ -93,33 +131,65 @@ fn accept_loop(
     config: NetConfig,
 ) {
     let active = Arc::new(AtomicUsize::new(0));
+    let seqs: SeqTable = Arc::new(Mutex::new(HashMap::new()));
     for stream in listener.incoming() {
         if stop.load(Ordering::Acquire) {
+            // Drain-and-refuse: the connection that woke us — which may
+            // be a legitimate client that raced the stop flag, not the
+            // shutdown's throwaway connect — and everything else queued
+            // in the backlog get an explicit refusal, not a silent drop.
+            if let Ok(s) = stream {
+                refuse(s, config, b"server shutting down");
+            }
+            drain_refuse(listener, config);
             return;
         }
         let Ok(stream) = stream else { continue };
         // Backpressure: admission-check *before* spawning.
         if active.load(Ordering::Acquire) >= config.max_inflight {
-            refuse_busy(stream, config);
+            refuse(stream, config, b"busy: max inflight connections");
             continue;
         }
-        active.fetch_add(1, Ordering::AcqRel);
+        let slot = SlotGuard::acquire(&active);
         let aggregator = Arc::clone(aggregator);
-        let active = Arc::clone(&active);
+        let seqs = Arc::clone(&seqs);
         std::thread::spawn(move || {
-            // A panic in one connection must not leak the slot; the
-            // handler itself never panics on malformed input (every
-            // decode error is a ST_ERR reply), so this is belt and
-            // braces around e.g. allocation failure.
-            let _ = serve_connection(stream, &aggregator, config);
-            active.fetch_sub(1, Ordering::AcqRel);
+            // The guard rides inside the thread: a panic anywhere in
+            // `serve_connection` unwinds through it and still releases
+            // the slot (the handler itself never panics on malformed
+            // input — every decode error is an ST_ERR reply — so this
+            // covers e.g. allocation failure).
+            let _slot = slot;
+            let _ = serve_connection(stream, &aggregator, &seqs, config);
         });
     }
 }
 
-fn refuse_busy(mut stream: TcpStream, config: NetConfig) {
+fn refuse(mut stream: TcpStream, config: NetConfig, reason: &[u8]) {
     let _ = stream.set_write_timeout(Some(config.write_timeout));
-    let _ = write_msg(&mut stream, &[&[ST_ERR], b"busy: max inflight connections"]);
+    let _ = write_msg(&mut stream, &[&[ST_ERR], reason]);
+}
+
+/// Accepts every connection already queued on `listener` and answers it
+/// with an `ST_ERR server shutting down` reply. Called once the stop
+/// flag is observed, so a client that connected in the race window
+/// between `stop.store` and the shutdown wake-up learns why it was
+/// turned away instead of seeing an unexplained EOF.
+fn drain_refuse(listener: &TcpListener, config: NetConfig) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Replies go out blocking so slow peers still get them.
+                let _ = stream.set_nonblocking(false);
+                refuse(stream, config, b"server shutting down");
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(_) => return,
+        }
+    }
 }
 
 /// Serves one connection until EOF, timeout, or a fatal protocol error.
@@ -129,11 +199,16 @@ fn refuse_busy(mut stream: TcpStream, config: NetConfig) {
 fn serve_connection(
     mut stream: TcpStream,
     aggregator: &ShardedAggregator,
+    seqs: &SeqTable,
     config: NetConfig,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(config.read_timeout))?;
     stream.set_write_timeout(Some(config.write_timeout))?;
     stream.set_nodelay(true).ok();
+    // The consistent snapshot captured by the connection's last
+    // `OP_PULL_CHUNK` page-0 request; later pages are served from it so
+    // pagination never observes a torn merge.
+    let mut chunk_capture: Vec<u8> = Vec::new();
     loop {
         let msg = match read_msg(&mut stream, config.max_frame_bytes) {
             Ok(Some(msg)) => msg,
@@ -168,6 +243,44 @@ fn serve_connection(
                     )?;
                 }
             },
+            OP_PUSH_SEQ => {
+                if body.len() < 16 {
+                    write_msg(
+                        &mut stream,
+                        &[&[ST_ERR], b"push-seq needs a client id and a sequence"],
+                    )?;
+                    stream.flush()?;
+                    continue;
+                }
+                let client_id = u64::from_be_bytes(body[0..8].try_into().expect("8 bytes"));
+                let seq = u64::from_be_bytes(body[8..16].try_into().expect("8 bytes"));
+                match DcgCodec::decode(&body[16..]) {
+                    Ok(frame) => {
+                        // Hold the table lock across check-apply-record:
+                        // a retry of the same batch arriving on a fresh
+                        // connection while a zombie thread is mid-apply
+                        // must observe apply+record atomically, or it
+                        // could double-count the frame.
+                        let mut seqs = seqs.lock().expect("seq table lock");
+                        let last = seqs.get(&client_id).copied().unwrap_or(0);
+                        if seq > last {
+                            aggregator.ingest(&frame);
+                            seqs.insert(client_id, seq);
+                            drop(seqs);
+                            write_msg(&mut stream, &[&[ST_OK], b"applied"])?;
+                        } else {
+                            drop(seqs);
+                            write_msg(&mut stream, &[&[ST_OK], b"duplicate"])?;
+                        }
+                    }
+                    Err(e) => {
+                        write_msg(
+                            &mut stream,
+                            &[&[ST_ERR], format!("bad frame: {e}").as_bytes()],
+                        )?;
+                    }
+                }
+            }
             OP_PULL => {
                 let snapshot = DcgCodec::encode_snapshot(&aggregator.merged_snapshot());
                 if snapshot.len() + 1 > config.max_frame_bytes {
@@ -177,6 +290,46 @@ fn serve_connection(
                     )?;
                 } else {
                     write_msg(&mut stream, &[&[ST_OK], &snapshot])?;
+                }
+            }
+            OP_PULL_CHUNK => {
+                let Ok(page_bytes) = <[u8; 4]>::try_from(body) else {
+                    write_msg(
+                        &mut stream,
+                        &[&[ST_ERR], b"chunk request needs a 4-byte page index"],
+                    )?;
+                    stream.flush()?;
+                    continue;
+                };
+                let page = u32::from_be_bytes(page_bytes) as usize;
+                if page == 0 {
+                    chunk_capture = DcgCodec::encode_snapshot(&aggregator.merged_snapshot());
+                }
+                let chunk_len = config
+                    .max_frame_bytes
+                    .saturating_sub(CHUNK_REPLY_OVERHEAD)
+                    .max(1);
+                let total = chunk_capture.len().div_ceil(chunk_len).max(1);
+                if page >= total {
+                    write_msg(
+                        &mut stream,
+                        &[
+                            &[ST_ERR],
+                            format!("page {page} out of range (total {total})").as_bytes(),
+                        ],
+                    )?;
+                } else {
+                    let lo = page * chunk_len;
+                    let hi = (lo + chunk_len).min(chunk_capture.len());
+                    write_msg(
+                        &mut stream,
+                        &[
+                            &[ST_OK],
+                            &(total as u32).to_be_bytes(),
+                            &(page as u32).to_be_bytes(),
+                            &chunk_capture[lo..hi],
+                        ],
+                    )?;
                 }
             }
             OP_STATS => {
@@ -204,5 +357,65 @@ fn serve_connection(
             }
         }
         stream.flush()?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::read_msg;
+
+    /// Regression for the inflight-slot leak: a panic while holding a
+    /// slot must still release it (the old code ran `fetch_sub` after
+    /// the handler, so an unwind skipped it and permanently consumed a
+    /// `max_inflight` slot).
+    #[test]
+    fn slot_released_even_when_the_connection_thread_panics() {
+        let active = Arc::new(AtomicUsize::new(0));
+        let guard_active = Arc::clone(&active);
+        let t = std::thread::spawn(move || {
+            let _slot = SlotGuard::acquire(&guard_active);
+            panic!("connection handler blew up");
+        });
+        assert!(t.join().is_err(), "thread must have panicked");
+        assert_eq!(
+            active.load(Ordering::Acquire),
+            0,
+            "panicking handler leaked its admission slot"
+        );
+        // And the non-panicking path still balances.
+        {
+            let _slot = SlotGuard::acquire(&active);
+            assert_eq!(active.load(Ordering::Acquire), 1);
+        }
+        assert_eq!(active.load(Ordering::Acquire), 0);
+    }
+
+    /// Regression for the shutdown race: connections queued in the
+    /// accept backlog when the stop flag flips must each receive an
+    /// explicit `ST_ERR server shutting down` reply, not a silent drop.
+    #[test]
+    fn drain_refuse_answers_every_queued_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().expect("addr");
+        let config = NetConfig::default();
+        // Three clients connect and queue in the backlog; none is ever
+        // accepted by a serving loop.
+        let mut clients: Vec<TcpStream> = (0..3)
+            .map(|_| TcpStream::connect(addr).expect("connects"))
+            .collect();
+        drain_refuse(&listener, config);
+        for (i, c) in clients.iter_mut().enumerate() {
+            c.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+                .expect("timeout");
+            let reply = read_msg(c, config.max_frame_bytes)
+                .expect("reply is well-framed")
+                .unwrap_or_else(|| panic!("client {i} was dropped without a reply"));
+            assert_eq!(reply.first(), Some(&ST_ERR), "client {i}");
+            assert!(
+                String::from_utf8_lossy(&reply[1..]).contains("shutting down"),
+                "client {i}: {reply:?}"
+            );
+        }
     }
 }

@@ -5,13 +5,30 @@
 //! byte, responses with a status byte:
 //!
 //! ```text
-//! request  := OP_PUSH  | codec frame          -- fold a frame in
+//! request  := OP_PUSH       | codec frame     -- fold a frame in
 //!           | OP_PULL                          -- fetch merged snapshot
 //!           | OP_STATS                         -- fetch ingestion counters
 //!           | OP_EPOCH                         -- advance the decay epoch
+//!           | OP_PULL_CHUNK | u32 page (BE)    -- fetch one snapshot page
+//!           | OP_PUSH_SEQ   | u64 client (BE) | u64 seq (BE) | codec frame
 //! response := ST_OK    | payload               -- op-specific payload
 //!           | ST_ERR   | utf-8 reason
 //! ```
+//!
+//! `OP_PULL_CHUNK` pages a merged snapshot whose encoding exceeds
+//! `max_frame_bytes`: the reply payload is
+//! `u32 total_pages (BE) | u32 page (BE) | chunk bytes`, and
+//! concatenating the chunks of pages `0..total_pages` yields the exact
+//! snapshot frame `OP_PULL` would have carried. Requesting page 0
+//! (re)captures a consistent snapshot for the connection; later pages
+//! are served from that capture, so pagination never observes a torn
+//! merge.
+//!
+//! `OP_PUSH_SEQ` is the exactly-once push used by the resilient client:
+//! the server remembers the highest sequence applied per client id and
+//! acknowledges — without re-applying — any frame at or below it
+//! (payload `applied` vs `duplicate`), which makes blind retries of a
+//! maybe-delivered frame safe.
 //!
 //! The reader enforces a maximum frame length *before* allocating, so a
 //! hostile or corrupt length prefix cannot balloon memory; oversized and
@@ -28,6 +45,17 @@ pub const OP_PULL: u8 = 2;
 pub const OP_STATS: u8 = 3;
 /// Advance the epoch clock (no body; response body: new epoch, decimal).
 pub const OP_EPOCH: u8 = 4;
+/// Request one page of the merged snapshot (body: `u32` page index,
+/// big-endian; response body: `u32` total pages | `u32` page | chunk).
+pub const OP_PULL_CHUNK: u8 = 5;
+/// Push one codec frame exactly once (body: `u64` client id | `u64`
+/// sequence | frame bytes, ids big-endian; response body: `applied` or
+/// `duplicate`).
+pub const OP_PUSH_SEQ: u8 = 6;
+
+/// Fixed bytes of an `OP_PULL_CHUNK` reply besides the chunk itself:
+/// status byte + total-pages word + page word.
+pub const CHUNK_REPLY_OVERHEAD: usize = 1 + 4 + 4;
 
 /// Success status byte.
 pub const ST_OK: u8 = 0;

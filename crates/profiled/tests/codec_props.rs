@@ -57,14 +57,12 @@ fn decode_encode_is_identity_on_random_graphs() {
         // total).
         let canon = DynamicCallGraph::merge_all([&g]);
         assert_eq!(back, canon);
-        if !g.is_empty() {
-            // (Empty graphs compare equal but not bitwise: an empty
-            // `f64` sum is `-0.0`, a fresh graph's total is `+0.0`.)
-            assert_eq!(
-                back.total_weight().to_bits(),
-                canon.total_weight().to_bits()
-            );
-        }
+        // Holds bitwise even for empty graphs: `recompute_total`
+        // canonicalizes the IEEE `-0.0` an empty `f64` sum produces.
+        assert_eq!(
+            back.total_weight().to_bits(),
+            canon.total_weight().to_bits()
+        );
     });
 }
 

@@ -31,6 +31,9 @@ cargo clippy --offline --locked --workspace --all-targets -- -D warnings
 echo "==> cargo build --release (tier-1)"
 cargo build --offline --locked --release
 
+echo "==> cargo build --release --workspace (bench/profiled binaries for the smokes)"
+cargo build --offline --locked --release --workspace
+
 echo "==> cargo test -q (tier-1)"
 cargo test --offline --locked -q
 
@@ -45,8 +48,10 @@ fi
 echo "==> profiled loopback smoke (server + dcgtool push/pull/convert)"
 SMOKE_DIR="$(mktemp -d)"
 PROFILED_PID=""
+PROFILED2_PID=""
 cleanup() {
   [[ -n "$PROFILED_PID" ]] && kill "$PROFILED_PID" 2>/dev/null || true
+  [[ -n "$PROFILED2_PID" ]] && kill "$PROFILED2_PID" 2>/dev/null || true
   rm -rf "$SMOKE_DIR"
 }
 trap cleanup EXIT
@@ -69,5 +74,25 @@ timeout 60 "$DCGTOOL" push "$ADDR" "$SMOKE_DIR/a.dcgb"
 timeout 60 "$DCGTOOL" pull "$ADDR" "$SMOKE_DIR/merged.dcg"
 cmp "$SMOKE_DIR/a.dcg" "$SMOKE_DIR/merged.dcg" \
   || { echo "FAIL: pulled fleet profile differs from the single pushed snapshot" >&2; exit 1; }
+
+echo "==> profiled fault-injection smoke (resilient push/pull over a faulty link)"
+# A fresh server, and a client whose every exchange runs through the
+# deterministic fault injector (seeded schedule, ~30% fault rate): the
+# pulled profile must still be byte-identical to the clean round-trip.
+# Injected timeouts return immediately and --backoff-ms 1 keeps the
+# retry sleeps negligible, so the whole smoke is timeout-bounded.
+"$PROFILED" --addr 127.0.0.1:0 --shards 4 > "$SMOKE_DIR/server2.out" &
+PROFILED2_PID=$!
+for _ in $(seq 1 50); do
+  grep -q '^listening ' "$SMOKE_DIR/server2.out" && break
+  sleep 0.1
+done
+ADDR2="$(awk '/^listening /{print $2; exit}' "$SMOKE_DIR/server2.out")"
+[[ -n "$ADDR2" ]] || { echo "FAIL: second profiled did not report its address" >&2; exit 1; }
+timeout 60 "$DCGTOOL" push "$ADDR2" --faults 7 --fault-rate 0.3 --retries 32 --backoff-ms 1 \
+  "$SMOKE_DIR/a.dcgb"
+timeout 60 "$DCGTOOL" pull "$ADDR2" --retries 8 --backoff-ms 1 "$SMOKE_DIR/merged_faulty.dcg"
+cmp "$SMOKE_DIR/a.dcg" "$SMOKE_DIR/merged_faulty.dcg" \
+  || { echo "FAIL: profile pulled over the faulty transport differs from the clean one" >&2; exit 1; }
 
 echo "OK: all gates passed"
