@@ -12,6 +12,8 @@
 //! dcgtool convert <in> <out> [--to text|binary]  # text v1 <-> binary
 //! dcgtool push    <host:port> <profile>...       # send to a profiled server
 //! dcgtool pull    <host:port> <out>              # fetch merged fleet profile
+//! dcgtool stats   <host:port>                    # ingestion + dedup counters
+//! dcgtool metrics <host:port>                    # telemetry text exposition
 //! ```
 //!
 //! `collect-all` profiles the whole suite (small inputs), sharding
@@ -383,6 +385,40 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 Ok(())
             }
         }
+        Some("stats") => {
+            let addr = args.get(1).ok_or("stats needs a server address")?;
+            let mut client = ProfileClient::connect(addr.as_str(), NetConfig::default())?;
+            let text = client.stats_text()?;
+            print!("{text}");
+            // v2 servers report the dedup-table size and the epoch; call
+            // out epoch drift hints for humans scanning the output.
+            let field = |key: &str| {
+                text.lines()
+                    .find_map(|l| l.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+            };
+            if field("stats_version").is_none() {
+                eprintln!("note: v1 server (no dedup/epoch drift fields)");
+            }
+            Ok(())
+        }
+        Some("metrics") => {
+            let (positional, opts) = split_transport_flags(&args[1..])?;
+            let addr = positional.first().ok_or("metrics needs a server address")?;
+            let text = if opts.resilient() {
+                let mut client = ResilientClient::connect_tcp(
+                    addr.as_str(),
+                    NetConfig::default(),
+                    opts.policy(),
+                    opts.seed.unwrap_or(0x5EED),
+                );
+                client.metrics_text()?
+            } else {
+                let mut client = ProfileClient::connect(addr.as_str(), NetConfig::default())?;
+                client.metrics_text()?
+            };
+            print!("{text}");
+            Ok(())
+        }
         Some("pull") => {
             let (positional, opts) = split_transport_flags(&args[1..])?;
             let addr = positional.first().ok_or("pull needs a server address")?;
@@ -421,7 +457,8 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         _ => Err(
-            "usage: dcgtool collect|collect-all|merge|compare|shape|dot|convert|push|pull …".into(),
+            "usage: dcgtool collect|collect-all|merge|compare|shape|dot|convert|push|pull|stats|metrics …"
+                .into(),
         ),
     }
 }

@@ -188,11 +188,25 @@ fn run(
     // Not part of `all`: the fleet experiment postdates the pinned
     // repro_output.txt and is requested explicitly.
     if artifact == "fleet" {
+        // The metrics block is printed *next to* the experiment render,
+        // never inside it: the render stays bit-identical with telemetry
+        // on or off, and across job counts.
+        let telemetry_base = cbs_core::telemetry::global().snapshot();
         if faults {
             println!("{}", fleet_faults_with(scale, jobs, seed)?.render());
         } else {
             println!("{}", fleet_with(scale, jobs)?.render());
         }
+        // Deterministic counters only: wall-clock histograms and
+        // scrape-time gauges are excluded, so this block is identical
+        // across reruns (counters are additive, hence jobs-invariant).
+        let delta = cbs_core::telemetry::global()
+            .delta_since(&telemetry_base)
+            .deterministic()
+            .without_gauges()
+            .nonzero();
+        println!("== fleet telemetry (deterministic counters) ==");
+        print!("{}", delta.render());
     }
     Ok(())
 }

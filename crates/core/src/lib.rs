@@ -64,6 +64,7 @@ pub use cbs_inliner as inliner;
 pub use cbs_opt as opt;
 pub use cbs_profiled as profiled;
 pub use cbs_profiler as profiler;
+pub use cbs_telemetry as telemetry;
 pub use cbs_vm as vm;
 pub use cbs_workloads as workloads;
 

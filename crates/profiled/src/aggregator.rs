@@ -25,6 +25,7 @@
 //! [`site_distribution`]: ShardedAggregator::site_distribution
 
 use crate::codec::DcgFrame;
+use crate::metrics::ProfiledMetrics;
 use cbs_bytecode::{CallSiteId, MethodId};
 use cbs_dcg::{CallEdge, DynamicCallGraph};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -136,16 +137,26 @@ impl ShardedAggregator {
     fn locked_current(&self, shard: usize) -> MutexGuard<'_, Shard> {
         let epoch = self.epoch.load(Ordering::Acquire);
         let mut guard = self.shards[shard].lock().expect("shard lock");
+        Self::catch_up(&mut guard, epoch, self.decay_factor, self.min_weight);
+        guard
+    }
+
+    /// Applies the lazy decay catch-up to one locked shard (shared by
+    /// [`locked_current`](Self::locked_current) and
+    /// [`merged_snapshot`](Self::merged_snapshot)).
+    fn catch_up(guard: &mut Shard, epoch: u64, decay_factor: f64, min_weight: f64) {
         if guard.epoch < epoch {
             let elapsed = (epoch - guard.epoch).min(i32::MAX as u64) as i32;
-            if self.decay_factor != 1.0 {
-                guard
-                    .graph
-                    .decay(self.decay_factor.powi(elapsed), self.min_weight);
+            if decay_factor != 1.0 {
+                let m = ProfiledMetrics::get();
+                let before = guard.graph.num_edges();
+                guard.graph.decay(decay_factor.powi(elapsed), min_weight);
+                m.agg_decay_catchups.inc();
+                m.agg_pruned_edges
+                    .add(before.saturating_sub(guard.graph.num_edges()) as u64);
             }
             guard.epoch = epoch;
         }
-        guard
     }
 
     /// Folds a decoded frame into the shards.
@@ -158,6 +169,7 @@ impl ShardedAggregator {
     pub fn ingest(&self, frame: &DcgFrame) {
         self.ingest_records(&frame.edges);
         self.frames.fetch_add(1, Ordering::Relaxed);
+        ProfiledMetrics::get().agg_frames.inc();
     }
 
     /// Folds raw `(edge, weight)` records (already validated positive and
@@ -191,6 +203,7 @@ impl ShardedAggregator {
         }
         self.records
             .fetch_add(records.len() as u64, Ordering::Relaxed);
+        ProfiledMetrics::get().agg_records.add(records.len() as u64);
     }
 
     /// Advances the virtual epoch clock by one, returning the new epoch.
@@ -212,15 +225,7 @@ impl ShardedAggregator {
         let mut guards: Vec<MutexGuard<'_, Shard>> = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
             let mut guard = shard.lock().expect("shard lock");
-            if guard.epoch < epoch {
-                let elapsed = (epoch - guard.epoch).min(i32::MAX as u64) as i32;
-                if self.decay_factor != 1.0 {
-                    guard
-                        .graph
-                        .decay(self.decay_factor.powi(elapsed), self.min_weight);
-                }
-                guard.epoch = epoch;
-            }
+            Self::catch_up(&mut guard, epoch, self.decay_factor, self.min_weight);
             guards.push(guard);
         }
         DynamicCallGraph::merge_all(guards.iter().map(|g| &g.graph))

@@ -24,9 +24,10 @@
 //! stand in for a real [`TcpStream`].
 
 use crate::codec::{CodecError, DcgCodec};
+use crate::metrics::ProfiledMetrics;
 use crate::wire::{
-    read_msg, write_msg, NetConfig, OP_EPOCH, OP_PULL, OP_PULL_CHUNK, OP_PUSH, OP_PUSH_SEQ,
-    OP_STATS, ST_OK,
+    read_msg, write_msg, NetConfig, OP_EPOCH, OP_METRICS, OP_PULL, OP_PULL_CHUNK, OP_PUSH,
+    OP_PUSH_SEQ, OP_STATS, ST_OK,
 };
 use cbs_dcg::{CallEdge, DynamicCallGraph};
 use std::error::Error;
@@ -140,6 +141,13 @@ impl<S: Read + Write> ProfileClient<S> {
         self.poisoned
     }
 
+    /// Marks the connection desynchronized (all poison sites funnel
+    /// through here so the telemetry counter stays exact).
+    fn poison(&mut self) {
+        self.poisoned = true;
+        ProfiledMetrics::get().client_poisoned.inc();
+    }
+
     fn exchange(&mut self, op: u8, body: &[&[u8]]) -> Result<Vec<u8>, ClientError> {
         if self.poisoned {
             return Err(ClientError::Poisoned);
@@ -150,7 +158,7 @@ impl<S: Read + Write> ProfileClient<S> {
         if let Err(e) = write_msg(&mut self.stream, &parts) {
             // The request may have been partially written: the framing
             // is unknown, so the connection is unusable.
-            self.poisoned = true;
+            self.poison();
             return Err(e.into());
         }
         let reply = match read_msg(&mut self.stream, self.max_frame_bytes) {
@@ -159,12 +167,12 @@ impl<S: Read + Write> ProfileClient<S> {
                 // Timeout, reset, truncation, oversized reply: the reply
                 // to *this* request may still arrive later, so reusing
                 // the stream would misattribute it to the next request.
-                self.poisoned = true;
+                self.poison();
                 return Err(e.into());
             }
         };
         let Some(reply) = reply else {
-            self.poisoned = true;
+            self.poison();
             return Err(ClientError::Protocol(
                 "server closed before replying".into(),
             ));
@@ -175,7 +183,7 @@ impl<S: Read + Write> ProfileClient<S> {
                 String::from_utf8_lossy(payload).into_owned(),
             )),
             None => {
-                self.poisoned = true;
+                self.poison();
                 Err(ClientError::Protocol("empty reply".into()))
             }
         }
@@ -185,7 +193,7 @@ impl<S: Read + Write> ProfileClient<S> {
     /// multi-exchange operations (pagination) whose invariants span
     /// replies.
     fn poison_protocol(&mut self, msg: impl Into<String>) -> ClientError {
-        self.poisoned = true;
+        self.poison();
         ClientError::Protocol(msg.into())
     }
 
@@ -333,6 +341,18 @@ impl<S: Read + Write> ProfileClient<S> {
     /// Transport failures or a server-side rejection.
     pub fn stats_text(&mut self) -> Result<String, ClientError> {
         let payload = self.exchange(OP_STATS, &[])?;
+        Ok(String::from_utf8_lossy(&payload).into_owned())
+    }
+
+    /// Fetches the server's telemetry exposition (the versioned
+    /// `cbs-telemetry` text format).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-side rejection (e.g. an older
+    /// server answering `unknown op`).
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        let payload = self.exchange(OP_METRICS, &[])?;
         Ok(String::from_utf8_lossy(&payload).into_owned())
     }
 }

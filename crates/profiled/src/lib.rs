@@ -63,6 +63,7 @@ pub mod aggregator;
 pub mod client;
 pub mod codec;
 pub mod faults;
+pub mod metrics;
 pub mod resilient;
 pub mod server;
 pub mod wire;
@@ -71,6 +72,7 @@ pub use aggregator::{AggregatorConfig, AggregatorStats, ShardedAggregator};
 pub use client::{ClientError, ProfileClient, PushOutcome};
 pub use codec::{CodecError, DcgCodec, DcgFrame, FrameKind};
 pub use faults::{Fault, FaultCounts, FaultSchedule, FaultStream};
-pub use resilient::{ResilientClient, RetryPolicy, TransportStats};
+pub use metrics::ProfiledMetrics;
+pub use resilient::{backoff_for_attempt, ResilientClient, RetryPolicy, TransportStats};
 pub use server::{serve, ServerHandle};
 pub use wire::NetConfig;

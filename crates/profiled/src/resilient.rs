@@ -34,6 +34,7 @@
 use crate::client::{ClientError, ProfileClient, PushOutcome};
 use crate::codec::DcgCodec;
 use crate::faults::{FaultSchedule, FaultStream};
+use crate::metrics::ProfiledMetrics;
 use crate::wire::NetConfig;
 use cbs_dcg::{coalesce_increments, CallEdge, DynamicCallGraph};
 use cbs_prng::SmallRng;
@@ -42,6 +43,19 @@ use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// The pre-jitter exponential backoff before retry `attempt` (1-based):
+/// `base * 2^min(attempt - 1, 16)`, saturating, capped at `max`.
+///
+/// This is the single source of truth for the backoff shape — the
+/// client's jittered delay and every test derive from it. The exponent
+/// clamp bounds the shift (so `attempt >= 64`, where `1u32 << attempt`
+/// would be UB, is safe) and `saturating_mul` absorbs the remaining
+/// overflow; past the clamp the cap normally binds anyway.
+pub fn backoff_for_attempt(base: Duration, max: Duration, attempt: u32) -> Duration {
+    let exp = attempt.saturating_sub(1).min(16);
+    base.saturating_mul(1u32 << exp).min(max)
+}
 
 /// Retry and backoff configuration for a [`ResilientClient`].
 #[derive(Debug, Clone, Copy)]
@@ -232,20 +246,21 @@ impl<S: Read + Write> ResilientClient<S> {
     }
 
     /// The deterministic backoff before retry attempt `attempt`
-    /// (1-based): exponential with full jitter.
+    /// (1-based): [`backoff_for_attempt`] scaled by full jitter in
+    /// `[0.5, 1.0)` from the seeded generator.
     fn backoff_delay(&mut self, attempt: u32) -> Duration {
-        let exp = attempt.saturating_sub(1).min(16);
-        let raw = self
-            .policy
-            .base_backoff
-            .saturating_mul(1u32 << exp)
-            .min(self.policy.max_backoff);
+        let raw = backoff_for_attempt(self.policy.base_backoff, self.policy.max_backoff, attempt);
         let jitter = 0.5 + 0.5 * self.rng.gen_f64();
         raw.mul_f64(jitter)
     }
 
     fn backoff(&mut self, attempt: u32) {
         let d = self.backoff_delay(attempt);
+        // Deterministic despite being a time total: the delay comes from
+        // the seeded jitter RNG, not from observed wall-clock.
+        ProfiledMetrics::get()
+            .client_backoff_ms
+            .add(d.as_millis().min(u128::from(u64::MAX)) as u64);
         (self.sleep)(d);
     }
 
@@ -261,6 +276,7 @@ impl<S: Read + Write> ResilientClient<S> {
         let stream = (self.connector)()?;
         if self.stats.connects > 0 {
             self.stats.reconnects += 1;
+            ProfiledMetrics::get().client_reconnects.inc();
         }
         self.stats.connects += 1;
         Ok(self
@@ -297,9 +313,18 @@ impl<S: Read + Write> ResilientClient<S> {
         while let Some(front) = self.outbox.front() {
             let seq = front.seq;
             let frame = DcgCodec::encode_delta(&front.increments);
-            let outcome = self.retrying(|c| c.push_seq_front(seq, &frame))?;
+            let outcome = match self.retrying(|c| c.push_seq_front(seq, &frame)) {
+                Ok(o) => o,
+                Err(e) => {
+                    // The front batch (and everything behind it) stays
+                    // queued for the next flush.
+                    ProfiledMetrics::get().client_requeued_batches.inc();
+                    return Err(e);
+                }
+            };
             if outcome == PushOutcome::Duplicate {
                 self.stats.duplicates += 1;
+                ProfiledMetrics::get().client_duplicates.inc();
             }
             self.outbox.pop_front();
         }
@@ -332,6 +357,7 @@ impl<S: Read + Write> ResilientClient<S> {
             // assignment order); keeping it preserves monotonicity. The
             // server tolerates the resulting gap.
             self.stats.coalesced += 1;
+            ProfiledMetrics::get().client_coalesced_batches.inc();
         }
     }
 
@@ -349,6 +375,7 @@ impl<S: Read + Write> ResilientClient<S> {
                 Err(e) if Self::is_retryable(&e) && attempt < self.policy.max_attempts => {
                     self.disconnect();
                     self.stats.retries += 1;
+                    ProfiledMetrics::get().client_retries.inc();
                     self.backoff(attempt);
                 }
                 Err(e) => return Err(e),
@@ -395,6 +422,16 @@ impl<S: Read + Write> ResilientClient<S> {
         self.retrying(|s| s.ensure_connected()?.stats_text())
     }
 
+    /// Fetches the server's telemetry exposition, with reconnection and
+    /// retries.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's failure once retries are exhausted.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        self.retrying(|s| s.ensure_connected()?.metrics_text())
+    }
+
     /// Advances the decay epoch. **Not** blindly retried: decay is not
     /// idempotent, so only failures that provably precede delivery
     /// (connect failures, busy/shutdown refusals) are retried; a
@@ -415,6 +452,7 @@ impl<S: Read + Write> ResilientClient<S> {
                 Err(e) if Self::is_retryable(&e) && attempt < self.policy.max_attempts => {
                     self.disconnect();
                     self.stats.retries += 1;
+                    ProfiledMetrics::get().client_retries.inc();
                     self.backoff(attempt);
                     continue;
                 }
@@ -432,6 +470,7 @@ impl<S: Read + Write> ResilientClient<S> {
                     if Self::is_retryable(&e) && attempt < self.policy.max_attempts =>
                 {
                     self.stats.retries += 1;
+                    ProfiledMetrics::get().client_retries.inc();
                     self.backoff(attempt);
                 }
                 Err(e) => return Err(e),
@@ -483,9 +522,13 @@ mod tests {
         assert_eq!(a, b, "same seed must give the same backoff sequence");
         for (i, d) in a.iter().enumerate() {
             let attempt = i as u32 + 1;
-            let exp = Duration::from_millis(10)
-                .saturating_mul(1 << attempt.saturating_sub(1).min(16))
-                .min(Duration::from_millis(500));
+            // The expected pre-jitter delay comes from the same helper
+            // the client uses — the formula lives in exactly one place.
+            let exp = backoff_for_attempt(
+                Duration::from_millis(10),
+                Duration::from_millis(500),
+                attempt,
+            );
             assert!(
                 *d >= exp.mul_f64(0.5) && *d < exp,
                 "attempt {attempt}: {d:?} outside jitter window of {exp:?}"
@@ -544,6 +587,38 @@ mod tests {
         );
         // The merged batch keeps the higher sequence.
         assert_eq!(c.outbox[1].seq, 3);
+    }
+
+    /// Property test for the shared backoff helper: delays never
+    /// decrease with the attempt number, never exceed the cap, and stay
+    /// finite (no shift/multiply overflow) arbitrarily deep into a
+    /// retry storm — including `attempt >= 64`, where an unclamped
+    /// `1u32 << attempt` would be undefined behaviour.
+    #[test]
+    fn backoff_for_attempt_is_monotonic_capped_and_overflow_safe() {
+        cbs_prng::prop::run_cases("backoff_for_attempt", 128, |rng| {
+            let base = Duration::from_millis(rng.gen_range(1u64..=10_000));
+            let max = Duration::from_millis(rng.gen_range(1u64..=600_000));
+            let mut prev = Duration::ZERO;
+            for attempt in 1..=96u32 {
+                let d = backoff_for_attempt(base, max, attempt);
+                assert!(
+                    d >= prev,
+                    "base={base:?} max={max:?}: delay shrank at attempt {attempt} \
+                     ({prev:?} -> {d:?})"
+                );
+                assert!(d <= max.max(base), "attempt {attempt}: {d:?} above the cap");
+                prev = d;
+            }
+            // Deep attempts degenerate to a constant: the clamped
+            // exponent makes 65, 66, … identical to 64.
+            let deep = backoff_for_attempt(base, max, 64);
+            assert_eq!(deep, backoff_for_attempt(base, max, 65));
+            assert_eq!(deep, backoff_for_attempt(base, max, u32::MAX));
+            // Degenerate extremes stay overflow-free.
+            let huge = backoff_for_attempt(Duration::MAX, Duration::MAX, u32::MAX);
+            assert_eq!(huge, Duration::MAX);
+        });
     }
 
     #[test]

@@ -23,20 +23,39 @@
 
 use crate::aggregator::ShardedAggregator;
 use crate::codec::DcgCodec;
+use crate::metrics::ProfiledMetrics;
 use crate::wire::{
-    read_msg, write_msg, NetConfig, CHUNK_REPLY_OVERHEAD, OP_EPOCH, OP_PULL, OP_PULL_CHUNK,
-    OP_PUSH, OP_PUSH_SEQ, OP_STATS, ST_ERR, ST_OK,
+    read_msg, write_msg, NetConfig, CHUNK_REPLY_OVERHEAD, OP_EPOCH, OP_METRICS, OP_PULL,
+    OP_PULL_CHUNK, OP_PUSH, OP_PUSH_SEQ, OP_STATS, ST_ERR, ST_OK,
 };
 use std::collections::HashMap;
 use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Highest applied push sequence per client id (the `OP_PUSH_SEQ`
 /// dedup table), shared by every connection thread.
 type SeqTable = Arc<Mutex<HashMap<u64, u64>>>;
+
+/// Locks the seq-dedup table, recovering from poisoning.
+///
+/// A handler that panics mid-update leaves the table *valid*: either
+/// the frame was applied and its sequence recorded, or neither
+/// happened — `u64` inserts cannot be observed half-done. Treating the
+/// poison as fatal (the old `.expect`) turned one crashed connection
+/// into a permanent outage of every later `OP_PUSH_SEQ` exchange.
+fn lock_seqs<'a>(
+    seqs: &'a SeqTable,
+    metrics: &ProfiledMetrics,
+) -> MutexGuard<'a, HashMap<u64, u64>> {
+    seqs.lock().unwrap_or_else(|e: PoisonError<_>| {
+        metrics.server_seq_lock_recovered.inc();
+        e.into_inner()
+    })
+}
 
 /// A running profile server; dropping the handle leaves the server
 /// running detached, [`shutdown`](Self::shutdown) stops it.
@@ -46,6 +65,7 @@ pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     aggregator: Arc<ShardedAggregator>,
+    seqs: SeqTable,
 }
 
 impl ServerHandle {
@@ -58,6 +78,12 @@ impl ServerHandle {
     /// network interface.
     pub fn aggregator(&self) -> &Arc<ShardedAggregator> {
         &self.aggregator
+    }
+
+    /// Number of clients currently tracked by the `OP_PUSH_SEQ` dedup
+    /// table (the in-process view of the `dedup_clients` stats field).
+    pub fn dedup_clients(&self) -> usize {
+        lock_seqs(&self.seqs, ProfiledMetrics::get()).len()
     }
 
     /// Stops accepting connections and joins the accept loop.
@@ -93,16 +119,19 @@ pub fn serve(
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
+    let seqs: SeqTable = Arc::new(Mutex::new(HashMap::new()));
     let accept_thread = {
         let aggregator = Arc::clone(&aggregator);
         let stop = Arc::clone(&stop);
-        std::thread::spawn(move || accept_loop(&listener, &aggregator, &stop, config))
+        let seqs = Arc::clone(&seqs);
+        std::thread::spawn(move || accept_loop(&listener, &aggregator, &stop, &seqs, config))
     };
     Ok(ServerHandle {
         addr: local,
         stop,
         accept_thread: Some(accept_thread),
         aggregator,
+        seqs,
     })
 }
 
@@ -128,10 +157,11 @@ fn accept_loop(
     listener: &TcpListener,
     aggregator: &Arc<ShardedAggregator>,
     stop: &Arc<AtomicBool>,
+    seqs: &SeqTable,
     config: NetConfig,
 ) {
+    let metrics = ProfiledMetrics::get();
     let active = Arc::new(AtomicUsize::new(0));
-    let seqs: SeqTable = Arc::new(Mutex::new(HashMap::new()));
     for stream in listener.incoming() {
         if stop.load(Ordering::Acquire) {
             // Drain-and-refuse: the connection that woke us — which may
@@ -139,6 +169,7 @@ fn accept_loop(
             // shutdown's throwaway connect — and everything else queued
             // in the backlog get an explicit refusal, not a silent drop.
             if let Ok(s) = stream {
+                metrics.server_shutdown_refusals.inc();
                 refuse(s, config, b"server shutting down");
             }
             drain_refuse(listener, config);
@@ -147,12 +178,14 @@ fn accept_loop(
         let Ok(stream) = stream else { continue };
         // Backpressure: admission-check *before* spawning.
         if active.load(Ordering::Acquire) >= config.max_inflight {
+            metrics.server_busy_refusals.inc();
             refuse(stream, config, b"busy: max inflight connections");
             continue;
         }
+        metrics.server_connections.inc();
         let slot = SlotGuard::acquire(&active);
         let aggregator = Arc::clone(aggregator);
-        let seqs = Arc::clone(&seqs);
+        let seqs = Arc::clone(seqs);
         std::thread::spawn(move || {
             // The guard rides inside the thread: a panic anywhere in
             // `serve_connection` unwinds through it and still releases
@@ -184,12 +217,25 @@ fn drain_refuse(listener: &TcpListener, config: NetConfig) {
             Ok((stream, _)) => {
                 // Replies go out blocking so slow peers still get them.
                 let _ = stream.set_nonblocking(false);
+                ProfiledMetrics::get().server_shutdown_refusals.inc();
                 refuse(stream, config, b"server shutting down");
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
             Err(_) => return,
         }
     }
+}
+
+/// Writes one reply through the single counting choke point: reply
+/// frame sizes land in the bytes-out histogram and `ST_ERR` replies in
+/// the error counter before the bytes hit the socket.
+fn reply(stream: &mut TcpStream, metrics: &ProfiledMetrics, parts: &[&[u8]]) -> io::Result<()> {
+    let len: usize = parts.iter().map(|p| p.len()).sum();
+    metrics.server_frame_bytes_out.observe(len as u64);
+    if parts.first().and_then(|p| p.first()) == Some(&ST_ERR) {
+        metrics.server_err_replies.inc();
+    }
+    write_msg(stream, parts)
 }
 
 /// Serves one connection until EOF, timeout, or a fatal protocol error.
@@ -202,6 +248,7 @@ fn serve_connection(
     seqs: &SeqTable,
     config: NetConfig,
 ) -> io::Result<()> {
+    let m = ProfiledMetrics::get();
     stream.set_read_timeout(Some(config.read_timeout))?;
     stream.set_write_timeout(Some(config.write_timeout))?;
     stream.set_nodelay(true).ok();
@@ -216,37 +263,46 @@ fn serve_connection(
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // Oversized frame: the unread payload makes the stream
                 // unframeable, so answer and drop the connection.
-                let _ = write_msg(&mut stream, &[&[ST_ERR], e.to_string().as_bytes()]);
+                let _ = reply(&mut stream, m, &[&[ST_ERR], e.to_string().as_bytes()]);
                 return Ok(());
             }
             Err(e) => return Err(e), // timeout / reset: just drop
         };
+        let started = Instant::now();
+        m.server_frame_bytes_in.observe(msg.len() as u64);
         let (op, body) = match msg.split_first() {
             Some(x) => x,
             None => {
-                let _ = write_msg(&mut stream, &[&[ST_ERR], b"empty request"]);
+                let _ = reply(&mut stream, m, &[&[ST_ERR], b"empty request"]);
                 return Ok(());
             }
         };
         match *op {
-            OP_PUSH => match DcgCodec::decode(body) {
-                Ok(frame) => {
-                    aggregator.ingest(&frame);
-                    write_msg(&mut stream, &[&[ST_OK]])?;
+            OP_PUSH => {
+                m.server_op_push.inc();
+                match DcgCodec::decode(body) {
+                    Ok(frame) => {
+                        aggregator.ingest(&frame);
+                        reply(&mut stream, m, &[&[ST_OK]])?;
+                    }
+                    Err(e) => {
+                        // Reject the frame, keep serving: framing is intact,
+                        // only the payload was bad.
+                        m.server_bad_frames.inc();
+                        reply(
+                            &mut stream,
+                            m,
+                            &[&[ST_ERR], format!("bad frame: {e}").as_bytes()],
+                        )?;
+                    }
                 }
-                Err(e) => {
-                    // Reject the frame, keep serving: framing is intact,
-                    // only the payload was bad.
-                    write_msg(
-                        &mut stream,
-                        &[&[ST_ERR], format!("bad frame: {e}").as_bytes()],
-                    )?;
-                }
-            },
+            }
             OP_PUSH_SEQ => {
+                m.server_op_push_seq.inc();
                 if body.len() < 16 {
-                    write_msg(
+                    reply(
                         &mut stream,
+                        m,
                         &[&[ST_ERR], b"push-seq needs a client id and a sequence"],
                     )?;
                     stream.flush()?;
@@ -261,41 +317,48 @@ fn serve_connection(
                         // connection while a zombie thread is mid-apply
                         // must observe apply+record atomically, or it
                         // could double-count the frame.
-                        let mut seqs = seqs.lock().expect("seq table lock");
+                        let mut seqs = lock_seqs(seqs, m);
                         let last = seqs.get(&client_id).copied().unwrap_or(0);
                         if seq > last {
                             aggregator.ingest(&frame);
                             seqs.insert(client_id, seq);
                             drop(seqs);
-                            write_msg(&mut stream, &[&[ST_OK], b"applied"])?;
+                            reply(&mut stream, m, &[&[ST_OK], b"applied"])?;
                         } else {
                             drop(seqs);
-                            write_msg(&mut stream, &[&[ST_OK], b"duplicate"])?;
+                            m.server_dedup_hits.inc();
+                            reply(&mut stream, m, &[&[ST_OK], b"duplicate"])?;
                         }
                     }
                     Err(e) => {
-                        write_msg(
+                        m.server_bad_frames.inc();
+                        reply(
                             &mut stream,
+                            m,
                             &[&[ST_ERR], format!("bad frame: {e}").as_bytes()],
                         )?;
                     }
                 }
             }
             OP_PULL => {
+                m.server_op_pull.inc();
                 let snapshot = DcgCodec::encode_snapshot(&aggregator.merged_snapshot());
                 if snapshot.len() + 1 > config.max_frame_bytes {
-                    write_msg(
+                    reply(
                         &mut stream,
+                        m,
                         &[&[ST_ERR], b"merged snapshot exceeds the frame limit"],
                     )?;
                 } else {
-                    write_msg(&mut stream, &[&[ST_OK], &snapshot])?;
+                    reply(&mut stream, m, &[&[ST_OK], &snapshot])?;
                 }
             }
             OP_PULL_CHUNK => {
+                m.server_op_pull_chunk.inc();
                 let Ok(page_bytes) = <[u8; 4]>::try_from(body) else {
-                    write_msg(
+                    reply(
                         &mut stream,
+                        m,
                         &[&[ST_ERR], b"chunk request needs a 4-byte page index"],
                     )?;
                     stream.flush()?;
@@ -311,8 +374,9 @@ fn serve_connection(
                     .max(1);
                 let total = chunk_capture.len().div_ceil(chunk_len).max(1);
                 if page >= total {
-                    write_msg(
+                    reply(
                         &mut stream,
+                        m,
                         &[
                             &[ST_ERR],
                             format!("page {page} out of range (total {total})").as_bytes(),
@@ -321,8 +385,9 @@ fn serve_connection(
                 } else {
                     let lo = page * chunk_len;
                     let hi = (lo + chunk_len).min(chunk_capture.len());
-                    write_msg(
+                    reply(
                         &mut stream,
+                        m,
                         &[
                             &[ST_OK],
                             &(total as u32).to_be_bytes(),
@@ -333,29 +398,56 @@ fn serve_connection(
                 }
             }
             OP_STATS => {
+                m.server_op_stats.inc();
                 let s = aggregator.stats();
+                // The v1 keys stay first and unchanged; v2 appends the
+                // version marker and the dedup-table keys, so v1 parsers
+                // (which read `key=value` lines and skip unknown keys)
+                // keep working.
+                let (dedup_clients, dedup_max_seq) = {
+                    let t = lock_seqs(seqs, m);
+                    (t.len(), t.values().copied().max().unwrap_or(0))
+                };
                 let text = format!(
-                    "frames={}\nrecords={}\nepoch={}\nedges={}\nshards={}\n",
+                    "frames={}\nrecords={}\nepoch={}\nedges={}\nshards={}\n\
+                     stats_version=2\ndedup_clients={dedup_clients}\ndedup_max_seq={dedup_max_seq}\n",
                     s.frames,
                     s.records,
                     s.epoch,
                     s.total_edges(),
                     s.shard_edges.len(),
                 );
-                write_msg(&mut stream, &[&[ST_OK], text.as_bytes()])?;
+                reply(&mut stream, m, &[&[ST_OK], text.as_bytes()])?;
+            }
+            OP_METRICS => {
+                m.server_op_metrics.inc();
+                // Scrape-time gauges: published here, not on the data
+                // path, so instantaneous sizes cost nothing per push.
+                let s = aggregator.stats();
+                m.agg_epoch.set(s.epoch as i64);
+                m.agg_edges.set(s.total_edges() as i64);
+                m.publish_shard_edges(&s.shard_edges);
+                let dedup_clients = lock_seqs(seqs, m).len();
+                m.server_dedup_clients.set(dedup_clients as i64);
+                let text = cbs_telemetry::global().render();
+                reply(&mut stream, m, &[&[ST_OK], text.as_bytes()])?;
             }
             OP_EPOCH => {
+                m.server_op_epoch.inc();
                 let epoch = aggregator.advance_epoch();
-                write_msg(&mut stream, &[&[ST_OK], epoch.to_string().as_bytes()])?;
+                reply(&mut stream, m, &[&[ST_OK], epoch.to_string().as_bytes()])?;
             }
             other => {
-                let _ = write_msg(
+                let _ = reply(
                     &mut stream,
+                    m,
                     &[&[ST_ERR], format!("unknown op {other}").as_bytes()],
                 );
                 return Ok(());
             }
         }
+        m.server_handler_latency_us
+            .observe(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
         stream.flush()?;
     }
 }
@@ -363,6 +455,8 @@ fn serve_connection(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::aggregator::AggregatorConfig;
+    use crate::client::{ProfileClient, PushOutcome};
     use crate::wire::read_msg;
 
     /// Regression for the inflight-slot leak: a panic while holding a
@@ -389,6 +483,48 @@ mod tests {
             assert_eq!(active.load(Ordering::Acquire), 1);
         }
         assert_eq!(active.load(Ordering::Acquire), 0);
+    }
+
+    /// Regression for the seq-table poisoning outage: a handler panic
+    /// while holding the dedup mutex used to turn every later
+    /// `OP_PUSH_SEQ` exchange into a panic of its own (`.expect("seq
+    /// table lock")`), permanently killing exactly-once pushes. The
+    /// table is valid after any partial update, so the lock is now
+    /// recovered and service continues.
+    #[test]
+    fn push_seq_keeps_working_after_a_handler_panic_poisons_the_seq_table() {
+        let agg = Arc::new(ShardedAggregator::new(AggregatorConfig::with_shards(2)));
+        let server = serve("127.0.0.1:0", agg, NetConfig::default()).expect("binds");
+        // Script the handler panic: grab the shared table the way a
+        // connection thread does, then unwind while holding it.
+        let seqs = Arc::clone(&server.seqs);
+        let panicker = std::thread::spawn(move || {
+            let _guard = seqs.lock().expect("first locker sees no poison");
+            panic!("scripted handler panic while holding the seq table");
+        });
+        assert!(panicker.join().is_err(), "thread must have panicked");
+        assert!(server.seqs.is_poisoned(), "the mutex is really poisoned");
+
+        let edge = cbs_dcg::CallEdge::new(
+            cbs_bytecode::MethodId::new(1),
+            cbs_bytecode::CallSiteId::new(0),
+            cbs_bytecode::MethodId::new(2),
+        );
+        let frame = DcgCodec::encode_delta(&[(edge, 2.0)]);
+        let mut client =
+            ProfileClient::connect(server.addr(), NetConfig::default()).expect("connects");
+        assert_eq!(
+            client.push_seq(9, 1, &frame).expect("served, not dropped"),
+            PushOutcome::Applied
+        );
+        assert_eq!(
+            client.push_seq(9, 1, &frame).expect("dedup still works"),
+            PushOutcome::Duplicate,
+            "retry of an applied sequence must be acknowledged, not re-applied"
+        );
+        let fleet = client.pull().expect("pull");
+        assert_eq!(fleet.weight(&edge), 2.0, "the duplicate was not re-applied");
+        server.shutdown();
     }
 
     /// Regression for the shutdown race: connections queued in the

@@ -11,6 +11,7 @@
 //!           | OP_EPOCH                         -- advance the decay epoch
 //!           | OP_PULL_CHUNK | u32 page (BE)    -- fetch one snapshot page
 //!           | OP_PUSH_SEQ   | u64 client (BE) | u64 seq (BE) | codec frame
+//!           | OP_METRICS                       -- fetch telemetry exposition
 //! response := ST_OK    | payload               -- op-specific payload
 //!           | ST_ERR   | utf-8 reason
 //! ```
@@ -52,6 +53,9 @@ pub const OP_PULL_CHUNK: u8 = 5;
 /// sequence | frame bytes, ids big-endian; response body: `applied` or
 /// `duplicate`).
 pub const OP_PUSH_SEQ: u8 = 6;
+/// Request the process-wide telemetry exposition (no body; response
+/// body: the versioned `cbs-telemetry` text format, utf-8).
+pub const OP_METRICS: u8 = 7;
 
 /// Fixed bytes of an `OP_PULL_CHUNK` reply besides the chunk itself:
 /// status byte + total-pages word + page word.

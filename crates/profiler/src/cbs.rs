@@ -233,6 +233,7 @@ impl CounterBasedSampler {
                 .sample_cost_millicycles(event.stack.depth()),
         );
         self.samples += 1;
+        crate::metrics::CbsMetrics::get().samples.inc();
         self.pending.push(event.edge);
         if let Some(cct) = &mut self.cct {
             cct.add_sample_iter(event.stack.context_steps());
@@ -266,6 +267,7 @@ impl Profiler for CounterBasedSampler {
             st.enabled = true;
             st.samples_left = samples;
             st.skipped = st.initial_skip(&policy, stride);
+            crate::metrics::CbsMetrics::get().windows.inc();
         }
         // If a window is still open (it outlived the timer period), the
         // flag is already true and sampling simply continues — the

@@ -52,6 +52,7 @@ mod cbs;
 mod costs;
 mod exhaustive;
 mod hardware;
+pub mod metrics;
 mod multi;
 mod organizer;
 mod patching;
@@ -64,6 +65,7 @@ pub use cbs::{CbsConfig, CounterBasedSampler, SkipPolicy};
 pub use costs::{OverheadMeter, ProfilingCosts};
 pub use exhaustive::{ExhaustiveCctProfiler, ExhaustiveMode, ExhaustiveProfiler};
 pub use hardware::{HardwareConfig, HardwareSampler};
+pub use metrics::CbsMetrics;
 pub use multi::MultiProfiler;
 pub use organizer::{DcgOrganizer, OrganizedSampler, SampleBuffer};
 pub use patching::{CodePatchingProfiler, PatchingConfig};

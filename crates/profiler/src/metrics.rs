@@ -1,0 +1,34 @@
+//! Static telemetry handles for the profilers (`cbs.*` metrics).
+//!
+//! Both counters are event sums over a deterministic sampling schedule
+//! (the CBS skip/stride state machine is seeded), so for a fixed
+//! workload they are reproducible for any thread count.
+
+use cbs_telemetry::{global, Counter};
+use std::sync::OnceLock;
+
+/// The counter-based-sampling metric handles. Obtain via
+/// [`CbsMetrics::get`].
+#[derive(Debug)]
+pub struct CbsMetrics {
+    /// Call-stack samples taken (edges recorded into the repository).
+    pub samples: Counter,
+    /// Sampling windows opened by a timer tick (disabled → enabled
+    /// transitions; a tick that lands in a still-open window does not
+    /// count).
+    pub windows: Counter,
+}
+
+impl CbsMetrics {
+    /// The process-wide handles, registered on first call.
+    pub fn get() -> &'static CbsMetrics {
+        static HANDLES: OnceLock<CbsMetrics> = OnceLock::new();
+        HANDLES.get_or_init(|| {
+            let r = global();
+            CbsMetrics {
+                samples: r.counter("cbs.samples", "call-stack samples taken"),
+                windows: r.counter("cbs.windows", "sampling windows opened by a timer tick"),
+            }
+        })
+    }
+}

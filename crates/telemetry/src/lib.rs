@@ -1,0 +1,753 @@
+//! # cbs-telemetry
+//!
+//! Lock-free, always-on metrics for the profile pipeline: atomic
+//! [`Counter`]s, [`Gauge`]s, and fixed-bucket [`Histogram`]s behind a
+//! process-wide [`Registry`].
+//!
+//! The design goals, in order:
+//!
+//! 1. **Inert.** Instrumentation must never change what the
+//!    instrumented code computes — profile bytes and experiment renders
+//!    are bit-identical with telemetry enabled, disabled, or compiled
+//!    out of mind. Handles only ever *add* to atomics; no metric is read
+//!    on any data path.
+//! 2. **Cheap.** A counter increment is one relaxed atomic load (the
+//!    kill switch) plus one relaxed `fetch_add`. Handles are resolved
+//!    once — typically into a `OnceLock` struct of named fields per
+//!    subsystem — so the hot path never touches the registry's name
+//!    table.
+//! 3. **Deterministic.** Counter values are sums of events, so for a
+//!    deterministic workload they are reproducible regardless of thread
+//!    interleaving (atomic addition commutes). Metrics whose *values*
+//!    depend on wall-clock time (latency histograms) are tagged
+//!    [`Stability::Wallclock`] at registration and can be filtered out
+//!    of deterministic renders ([`Snapshot::deterministic`]).
+//!
+//! ## Exposition format
+//!
+//! [`Registry::render`] (and [`Snapshot::render`]) emit a versioned,
+//! line-oriented text exposition, sorted by metric name:
+//!
+//! ```text
+//! # cbs-telemetry v1
+//! counter cbs.samples 42
+//! gauge profiled.agg.epoch 3
+//! histogram profiled.server.frame_bytes_in count=3 sum=210 le64=1 le1024=3 inf=3
+//! ```
+//!
+//! Histogram buckets are cumulative (`le<bound>` counts observations
+//! `<= bound`, `inf` equals `count`). The header line is the format
+//! version; parsers must ignore lines whose leading keyword they do not
+//! recognize, so new metric kinds can be added compatibly.
+//!
+//! ## Usage
+//!
+//! ```
+//! use cbs_telemetry::Registry;
+//!
+//! let registry = Registry::new();
+//! let pushes = registry.counter("server.pushes", "frames pushed");
+//! pushes.inc();
+//! pushes.add(2);
+//! assert_eq!(pushes.get(), 3);
+//! assert!(registry.render().contains("counter server.pushes 3"));
+//! ```
+//!
+//! Most code uses the process-wide [`global`] registry instead of
+//! constructing its own.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Whether a metric's value is reproducible for a deterministic
+/// workload, or depends on wall-clock timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stability {
+    /// Pure event counts/sizes: identical across reruns of a
+    /// deterministic workload, for any thread count.
+    Deterministic,
+    /// Wall-clock-derived values (e.g. latency histograms): excluded
+    /// from deterministic renders and pinned-value tests.
+    Wallclock,
+}
+
+/// A monotonically increasing event counter.
+///
+/// Cloning yields another handle to the same underlying cell.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value (reads even while the registry is disabled).
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (e.g. a table size published
+/// at scrape time).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCells {
+    /// Upper bucket bounds, strictly increasing; an implicit `+inf`
+    /// bucket follows the last bound.
+    bounds: Vec<u64>,
+    /// Per-bucket (non-cumulative) observation counts;
+    /// `len == bounds.len() + 1`.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram of integer observations (latencies in
+/// microseconds, sizes in bytes, …).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    cells: Arc<HistogramCells>,
+}
+
+/// Power-of-four size buckets (bytes), 64 B … 16 MiB.
+pub const SIZE_BUCKETS: &[u64] = &[
+    64,
+    256,
+    1 << 10,
+    4 << 10,
+    16 << 10,
+    64 << 10,
+    256 << 10,
+    1 << 20,
+    4 << 20,
+    16 << 20,
+];
+
+/// Latency buckets (microseconds), 50 µs … 1 s.
+pub const LATENCY_BUCKETS_US: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000, 250_000, 1_000_000,
+];
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let c = &self.cells;
+        let idx = c.bounds.partition_point(|&b| b < v);
+        c.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.cells.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.cells.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// One registered metric (name + help + stability + the live cells).
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    stability: Stability,
+    slot: Slot,
+}
+
+/// A set of metrics with named, idempotent registration and a
+/// deterministic text exposition.
+///
+/// Registration is cold-path (a mutex-guarded name table); returned
+/// handles are lock-free. Registering a name twice returns a handle to
+/// the *same* cells, so `OnceLock`-style lazy handle structs are safe
+/// even if two subsystems race to register.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: Arc<AtomicBool>,
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty, enabled registry.
+    pub fn new() -> Self {
+        Self {
+            enabled: Arc::new(AtomicBool::new(true)),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Flips the kill switch: while disabled, every handle's
+    /// `inc`/`add`/`set`/`observe` is a no-op (values are frozen, reads
+    /// still work). Used by the inertness acceptance tests.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether handles currently record.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Entry>> {
+        // Metric cells are plain atomics: they are valid after any
+        // panic, so a poisoned registration table is safe to reuse.
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn register(&self, name: &str, stability: Stability, make: impl FnOnce(&Self) -> Slot) -> Slot {
+        let mut entries = self.lock();
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            return e.slot.clone();
+        }
+        let slot = make(self);
+        entries.push(Entry {
+            name: name.to_owned(),
+            stability,
+            slot: slot.clone(),
+        });
+        slot
+    }
+
+    /// Registers (or re-resolves) a deterministic counter.
+    pub fn counter(&self, name: &str, _help: &str) -> Counter {
+        match self.register(name, Stability::Deterministic, |r| {
+            Slot::Counter(Counter {
+                enabled: Arc::clone(&r.enabled),
+                cell: Arc::new(AtomicU64::new(0)),
+            })
+        }) {
+            Slot::Counter(c) => c,
+            other => panic!("metric `{name}` already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or re-resolves) a gauge.
+    pub fn gauge(&self, name: &str, _help: &str) -> Gauge {
+        match self.register(name, Stability::Deterministic, |r| {
+            Slot::Gauge(Gauge {
+                enabled: Arc::clone(&r.enabled),
+                cell: Arc::new(AtomicI64::new(0)),
+            })
+        }) {
+            Slot::Gauge(g) => g,
+            other => panic!("metric `{name}` already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or re-resolves) a histogram over `bounds` (strictly
+    /// increasing upper bucket bounds; an `+inf` bucket is implicit).
+    pub fn histogram(
+        &self,
+        name: &str,
+        _help: &str,
+        bounds: &[u64],
+        stability: Stability,
+    ) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram `{name}`: bounds must be strictly increasing"
+        );
+        match self.register(name, stability, |r| {
+            Slot::Histogram(Histogram {
+                enabled: Arc::clone(&r.enabled),
+                cells: Arc::new(HistogramCells {
+                    bounds: bounds.to_vec(),
+                    buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                    count: AtomicU64::new(0),
+                    sum: AtomicU64::new(0),
+                }),
+            })
+        }) {
+            Slot::Histogram(h) => h,
+            other => panic!("metric `{name}` already registered as a {}", other.kind()),
+        }
+    }
+
+    /// A point-in-time copy of every registered metric's value.
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self.lock();
+        let mut values = BTreeMap::new();
+        for e in entries.iter() {
+            let v = match &e.slot {
+                Slot::Counter(c) => Value::Counter(c.get()),
+                Slot::Gauge(g) => Value::Gauge(g.get()),
+                Slot::Histogram(h) => Value::Histogram {
+                    count: h.count(),
+                    sum: h.sum(),
+                    bounds: h.cells.bounds.clone(),
+                    buckets: h
+                        .cells
+                        .buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect(),
+                },
+            };
+            values.insert(
+                e.name.clone(),
+                SnapEntry {
+                    stability: e.stability,
+                    value: v,
+                },
+            );
+        }
+        Snapshot { values }
+    }
+
+    /// The growth since `base`: counters and histograms are subtracted
+    /// (metrics absent from `base` count from zero); gauges keep their
+    /// current value (a gauge delta is meaningless). Used for
+    /// experiment-scoped metric blocks in a long-lived process.
+    pub fn delta_since(&self, base: &Snapshot) -> Snapshot {
+        let mut now = self.snapshot();
+        for (name, entry) in &mut now.values {
+            if let Some(prev) = base.values.get(name) {
+                entry.value = entry.value.minus(&prev.value);
+            }
+        }
+        now
+    }
+
+    /// The full versioned text exposition (see the module docs).
+    pub fn render(&self) -> String {
+        self.snapshot().render()
+    }
+}
+
+/// The process-wide registry every subsystem's static handles live in.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// One metric's value inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram state (non-cumulative buckets; `buckets.len() ==
+    /// bounds.len() + 1`, the last being `+inf`).
+    Histogram {
+        /// Total observations.
+        count: u64,
+        /// Sum of observed values.
+        sum: u64,
+        /// Upper bucket bounds.
+        bounds: Vec<u64>,
+        /// Per-bucket observation counts.
+        buckets: Vec<u64>,
+    },
+}
+
+impl Value {
+    fn minus(&self, base: &Value) -> Value {
+        match (self, base) {
+            (Value::Counter(a), Value::Counter(b)) => Value::Counter(a.saturating_sub(*b)),
+            (
+                Value::Histogram {
+                    count,
+                    sum,
+                    bounds,
+                    buckets,
+                },
+                Value::Histogram {
+                    count: c0,
+                    sum: s0,
+                    buckets: b0,
+                    ..
+                },
+            ) => Value::Histogram {
+                count: count.saturating_sub(*c0),
+                sum: sum.saturating_sub(*s0),
+                bounds: bounds.clone(),
+                buckets: buckets
+                    .iter()
+                    .zip(b0.iter().chain(std::iter::repeat(&0)))
+                    .map(|(a, b)| a.saturating_sub(*b))
+                    .collect(),
+            },
+            // Gauges (and kind changes, which cannot happen through the
+            // registry) keep the current value.
+            _ => self.clone(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SnapEntry {
+    stability: Stability,
+    value: Value,
+}
+
+/// An immutable, name-sorted copy of a registry's metrics, comparable
+/// and renderable. Produced by [`Registry::snapshot`] and
+/// [`Registry::delta_since`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    values: BTreeMap<String, SnapEntry>,
+}
+
+impl Snapshot {
+    /// The snapshot restricted to [`Stability::Deterministic`] metrics —
+    /// the set safe to pin in tests and print in reproducible reports.
+    #[must_use]
+    pub fn deterministic(&self) -> Snapshot {
+        Snapshot {
+            values: self
+                .values
+                .iter()
+                .filter(|(_, e)| e.stability == Stability::Deterministic)
+                .map(|(k, e)| (k.clone(), e.clone()))
+                .collect(),
+        }
+    }
+
+    /// The snapshot restricted to metrics whose name passes `keep`.
+    #[must_use]
+    pub fn filter(&self, mut keep: impl FnMut(&str) -> bool) -> Snapshot {
+        Snapshot {
+            values: self
+                .values
+                .iter()
+                .filter(|(k, _)| keep(k))
+                .map(|(k, e)| (k.clone(), e.clone()))
+                .collect(),
+        }
+    }
+
+    /// The snapshot without gauges. Gauges carry scrape-time
+    /// instantaneous values, so they are meaningless inside an
+    /// experiment-scoped delta block; counters and histograms remain.
+    #[must_use]
+    pub fn without_gauges(&self) -> Snapshot {
+        Snapshot {
+            values: self
+                .values
+                .iter()
+                .filter(|(_, e)| !matches!(e.value, Value::Gauge(_)))
+                .map(|(k, e)| (k.clone(), e.clone()))
+                .collect(),
+        }
+    }
+
+    /// The snapshot without zero-valued counters and empty histograms
+    /// (gauges are kept): the interesting subset of a delta.
+    #[must_use]
+    pub fn nonzero(&self) -> Snapshot {
+        Snapshot {
+            values: self
+                .values
+                .iter()
+                .filter(|(_, e)| match &e.value {
+                    Value::Counter(v) => *v != 0,
+                    Value::Histogram { count, .. } => *count != 0,
+                    Value::Gauge(_) => true,
+                })
+                .map(|(k, e)| (k.clone(), e.clone()))
+                .collect(),
+        }
+    }
+
+    /// A named counter's value (0 when absent or not a counter).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.values.get(name).map(|e| &e.value) {
+            Some(Value::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// A named gauge's value (0 when absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> i64 {
+        match self.values.get(name).map(|e| &e.value) {
+            Some(Value::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// `(count, sum)` of a named histogram (zeros when absent).
+    pub fn histogram(&self, name: &str) -> (u64, u64) {
+        match self.values.get(name).map(|e| &e.value) {
+            Some(Value::Histogram { count, sum, .. }) => (*count, *sum),
+            _ => (0, 0),
+        }
+    }
+
+    /// Number of metrics in the snapshot.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the snapshot holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The versioned text exposition of this snapshot (sorted by name;
+    /// see the module docs for the format).
+    pub fn render(&self) -> String {
+        let mut out = String::from("# cbs-telemetry v1\n");
+        for (name, e) in &self.values {
+            match &e.value {
+                Value::Counter(v) => {
+                    let _ = writeln!(out, "counter {name} {v}");
+                }
+                Value::Gauge(v) => {
+                    let _ = writeln!(out, "gauge {name} {v}");
+                }
+                Value::Histogram {
+                    count,
+                    sum,
+                    bounds,
+                    buckets,
+                } => {
+                    let _ = write!(out, "histogram {name} count={count} sum={sum}");
+                    let mut cum = 0u64;
+                    for (i, b) in buckets.iter().enumerate() {
+                        cum += b;
+                        match bounds.get(i) {
+                            Some(bound) => {
+                                let _ = write!(out, " le{bound}={cum}");
+                            }
+                            None => {
+                                let _ = write!(out, " inf={cum}");
+                            }
+                        }
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Parses one counter line of an exposition (`counter <name> <value>`)
+/// — the scrape helper used by smoke scripts and tests.
+pub fn parse_counter(exposition: &str, name: &str) -> Option<u64> {
+    exposition.lines().find_map(|line| {
+        let mut parts = line.split_whitespace();
+        (parts.next() == Some("counter") && parts.next() == Some(name))
+            .then(|| parts.next()?.parse().ok())
+            .flatten()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_roundtrip_through_render() {
+        let r = Registry::new();
+        let c = r.counter("a.count", "events");
+        let g = r.gauge("b.gauge", "level");
+        let h = r.histogram("c.hist", "sizes", &[10, 100], Stability::Deterministic);
+        c.add(3);
+        g.set(-7);
+        h.observe(5);
+        h.observe(50);
+        h.observe(500);
+        let text = r.render();
+        assert_eq!(
+            text,
+            "# cbs-telemetry v1\n\
+             counter a.count 3\n\
+             gauge b.gauge -7\n\
+             histogram c.hist count=3 sum=555 le10=1 le100=2 inf=3\n"
+        );
+        assert_eq!(parse_counter(&text, "a.count"), Some(3));
+        assert_eq!(parse_counter(&text, "missing"), None);
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_shares_cells() {
+        let r = Registry::new();
+        let a = r.counter("same", "");
+        let b = r.counter("same", "");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(r.snapshot().counter("same"), 2);
+        assert_eq!(r.snapshot().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x", "");
+        let _ = r.gauge("x", "");
+    }
+
+    #[test]
+    fn kill_switch_freezes_values() {
+        let r = Registry::new();
+        let c = r.counter("k", "");
+        let h = r.histogram("kh", "", &[1], Stability::Deterministic);
+        c.inc();
+        r.set_enabled(false);
+        assert!(!r.is_enabled());
+        c.add(100);
+        h.observe(1);
+        assert_eq!(c.get(), 1, "disabled handles are no-ops");
+        assert_eq!(h.count(), 0);
+        r.set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn deltas_subtract_counters_and_histograms_but_not_gauges() {
+        let r = Registry::new();
+        let c = r.counter("c", "");
+        let g = r.gauge("g", "");
+        let h = r.histogram("h", "", &[10], Stability::Deterministic);
+        c.add(5);
+        g.set(5);
+        h.observe(3);
+        let base = r.snapshot();
+        c.add(2);
+        g.set(9);
+        h.observe(30);
+        let d = r.delta_since(&base);
+        assert_eq!(d.counter("c"), 2);
+        assert_eq!(d.gauge("g"), 9, "gauges stay absolute");
+        assert_eq!(d.histogram("h"), (1, 30));
+        // A metric registered after the base snapshot counts from zero.
+        let late = r.counter("late", "");
+        late.add(4);
+        assert_eq!(r.delta_since(&base).counter("late"), 4);
+    }
+
+    #[test]
+    fn stability_filter_drops_wallclock_metrics() {
+        let r = Registry::new();
+        let lat = r.histogram("lat", "", &[1], Stability::Wallclock);
+        let c = r.counter("ok", "");
+        lat.observe(9);
+        c.inc();
+        let det = r.snapshot().deterministic();
+        assert_eq!(det.len(), 1);
+        assert_eq!(det.counter("ok"), 1);
+        assert!(!det.render().contains("lat"));
+    }
+
+    #[test]
+    fn nonzero_filter_drops_idle_counters() {
+        let r = Registry::new();
+        let _idle = r.counter("idle", "");
+        let busy = r.counter("busy", "");
+        busy.inc();
+        let nz = r.snapshot().nonzero();
+        assert_eq!(nz.len(), 1);
+        assert_eq!(nz.counter("busy"), 1);
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let r = Registry::new();
+        let _z = r.counter("z", "");
+        let _a = r.counter("a", "");
+        let rendered = r.render();
+        let lines: Vec<&str> = rendered.lines().skip(1).collect();
+        assert_eq!(lines, ["counter a 0", "counter z 0"]);
+        assert_eq!(r.render(), r.render());
+    }
+
+    #[test]
+    fn concurrent_increments_sum_exactly() {
+        let r = Registry::new();
+        let c = r.counter("sum", "");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+}

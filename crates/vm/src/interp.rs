@@ -12,10 +12,31 @@ use crate::config::VmConfig;
 use crate::error::VmError;
 use crate::events::{CallEvent, NullProfiler, Profiler, StackSlice, ThreadId};
 use crate::frame::Frame;
+use crate::metrics::VmMetrics;
 use crate::report::ExecReport;
 use crate::value::{Heap, Value};
 use cbs_bytecode::{MethodId, Op, Program};
 use cbs_dcg::CallEdge;
+
+/// Run-local fused-dispatch tally, flushed to telemetry on drop so every
+/// exit path — clean completion, traps, `OutOfFuel` — reports. Keeping
+/// the counts in plain fields means the superinstruction fast path never
+/// touches an atomic; the two `fetch_add`s happen once per `run_with`.
+#[derive(Default)]
+struct FusedTally {
+    runs: u64,
+    bails: u64,
+}
+
+impl Drop for FusedTally {
+    fn drop(&mut self) {
+        if self.runs != 0 || self.bails != 0 {
+            let m = VmMetrics::get();
+            m.fused_runs.add(self.runs);
+            m.fused_bails.add(self.bails);
+        }
+    }
+}
 
 /// A configured virtual machine, ready to run a program.
 ///
@@ -380,6 +401,7 @@ impl<'p> Vm<'p> {
         // fuel check branchless in spirit: one compare, always false.
         let budget = self.config.max_cycles.unwrap_or(u64::MAX);
         let mut live = threads.len();
+        let mut fused_tally = FusedTally::default();
 
         while live > 0 {
             if threads[cur].done {
@@ -414,7 +436,12 @@ impl<'p> Vm<'p> {
                 // interpret the same ops one at a time.
                 if let Some(f) = fused[pc as usize].as_deref() {
                     let end_clock = clock + f.total_cost;
-                    if next_tick > end_clock && end_clock <= budget {
+                    if next_tick <= end_clock || end_clock > budget {
+                        // A tick or fuel boundary lands inside the run:
+                        // bail to per-op execution so the boundary is
+                        // observed at its exact cycle.
+                        fused_tally.bails += 1;
+                    } else {
                         let next = match &f.kind {
                             FusedKind::WorkRun { slot, steps } => {
                                 if let Value::Int(mut x) = frame.locals()[usize::from(*slot)] {
@@ -458,11 +485,15 @@ impl<'p> Vm<'p> {
                             }
                         };
                         if let Some(next_pc) = next {
+                            fused_tally.runs += 1;
                             clock = end_clock;
                             instructions += f.num_ops;
                             pc = next_pc;
                             continue;
                         }
+                        // Operand shape mismatch (a non-`Int` where the
+                        // per-op path could trap): bail to per-op.
+                        fused_tally.bails += 1;
                     }
                 }
 

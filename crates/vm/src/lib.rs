@@ -55,6 +55,7 @@ mod error;
 mod events;
 mod frame;
 mod interp;
+pub mod metrics;
 mod report;
 mod value;
 
@@ -64,5 +65,6 @@ pub use error::VmError;
 pub use events::{CallEvent, FrameInfo, NullProfiler, Profiler, StackSlice, ThreadId, ROOT_SITE};
 pub use frame::Frame;
 pub use interp::Vm;
+pub use metrics::VmMetrics;
 pub use report::ExecReport;
 pub use value::{Heap, ObjRef, Value};

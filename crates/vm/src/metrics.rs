@@ -1,0 +1,41 @@
+//! Static telemetry handles for the VM (`vm.*` metrics).
+//!
+//! Counters are process-global and deterministic: fused-run dispatch
+//! depends only on the program, the cost model, and the timer schedule,
+//! so the same workload produces the same counts for any thread
+//! interleaving. The interpreter accumulates into plain locals on the
+//! hot path and flushes once per `run_with` exit (see
+//! `interp::FusedTally`), so per-op dispatch never touches an atomic.
+
+use cbs_telemetry::{global, Counter};
+use std::sync::OnceLock;
+
+/// The VM metric handles. Obtain via [`VmMetrics::get`].
+#[derive(Debug)]
+pub struct VmMetrics {
+    /// Fused superinstruction runs executed in one dispatch.
+    pub fused_runs: Counter,
+    /// Fused entries that fell back to per-op interpretation — a tick
+    /// or fuel boundary inside the run, or a non-`Int` operand.
+    pub fused_bails: Counter,
+}
+
+impl VmMetrics {
+    /// The process-wide handles, registered on first call.
+    pub fn get() -> &'static VmMetrics {
+        static HANDLES: OnceLock<VmMetrics> = OnceLock::new();
+        HANDLES.get_or_init(|| {
+            let r = global();
+            VmMetrics {
+                fused_runs: r.counter(
+                    "vm.fused_runs",
+                    "fused superinstruction runs executed in one dispatch",
+                ),
+                fused_bails: r.counter(
+                    "vm.fused_bails",
+                    "fused entries that fell back to per-op interpretation",
+                ),
+            }
+        })
+    }
+}

@@ -75,6 +75,22 @@ timeout 60 "$DCGTOOL" pull "$ADDR" "$SMOKE_DIR/merged.dcg"
 cmp "$SMOKE_DIR/a.dcg" "$SMOKE_DIR/merged.dcg" \
   || { echo "FAIL: pulled fleet profile differs from the single pushed snapshot" >&2; exit 1; }
 
+echo "==> profiled telemetry smoke (OP_METRICS scrape matches the traffic above)"
+# Exactly one push and one pull were issued against this server, so the
+# scraped counters must agree; the scrape itself is timeout-bounded.
+timeout 60 "$DCGTOOL" metrics "$ADDR" > "$SMOKE_DIR/metrics.txt"
+head -n 1 "$SMOKE_DIR/metrics.txt" | grep -q '^# cbs-telemetry v1$' \
+  || { echo "FAIL: metrics exposition missing its version header" >&2; exit 1; }
+grep -q '^counter profiled\.server\.op\.push 1$' "$SMOKE_DIR/metrics.txt" \
+  || { echo "FAIL: push counter does not match the one push issued" >&2;
+       cat "$SMOKE_DIR/metrics.txt" >&2; exit 1; }
+grep -q '^counter profiled\.server\.op\.pull 1$' "$SMOKE_DIR/metrics.txt" \
+  || { echo "FAIL: pull counter does not match the one pull issued" >&2;
+       cat "$SMOKE_DIR/metrics.txt" >&2; exit 1; }
+grep -q '^counter profiled\.server\.err_replies 0$' "$SMOKE_DIR/metrics.txt" \
+  || { echo "FAIL: clean smoke produced error replies" >&2;
+       cat "$SMOKE_DIR/metrics.txt" >&2; exit 1; }
+
 echo "==> profiled fault-injection smoke (resilient push/pull over a faulty link)"
 # A fresh server, and a client whose every exchange runs through the
 # deterministic fault injector (seeded schedule, ~30% fault rate): the

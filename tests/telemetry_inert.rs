@@ -1,0 +1,60 @@
+//! Telemetry acceptance: metrics are provably inert (every rendered
+//! artifact is byte-identical with telemetry on or off) and the
+//! deterministic counters pin to exact values for a seeded serial run.
+//!
+//! The whole scenario lives in one `#[test]` so nothing else in this
+//! binary races the process-global registry while deltas are measured
+//! or the kill switch is toggled.
+
+use cbs_core::experiments::fleet_with;
+use cbs_core::parallel::Parallelism;
+use cbs_core::telemetry;
+
+#[test]
+fn fleet_is_bit_identical_with_telemetry_on_or_off_and_counters_pin() {
+    let registry = telemetry::global();
+    assert!(registry.is_enabled(), "telemetry defaults to on");
+
+    // Run 1 (telemetry on): pin the deterministic counter deltas for
+    // the seeded serial fleet experiment at scale 0.01.
+    let base = registry.snapshot();
+    let run1 = fleet_with(0.01, Parallelism::SERIAL)
+        .expect("runs")
+        .render();
+    let d1 = registry.delta_since(&base).deterministic().without_gauges();
+
+    let pin = |name: &str, want: u64| {
+        assert_eq!(d1.counter(name), want, "counter {name}");
+    };
+    // 13 benchmarks x 4 VMs x (snapshot + delta) frames.
+    pin("profiled.agg.frames", 104);
+    pin("profiled.agg.records", 10_576);
+    pin("cbs.samples", 16_350);
+    pin("cbs.windows", 1_022);
+    assert!(d1.counter("vm.fused_runs") > 0);
+
+    // Run 2 (telemetry on): the render and the *entire* deterministic
+    // delta repeat byte-for-byte.
+    let base = registry.snapshot();
+    let run2 = fleet_with(0.01, Parallelism::SERIAL)
+        .expect("runs")
+        .render();
+    let d2 = registry.delta_since(&base).deterministic().without_gauges();
+    assert_eq!(run1, run2, "fleet render is deterministic");
+    assert_eq!(d1.render(), d2.render(), "counter deltas repeat exactly");
+
+    // Run 3 (telemetry off): same render bytes, zero counter movement.
+    registry.set_enabled(false);
+    let base = registry.snapshot();
+    let run3 = fleet_with(0.01, Parallelism::SERIAL)
+        .expect("runs")
+        .render();
+    let d3 = registry.delta_since(&base);
+    registry.set_enabled(true);
+    assert_eq!(run1, run3, "telemetry changed the rendered artifact");
+    assert!(
+        d3.deterministic().without_gauges().nonzero().is_empty(),
+        "disabled telemetry still moved counters:\n{}",
+        d3.nonzero().render()
+    );
+}
