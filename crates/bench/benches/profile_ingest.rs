@@ -9,8 +9,15 @@
 //! * `codec/encode` and `codec/decode` — the wire format alone;
 //! * `aggregate/shards=N/serial` — one thread ingesting every frame
 //!   into an aggregator with N ∈ {1, 4, 8} shards;
+//! * `aggregate/shards=N/streaming` — the server's zero-copy path:
+//!   encoded frames fold straight into the shards via
+//!   `ingest_frame_bytes` with a pooled partition scratch;
 //! * `aggregate/shards=N/threads=4` — four pusher threads splitting the
-//!   frames, where shard count governs lock contention.
+//!   frames, where shard count governs lock contention;
+//! * `pull/rebuild` — a merged-snapshot pull whose cache was just
+//!   invalidated (epoch advance), i.e. the full lock-merge-encode cost;
+//! * `pull/cached` — the same pull against a warm generation-stamped
+//!   cache (the repeated-`OP_PULL` fast path, O(1) per request).
 //!
 //! Emits `BENCH_ingest.json` at the repo root (skipped in smoke mode,
 //! like every other bench artifact).
@@ -18,7 +25,7 @@
 use cbs_bench::{smoke_mode, BenchGroup, BenchResult};
 use cbs_core::bytecode::{CallSiteId, MethodId};
 use cbs_core::dcg::CallEdge;
-use cbs_core::profiled::{AggregatorConfig, DcgCodec, DcgFrame, ShardedAggregator};
+use cbs_core::profiled::{AggregatorConfig, DcgCodec, DcgFrame, IngestScratch, ShardedAggregator};
 
 const EDGES: usize = 50_000;
 const FRAMES: usize = 64;
@@ -128,6 +135,23 @@ fn main() {
             &serial,
         ));
 
+        let streaming = group
+            .bench(&format!("aggregate/shards={shards}/streaming"), || {
+                let agg = ShardedAggregator::new(AggregatorConfig::with_shards(shards));
+                let mut scratch = IngestScratch::new();
+                for frame in &frames {
+                    agg.ingest_frame_bytes(frame, &mut scratch)
+                        .expect("own encoding ingests");
+                }
+                agg.stats().records
+            })
+            .clone();
+        entries.push(json_entry(
+            &format!("aggregate/shards={shards}/streaming"),
+            EDGES,
+            &streaming,
+        ));
+
         let threaded = group
             .bench(
                 &format!("aggregate/shards={shards}/threads={PUSHERS}"),
@@ -153,6 +177,33 @@ fn main() {
             &threaded,
         ));
     }
+
+    // Pull-side costs against a fully loaded 8-shard aggregator:
+    // `pull/rebuild` pays the lock-merge-encode path every iteration
+    // (decay is 1.0, so the epoch advance changes no weight — it only
+    // invalidates the cache); `pull/cached` measures the steady-state
+    // hit path repeated `OP_PULL`s ride.
+    let loaded = ShardedAggregator::new(AggregatorConfig::with_shards(8));
+    {
+        let mut scratch = IngestScratch::new();
+        for frame in &frames {
+            loaded
+                .ingest_frame_bytes(frame, &mut scratch)
+                .expect("own encoding ingests");
+        }
+    }
+    let snapshot_edges = loaded.merged_snapshot().num_edges();
+    let rebuild = group
+        .bench("pull/rebuild", || {
+            loaded.advance_epoch();
+            loaded.encoded_snapshot().len()
+        })
+        .clone();
+    entries.push(json_entry("pull/rebuild", snapshot_edges, &rebuild));
+    let cached = group
+        .bench("pull/cached", || loaded.encoded_snapshot().len())
+        .clone();
+    entries.push(json_entry("pull/cached", snapshot_edges, &cached));
 
     if smoke_mode() {
         eprintln!("profile_ingest: smoke mode, skipping BENCH_ingest.json");

@@ -28,6 +28,15 @@ impl CallEdge {
             callee,
         }
     }
+
+    /// Packs the edge into a `u128` whose numeric order equals the
+    /// derived lexicographic [`Ord`] (caller, then site, then callee) —
+    /// a single-word comparison key for sort-heavy internal paths.
+    pub(crate) fn sort_key(self) -> u128 {
+        (u128::from(u32::from(self.caller)) << 64)
+            | (u128::from(u32::from(self.site)) << 32)
+            | u128::from(u32::from(self.callee))
+    }
 }
 
 impl fmt::Display for CallEdge {

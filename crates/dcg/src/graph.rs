@@ -1,6 +1,7 @@
 //! The weighted dynamic call graph.
 
 use crate::edge::CallEdge;
+use crate::hash::EdgeHashBuilder;
 use cbs_bytecode::{CallSiteId, MethodId};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -28,9 +29,12 @@ use std::collections::HashMap;
 ///
 /// Determinism is preserved by the *sorted-at-boundary invariant*: a
 /// permutation of the slots in ascending edge order is maintained on
-/// (rare) first-insertions, and **every** iteration and floating-point
-/// reduction — [`iter`], [`merge`], totals, per-method and per-site sums
-/// — walks edges in that order. Iteration order is therefore the edge
+/// (rare) first-insertions — eagerly for single records, amortized for
+/// bulk ingestion ([`record_all_deferred`] defers it entirely until
+/// [`seal`], which always produces the same unique permutation) — and
+/// **every** iteration and floating-point reduction — [`iter`],
+/// [`merge`], totals, per-method and per-site sums — walks edges in
+/// that order. Iteration order is therefore the edge
 /// order, exactly as with the previous `BTreeMap` store: every reduction
 /// over a graph visits edges identically on every run and on every shard
 /// of a parallel experiment, which is what keeps the sharded experiment
@@ -39,16 +43,25 @@ use std::collections::HashMap;
 /// [`record_sample`]: Self::record_sample
 /// [`iter`]: Self::iter
 /// [`merge`]: Self::merge
+/// [`record_all_deferred`]: Self::record_all_deferred
+/// [`seal`]: Self::seal
 #[derive(Debug, Clone, Default)]
 pub struct DynamicCallGraph {
-    /// Edge → dense slot.
-    index: HashMap<CallEdge, u32>,
+    /// Edge → dense slot. Keyed by a fast deterministic hasher: the map
+    /// is a pure index whose iteration order is never observed (all
+    /// walks go through `sorted`), so swapping SipHash out cannot
+    /// change any output bit.
+    index: HashMap<CallEdge, u32, EdgeHashBuilder>,
     /// Slot → edge, in first-observation order.
     edges: Vec<CallEdge>,
     /// Slot → accumulated weight (parallel to `edges`).
     weights: Vec<f64>,
     /// Slots in ascending edge order (the sorted-at-boundary invariant).
     sorted: Vec<u32>,
+    /// Freshly interned slots not yet merged into `sorted` — the
+    /// unsealed tail of a deferred bulk ingest (see [`seal`](Self::seal)).
+    /// Empty whenever the graph is read.
+    pending: Vec<u32>,
     /// Slot → weight as of the last [`drain_delta`](Self::drain_delta)
     /// call (lazily grown; empty until the first drain).
     flushed: Vec<f64>,
@@ -76,6 +89,92 @@ impl DynamicCallGraph {
                 self.sorted.insert(pos, slot);
             }
         }
+    }
+
+    /// [`bump`](Self::bump) with the sorted-permutation maintenance
+    /// deferred: freshly interned slots go onto `self.pending` instead
+    /// of being spliced into `sorted` one by one; [`seal`](Self::seal)
+    /// restores the invariant once per batch (or once per *many*
+    /// batches — the profile server seals a shard only when it is about
+    /// to be read). A deferred ingest of `k` new edges costs `O(k)`
+    /// hash inserts now plus one `O(n + k log k)` seal later, instead
+    /// of the `O(n·k)` of `k` eager vector splices.
+    fn bump_deferred(&mut self, edge: CallEdge, weight: f64) {
+        match self.index.entry(edge) {
+            Entry::Occupied(slot) => self.weights[*slot.get() as usize] += weight,
+            Entry::Vacant(v) => {
+                let slot = self.edges.len() as u32;
+                v.insert(slot);
+                self.edges.push(edge);
+                self.weights.push(weight);
+                self.pending.push(slot);
+            }
+        }
+    }
+
+    /// Returns `true` when the sorted-at-boundary invariant currently
+    /// holds (no deferred slots outstanding). Reads that walk the
+    /// sorted permutation require a sealed graph.
+    pub fn is_sealed(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Restores the sorted-at-boundary invariant after deferred bulk
+    /// ingestion ([`record_all_deferred`](Self::record_all_deferred)):
+    /// merges the pending slots into the sorted permutation. Edges are
+    /// unique per slot (pending slots are freshly interned, so no
+    /// pending edge equals an existing one), so the result is the
+    /// *unique* ascending-edge permutation — identical to having
+    /// spliced each slot in eagerly, no matter how the ingestion was
+    /// batched. Idempotent and O(1) when already sealed.
+    pub fn seal(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        // Materialize packed comparison keys once (`pending` holds
+        // slots in interning order, so this reads `edges` forward) —
+        // sorting gathered 12-byte edges through a key closure would
+        // re-load a random slot per comparison.
+        let mut keyed: Vec<(u128, u32)> = pending
+            .iter()
+            .map(|&s| (self.edges[s as usize].sort_key(), s))
+            .collect();
+        keyed.sort_unstable();
+        let old = &self.sorted;
+        let edges = &self.edges;
+        let k = keyed.len();
+        let n = old.len();
+        let mut merged = Vec::with_capacity(n + k);
+        if n > 0 && k * (n.ilog2() as usize + 1) < n {
+            // Few new edges, large permutation: gallop. Each pending
+            // slot's position is found by binary search and the run of
+            // old slots before it is bulk-copied — `O(k log n)` gathered
+            // comparisons plus one memcpy of the permutation.
+            let mut i = 0;
+            for &(key, slot) in &keyed {
+                let run = old[i..].partition_point(|&s| edges[s as usize].sort_key() < key);
+                merged.extend_from_slice(&old[i..i + run]);
+                merged.push(slot);
+                i += run;
+            }
+            merged.extend_from_slice(&old[i..]);
+        } else {
+            // Comparable sizes: element-wise linear merge, `O(n + k)`.
+            let (mut i, mut j) = (0, 0);
+            while i < n && j < k {
+                if edges[old[i] as usize].sort_key() < keyed[j].0 {
+                    merged.push(old[i]);
+                    i += 1;
+                } else {
+                    merged.push(keyed[j].1);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&old[i..]);
+            merged.extend(keyed[j..].iter().map(|&(_, s)| s));
+        }
+        self.sorted = merged;
     }
 
     /// Records `weight` additional observations of `edge`.
@@ -107,9 +206,48 @@ impl DynamicCallGraph {
     /// on how the batch was split.
     pub fn record_batch(&mut self, edges: &[CallEdge]) {
         for &edge in edges {
-            self.bump(edge, 1.0);
+            self.bump_deferred(edge, 1.0);
         }
+        self.seal();
         self.total += edges.len() as f64;
+    }
+
+    /// Records a batch of weighted `(edge, weight)` observations in
+    /// order — the bulk entry point of the fleet profile server's
+    /// ingest path.
+    ///
+    /// Exactly equivalent to calling [`record`](Self::record) per
+    /// record: the same invalid weights are ignored and the same
+    /// floating-point additions happen in the same order, so the
+    /// resulting graph — weights, iteration order, and the exact
+    /// running total — is bit-identical. The difference is purely
+    /// mechanical: the sorted permutation is rebuilt once per batch
+    /// instead of once per newly observed edge, keeping bulk ingestion
+    /// linear in the batch instead of quadratic in new edges. In the
+    /// steady state (no new edges) this path performs no allocation.
+    pub fn record_all(&mut self, records: &[(CallEdge, f64)]) {
+        self.record_all_deferred(records);
+        self.seal();
+    }
+
+    /// [`record_all`](Self::record_all) without the final
+    /// [`seal`](Self::seal): weights (and the running total) are fully
+    /// applied and point lookups ([`weight`](Self::weight)) see them,
+    /// but the sorted permutation is left stale until the caller seals.
+    ///
+    /// This is the aggregator's write-side fast path: a shard absorbing
+    /// thousands of frames between snapshot pulls pays for permutation
+    /// maintenance once per *pull* instead of once per frame. Every
+    /// ordered read (iteration, merge, drain, totals recomputation)
+    /// requires a sealed graph — debug builds assert it.
+    pub fn record_all_deferred(&mut self, records: &[(CallEdge, f64)]) {
+        for &(edge, weight) in records {
+            if weight <= 0.0 || !weight.is_finite() {
+                continue;
+            }
+            self.bump_deferred(edge, weight);
+            self.total += weight;
+        }
     }
 
     /// Absolute weight of `edge` (0 if absent).
@@ -146,7 +284,15 @@ impl DynamicCallGraph {
     }
 
     /// Iterates over `(edge, weight)` pairs in ascending edge order.
+    ///
+    /// Requires a sealed graph (the default everywhere except between a
+    /// [`record_all_deferred`](Self::record_all_deferred) and its
+    /// [`seal`](Self::seal); debug builds assert).
     pub fn iter(&self) -> impl Iterator<Item = (&CallEdge, f64)> + '_ {
+        debug_assert!(
+            self.is_sealed(),
+            "ordered read of an unsealed graph: call seal() after record_all_deferred()"
+        );
         self.sorted
             .iter()
             .map(move |&s| (&self.edges[s as usize], self.weights[s as usize]))
@@ -185,15 +331,17 @@ impl DynamicCallGraph {
     /// weights (every sampling and exhaustive profiler records unit
     /// samples) merging is exactly commutative and associative.
     pub fn merge(&mut self, other: &DynamicCallGraph) {
+        debug_assert!(other.is_sealed(), "merge source must be sealed");
         for (&e, w) in other
             .sorted
             .iter()
             .map(|&s| (&other.edges[s as usize], other.weights[s as usize]))
         {
             if w > 0.0 {
-                self.bump(e, w);
+                self.bump_deferred(e, w);
             }
         }
+        self.seal();
         self.recompute_total();
     }
 
@@ -217,6 +365,7 @@ impl DynamicCallGraph {
     /// weights after bulk operations, so `overlap(g, g) == 100` holds for
     /// merged graphs to within one rounding step per edge.
     fn recompute_total(&mut self) {
+        debug_assert!(self.is_sealed(), "recompute_total needs the sorted order");
         // `Sum<f64>` folds from `-0.0` (the IEEE additive identity), so
         // an empty sum is `-0.0` while a fresh graph's field default is
         // `+0.0`. Adding `+0.0` canonicalizes `-0.0` to `+0.0` and is a
@@ -251,6 +400,7 @@ impl DynamicCallGraph {
     ///
     /// [`decay`]: Self::decay
     pub fn drain_delta(&mut self) -> Vec<(CallEdge, f64)> {
+        self.seal();
         self.flushed.resize(self.weights.len(), 0.0);
         let mut out = Vec::new();
         for &s in &self.sorted {
@@ -273,6 +423,7 @@ impl DynamicCallGraph {
     /// Panics (debug builds) if `factor` is negative or non-finite.
     pub fn decay(&mut self, factor: f64, min_weight: f64) {
         debug_assert!(factor.is_finite() && factor >= 0.0);
+        self.seal();
         for w in &mut self.weights {
             *w *= factor;
         }
@@ -295,11 +446,12 @@ impl DynamicCallGraph {
             self.sorted.clear();
             self.flushed.clear();
             for (e, w, f) in survivors {
-                self.bump(e, w);
+                self.bump_deferred(e, w);
                 if had_flushed {
                     self.flushed.push(f);
                 }
             }
+            self.seal();
         }
         self.recompute_total();
     }
@@ -482,6 +634,67 @@ mod tests {
         split.record_batch(&edges[1..]);
         split.record_batch(&[]);
         assert_eq!(split, single);
+    }
+
+    #[test]
+    fn record_all_is_bit_identical_to_per_record_recording() {
+        // Interleaves new edges, repeats, invalid weights, and
+        // non-integral weights so both the deferred-permutation path and
+        // the weight contract are exercised.
+        let records: Vec<(CallEdge, f64)> = (0..200u32)
+            .map(|i| {
+                let w = match i % 5 {
+                    0 => f64::from(i) + 0.25,
+                    1 => -1.0,     // ignored
+                    2 => f64::NAN, // ignored
+                    _ => f64::from(i % 13 + 1),
+                };
+                (e(i % 17, i % 7, i % 11), w)
+            })
+            .collect();
+        let mut batched = DynamicCallGraph::new();
+        batched.record_all(&records);
+        let mut single = DynamicCallGraph::new();
+        for &(edge, w) in &records {
+            single.record(edge, w);
+        }
+        assert_eq!(batched, single);
+        assert_eq!(
+            batched.total_weight().to_bits(),
+            single.total_weight().to_bits()
+        );
+        let batched_iter: Vec<(CallEdge, u64)> =
+            batched.iter().map(|(e, w)| (*e, w.to_bits())).collect();
+        let single_iter: Vec<(CallEdge, u64)> =
+            single.iter().map(|(e, w)| (*e, w.to_bits())).collect();
+        assert_eq!(batched_iter, single_iter, "iteration order and weight bits");
+        // Splitting the batch arbitrarily changes nothing either.
+        let mut split = DynamicCallGraph::new();
+        split.record_all(&records[..37]);
+        split.record_all(&records[37..]);
+        split.record_all(&[]);
+        assert_eq!(
+            split.total_weight().to_bits(),
+            single.total_weight().to_bits()
+        );
+        assert_eq!(split, single);
+    }
+
+    #[test]
+    fn deferred_permutation_merge_keeps_iter_sorted_after_bulk_ops() {
+        // Descending-key batches force merge_pending to interleave new
+        // slots ahead of existing ones.
+        let mut g = DynamicCallGraph::new();
+        g.record_all(&[(e(9, 0, 0), 1.0), (e(5, 0, 0), 2.0)]);
+        g.record_all(&[(e(7, 0, 0), 3.0), (e(1, 0, 0), 4.0), (e(5, 0, 0), 1.0)]);
+        g.record_batch(&[e(3, 0, 0), e(0, 0, 0)]);
+        let order: Vec<CallEdge> = g.iter().map(|(edge, _)| *edge).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.weight(&e(5, 0, 0)), 3.0);
+        assert_eq!(g.total_weight(), 13.0);
     }
 
     #[test]

@@ -31,6 +31,7 @@ mod cct;
 pub mod dot;
 mod edge;
 mod graph;
+mod hash;
 mod overlap;
 pub mod serialize;
 mod static_graph;

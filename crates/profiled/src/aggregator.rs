@@ -24,12 +24,46 @@
 //! [`merged_snapshot`]: ShardedAggregator::merged_snapshot
 //! [`site_distribution`]: ShardedAggregator::site_distribution
 
-use crate::codec::DcgFrame;
+use crate::codec::{CodecError, DcgCodec, DcgFrame, FrameKind};
 use crate::metrics::ProfiledMetrics;
 use cbs_bytecode::{CallSiteId, MethodId};
 use cbs_dcg::{CallEdge, DynamicCallGraph};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Below this many total edges a merged-snapshot rebuild stays serial;
+/// at or above it (and with ≥ 4 shards) shard graphs are merged by a
+/// small pool of scoped threads in a fixed reduction order.
+const PARALLEL_MERGE_MIN_EDGES: usize = 4096;
+
+/// Reusable scratch for partitioning a frame's records into per-shard
+/// buckets.
+///
+/// One instance per connection (or per ingesting thread) makes the
+/// steady-state ingest path allocation-free: the bucket `Vec`s are
+/// cleared — not dropped — between frames, so after the first few
+/// frames their capacity plateaus and every subsequent partition only
+/// writes into retained storage.
+#[derive(Debug, Default)]
+pub struct IngestScratch {
+    buckets: Vec<Vec<(CallEdge, f64)>>,
+}
+
+impl IngestScratch {
+    /// Creates an empty scratch; buckets are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures one (empty) bucket per shard, retaining capacity.
+    fn reset(&mut self, shards: usize) {
+        self.buckets.resize_with(shards, Vec::new);
+        for b in &mut self.buckets {
+            b.clear();
+        }
+    }
+}
 
 /// Tuning for a [`ShardedAggregator`].
 #[derive(Debug, Clone, Copy)]
@@ -69,6 +103,22 @@ struct Shard {
     epoch: u64,
 }
 
+/// A merged snapshot (graph + its canonical encoding) stamped with the
+/// generation it was built from.
+///
+/// The stamp is read *before* the shard sweep that builds the snapshot,
+/// while mutators bump the generation *after* applying their records —
+/// so a cached entry can only be stamped older than the data it holds,
+/// never newer. A stale stamp therefore forces at worst a redundant
+/// rebuild of identical bytes; it can never serve data older than its
+/// generation.
+#[derive(Debug)]
+struct SnapshotCache {
+    generation: u64,
+    graph: Arc<DynamicCallGraph>,
+    encoded: Arc<Vec<u8>>,
+}
+
 /// Counters describing an aggregator's ingestion history.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AggregatorStats {
@@ -99,6 +149,11 @@ pub struct ShardedAggregator {
     epoch: AtomicU64,
     frames: AtomicU64,
     records: AtomicU64,
+    /// Bumped after every state change that can alter the merged
+    /// snapshot (record-applying ingest, epoch advance). The snapshot
+    /// cache compares its stamp against this to decide hit vs rebuild.
+    generation: AtomicU64,
+    cache: Mutex<Option<SnapshotCache>>,
     decay_factor: f64,
     min_weight: f64,
 }
@@ -112,6 +167,8 @@ impl ShardedAggregator {
             epoch: AtomicU64::new(0),
             frames: AtomicU64::new(0),
             records: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            cache: Mutex::new(None),
             decay_factor: config.decay_factor,
             min_weight: config.min_weight,
         }
@@ -174,43 +231,110 @@ impl ShardedAggregator {
 
     /// Folds raw `(edge, weight)` records (already validated positive and
     /// finite, as the codec guarantees) into the shards.
+    ///
+    /// Convenience wrapper over
+    /// [`ingest_records_with`](Self::ingest_records_with) using a
+    /// throwaway scratch; pooled callers (the server's connection
+    /// threads) pass their own to keep the path allocation-free.
     pub fn ingest_records(&self, records: &[(CallEdge, f64)]) {
+        let mut scratch = IngestScratch::new();
+        self.ingest_records_with(records, &mut scratch);
+    }
+
+    /// Folds raw records into the shards through a caller-owned
+    /// partitioning scratch.
+    ///
+    /// The records are partitioned into per-shard buckets in **one
+    /// pass**; each bucket preserves the input (edge-sorted) order of
+    /// its shard's records, so the weights land in exactly the order the
+    /// old one-scan-per-shard path applied them and repeated ingestion
+    /// histories stay bit-identical.
+    pub fn ingest_records_with(&self, records: &[(CallEdge, f64)], scratch: &mut IngestScratch) {
         if self.shards.len() == 1 {
             let mut guard = self.locked_current(0);
-            for &(e, w) in records {
-                guard.graph.record(e, w);
-            }
+            guard.graph.record_all_deferred(records);
         } else {
-            // One pass per touched shard. Frames are edge-sorted, so each
-            // shard's records are applied in edge order — the same order
-            // every time, keeping repeated ingestion histories
-            // bit-identical.
-            let mut touched: Vec<bool> = vec![false; self.shards.len()];
-            for (e, _) in records {
-                touched[self.shard_of(e.caller)] = true;
+            scratch.reset(self.shards.len());
+            for &(e, w) in records {
+                scratch.buckets[self.shard_of(e.caller)].push((e, w));
             }
-            for (shard, hit) in touched.into_iter().enumerate() {
-                if !hit {
-                    continue;
-                }
-                let mut guard = self.locked_current(shard);
-                for &(e, w) in records {
-                    if self.shard_of(e.caller) == shard {
-                        guard.graph.record(e, w);
-                    }
-                }
-            }
+            self.apply_buckets(scratch);
         }
-        self.records
-            .fetch_add(records.len() as u64, Ordering::Relaxed);
-        ProfiledMetrics::get().agg_records.add(records.len() as u64);
+        self.finish_ingest(records.len());
+    }
+
+    /// Locks each touched shard once (index order) and applies its
+    /// bucket, clearing buckets for reuse.
+    ///
+    /// Records are applied *deferred*: weights land immediately, but
+    /// the shard's sorted permutation is left stale until the next
+    /// snapshot rebuild seals it ([`rebuild_merged`](Self::rebuild_merged)).
+    /// A shard absorbing thousands of frames between pulls therefore
+    /// pays for permutation maintenance once per pull, not per frame.
+    fn apply_buckets(&self, scratch: &mut IngestScratch) {
+        for (shard, bucket) in scratch.buckets.iter_mut().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut guard = self.locked_current(shard);
+            guard.graph.record_all_deferred(bucket);
+            bucket.clear();
+        }
+    }
+
+    /// Record-count bookkeeping shared by every ingest path; bumps the
+    /// snapshot generation when any record was applied.
+    fn finish_ingest(&self, records: usize) {
+        self.records.fetch_add(records as u64, Ordering::Relaxed);
+        ProfiledMetrics::get().agg_records.add(records as u64);
+        if records > 0 {
+            self.generation.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    /// Decodes an encoded frame *streamingly* into the shards: records
+    /// fold straight into the partitioning scratch as they are decoded,
+    /// with no intermediate `Vec<(CallEdge, f64)>`.
+    ///
+    /// All-or-nothing: the frame is fully validated before any shard is
+    /// touched, so a malformed frame applies nothing. Returns the frame
+    /// kind and the number of records applied.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] the eager [`DcgCodec::decode`] would return for
+    /// the same bytes (the two paths accept and reject identical inputs).
+    pub fn ingest_frame_bytes(
+        &self,
+        bytes: &[u8],
+        scratch: &mut IngestScratch,
+    ) -> Result<(FrameKind, usize), CodecError> {
+        let iter = DcgCodec::records(bytes)?;
+        let kind = iter.kind();
+        scratch.reset(self.shards.len());
+        let single = self.shards.len() == 1;
+        let mut count = 0usize;
+        for rec in iter {
+            let (e, w) = rec?;
+            let shard = if single { 0 } else { self.shard_of(e.caller) };
+            scratch.buckets[shard].push((e, w));
+            count += 1;
+        }
+        self.apply_buckets(scratch);
+        self.frames.fetch_add(1, Ordering::Relaxed);
+        ProfiledMetrics::get().agg_frames.inc();
+        self.finish_ingest(count);
+        Ok((kind, count))
     }
 
     /// Advances the virtual epoch clock by one, returning the new epoch.
     ///
-    /// O(1): shards decay lazily on their next lock.
+    /// O(1): shards decay lazily on their next lock. Invalidates the
+    /// snapshot cache (the next snapshot must re-run decay catch-up).
     pub fn advance_epoch(&self) -> u64 {
-        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        self.generation.fetch_add(1, Ordering::Release);
+        epoch
     }
 
     /// The current epoch.
@@ -218,24 +342,116 @@ impl ShardedAggregator {
         self.epoch.load(Ordering::Acquire)
     }
 
-    /// A consistent fleet-wide snapshot: all shards locked (index
-    /// order), decayed to the current epoch, and merged in shard order.
-    pub fn merged_snapshot(&self) -> DynamicCallGraph {
+    /// The current snapshot generation (bumps on record-applying ingest
+    /// and on [`advance_epoch`](Self::advance_epoch)).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Builds a merged snapshot from the live shards: all shards locked
+    /// (index order), decayed to the current epoch, and merged with a
+    /// fixed reduction order.
+    ///
+    /// Caller-partitioning means every edge lives in exactly one shard,
+    /// so merging only copies disjoint edge sets and the merged graph —
+    /// including its canonically re-summed total — is bit-identical for
+    /// *any* merge tree shape. That freedom is what lets large rebuilds
+    /// fan the per-shard merges out over scoped threads (chunked, fixed
+    /// chunk boundaries, chunk results folded in index order) without
+    /// perturbing a single output bit vs the serial shard-order merge.
+    fn rebuild_merged(&self) -> DynamicCallGraph {
         let epoch = self.epoch.load(Ordering::Acquire);
         let mut guards: Vec<MutexGuard<'_, Shard>> = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
             let mut guard = shard.lock().expect("shard lock");
             Self::catch_up(&mut guard, epoch, self.decay_factor, self.min_weight);
+            // Seal the deferred ingest tail: this is the read boundary
+            // where the per-frame permutation debt is settled at once.
+            guard.graph.seal();
             guards.push(guard);
         }
-        DynamicCallGraph::merge_all(guards.iter().map(|g| &g.graph))
+        let total_edges: usize = guards.iter().map(|g| g.graph.num_edges()).sum();
+        if guards.len() >= 4 && total_edges >= PARALLEL_MERGE_MIN_EDGES {
+            // Four chunks ≈ four merge workers; the last partial merge
+            // below walks the chunk results in index order.
+            let chunk = guards.len().div_ceil(4);
+            let partials: Vec<DynamicCallGraph> = std::thread::scope(|s| {
+                let workers: Vec<_> = guards
+                    .chunks(chunk)
+                    .map(|gs| {
+                        s.spawn(move || DynamicCallGraph::merge_all(gs.iter().map(|g| &g.graph)))
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .map(|w| w.join().expect("merge worker"))
+                    .collect()
+            });
+            DynamicCallGraph::merge_all(partials.iter())
+        } else {
+            DynamicCallGraph::merge_all(guards.iter().map(|g| &g.graph))
+        }
+    }
+
+    /// The cached `(graph, encoded)` pair for the current generation,
+    /// rebuilding on a cold or stale cache.
+    ///
+    /// The generation stamp is read under the cache lock *before* the
+    /// shard sweep; mutators bump it *after* applying. A concurrent push
+    /// can therefore make a just-built entry carry data newer than its
+    /// stamp (forcing one redundant rebuild later) but never older — a
+    /// cache hit is always at least as fresh as the generation it
+    /// matched. Holding the cache lock across the rebuild also
+    /// serializes concurrent pullers onto one rebuild instead of N.
+    fn cached_snapshot(&self) -> (Arc<DynamicCallGraph>, Arc<Vec<u8>>) {
+        let m = ProfiledMetrics::get();
+        let mut cache = self.cache.lock().expect("snapshot cache lock");
+        let generation = self.generation.load(Ordering::Acquire);
+        if let Some(c) = cache.as_ref() {
+            if c.generation == generation {
+                m.agg_cache_hits.inc();
+                return (Arc::clone(&c.graph), Arc::clone(&c.encoded));
+            }
+            m.agg_cache_invalidations.inc();
+        }
+        m.agg_cache_misses.inc();
+        let graph = Arc::new(self.rebuild_merged());
+        let encoded = Arc::new(DcgCodec::encode_snapshot(&graph));
+        *cache = Some(SnapshotCache {
+            generation,
+            graph: Arc::clone(&graph),
+            encoded: Arc::clone(&encoded),
+        });
+        (graph, encoded)
+    }
+
+    /// A consistent fleet-wide snapshot, served from the
+    /// generation-stamped cache (rebuilt only after ingest or an epoch
+    /// advance). The returned graph is bit-identical to locking all
+    /// shards and merging them in shard order.
+    pub fn merged_snapshot(&self) -> DynamicCallGraph {
+        self.merged_snapshot_shared().as_ref().clone()
+    }
+
+    /// [`merged_snapshot`](Self::merged_snapshot) without the copy:
+    /// hands out the cache's shared graph.
+    pub fn merged_snapshot_shared(&self) -> Arc<DynamicCallGraph> {
+        self.cached_snapshot().0
+    }
+
+    /// The canonical [`DcgCodec::encode_snapshot`] bytes of the merged
+    /// snapshot, shared from the cache — the server's `OP_PULL` /
+    /// `OP_PULL_CHUNK` fast path: repeated pulls of an unchanged
+    /// aggregate are O(1), re-serving the same encoded buffer.
+    pub fn encoded_snapshot(&self) -> Arc<Vec<u8>> {
+        self.cached_snapshot().1
     }
 
     /// Fleet-wide hot edges: edges holding at least `percent` of the
     /// merged total weight, heaviest first (the inliner's hot-edge
-    /// query).
+    /// query). Served from the snapshot cache.
     pub fn hot_edges(&self, percent: f64) -> Vec<(CallEdge, f64)> {
-        self.merged_snapshot().hot_edges(percent)
+        self.merged_snapshot_shared().hot_edges(percent)
     }
 
     /// The fleet-wide receiver distribution of one call site, sorted by
@@ -243,16 +459,31 @@ impl ShardedAggregator {
     /// rule.
     ///
     /// A call site lives inside exactly one caller, so its whole
-    /// distribution sits in one shard; only `caller`'s shard is locked.
+    /// distribution sits in one shard. The query runs against the cached
+    /// merged snapshot, restricted to edges whose caller hashes to
+    /// `caller`'s shard — the same edge subsequence, in the same sorted
+    /// order, as scanning that shard directly (site ids can repeat under
+    /// callers in *other* shards, hence the filter).
     pub fn site_distribution(&self, caller: MethodId, site: CallSiteId) -> Vec<(MethodId, f64)> {
-        let guard = self.locked_current(self.shard_of(caller));
-        guard.graph.site_distribution(site)
+        let shard = self.shard_of(caller);
+        let graph = self.merged_snapshot_shared();
+        let mut per_callee: HashMap<MethodId, f64> = HashMap::new();
+        for (e, w) in graph.iter() {
+            if e.site == site && self.shard_of(e.caller) == shard {
+                *per_callee.entry(e.callee).or_insert(0.0) += w;
+            }
+        }
+        let mut v: Vec<(MethodId, f64)> = per_callee.into_iter().collect();
+        v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v
     }
 
-    /// Total weight flowing out of `caller`, from its single shard.
+    /// Total weight flowing out of `caller`, from the cached merged
+    /// snapshot. All of `caller`'s edges share one shard, so the merged
+    /// graph's caller-filtered subsequence is exactly that shard's — the
+    /// sum is bit-identical to scanning the shard under its lock.
     pub fn outgoing_weight(&self, caller: MethodId) -> f64 {
-        let guard = self.locked_current(self.shard_of(caller));
-        guard.graph.outgoing_weight(caller)
+        self.merged_snapshot_shared().outgoing_weight(caller)
     }
 
     /// Ingestion counters and per-shard sizes.
@@ -410,6 +641,149 @@ mod tests {
         // Unit weights: addition is exact, so any interleaving converges
         // to the identical graph.
         assert_eq!(agg.merged_snapshot(), expected);
+    }
+
+    #[test]
+    fn streaming_ingest_is_bit_identical_to_decoded_ingest() {
+        for shards in [1, 4, 8] {
+            let mut g = DynamicCallGraph::new();
+            for i in 0..200u32 {
+                g.record(e(i % 23, i % 7, i % 11), 0.25 + f64::from(i));
+            }
+            let bytes = DcgCodec::encode_snapshot(&g);
+
+            let decoded = ShardedAggregator::new(AggregatorConfig::with_shards(shards));
+            decoded.ingest(&DcgCodec::decode(&bytes).unwrap());
+            let streamed = ShardedAggregator::new(AggregatorConfig::with_shards(shards));
+            let mut scratch = IngestScratch::new();
+            let (kind, n) = streamed.ingest_frame_bytes(&bytes, &mut scratch).unwrap();
+            assert_eq!(kind, crate::codec::FrameKind::Snapshot);
+            assert_eq!(n, g.num_edges());
+            assert_eq!(streamed.stats(), decoded.stats(), "shards={shards}");
+            let a = streamed.merged_snapshot();
+            let b = decoded.merged_snapshot();
+            assert_eq!(a, b, "shards={shards}");
+            assert_eq!(
+                DcgCodec::encode_snapshot(&a),
+                DcgCodec::encode_snapshot(&b),
+                "encodings must match byte-for-byte (shards={shards})"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_frame_applies_nothing() {
+        let agg = ShardedAggregator::new(AggregatorConfig::with_shards(4));
+        let mut g = DynamicCallGraph::new();
+        g.record(e(1, 2, 3), 5.0);
+        g.record(e(4, 5, 6), 7.0);
+        let mut bytes = DcgCodec::encode_snapshot(&g);
+        bytes.push(0xff); // trailing byte: frame must be rejected whole
+        let mut scratch = IngestScratch::new();
+        let err = agg.ingest_frame_bytes(&bytes, &mut scratch).unwrap_err();
+        assert_eq!(err, crate::codec::CodecError::TrailingBytes);
+        let stats = agg.stats();
+        assert_eq!((stats.frames, stats.records), (0, 0));
+        assert!(agg.merged_snapshot().is_empty());
+        assert_eq!(
+            agg.generation(),
+            0,
+            "failed ingest must not bump generation"
+        );
+    }
+
+    #[test]
+    fn snapshot_cache_hits_until_invalidated() {
+        use std::sync::Arc;
+        let agg = ShardedAggregator::new(AggregatorConfig::with_shards(4));
+        agg.ingest_records(&[(e(0, 0, 1), 2.0), (e(9, 1, 2), 3.0)]);
+
+        let first = agg.encoded_snapshot();
+        let again = agg.encoded_snapshot();
+        assert!(
+            Arc::ptr_eq(&first, &again),
+            "repeated pulls must share the cached encoding"
+        );
+        let g1 = agg.merged_snapshot_shared();
+        let g2 = agg.merged_snapshot_shared();
+        assert!(Arc::ptr_eq(&g1, &g2));
+
+        // Ingest invalidates: the next pull re-encodes and sees new data.
+        agg.ingest_records(&[(e(0, 0, 1), 1.0)]);
+        let after_push = agg.encoded_snapshot();
+        assert!(!Arc::ptr_eq(&first, &after_push), "push must invalidate");
+        assert_eq!(
+            DcgCodec::decode_snapshot(&after_push)
+                .unwrap()
+                .weight(&e(0, 0, 1)),
+            3.0
+        );
+
+        // advance_epoch invalidates even with decay disabled.
+        let before_epoch = agg.encoded_snapshot();
+        agg.advance_epoch();
+        let after_epoch = agg.encoded_snapshot();
+        assert!(
+            !Arc::ptr_eq(&before_epoch, &after_epoch),
+            "advance_epoch must invalidate the cached encoding"
+        );
+        assert_eq!(*before_epoch, *after_epoch, "decay 1.0: same bytes rebuilt");
+    }
+
+    #[test]
+    fn parallel_rebuild_matches_serial_merge_bit_for_bit() {
+        // Enough edges to cross PARALLEL_MERGE_MIN_EDGES with 8 shards.
+        let records: Vec<(CallEdge, f64)> = (0..6000u32)
+            .map(|i| (e(i % 997, i % 13, i % 31), 0.5 + f64::from(i % 17)))
+            .collect();
+        let par = ShardedAggregator::new(AggregatorConfig::with_shards(8));
+        par.ingest_records(&records);
+        assert!(par.stats().total_edges() >= PARALLEL_MERGE_MIN_EDGES);
+        // Serial reference: shard-order merge under the same partition.
+        let reference = {
+            let epoch = par.epoch.load(Ordering::Acquire);
+            let mut guards: Vec<MutexGuard<'_, Shard>> = Vec::new();
+            for shard in &par.shards {
+                let mut guard = shard.lock().expect("shard lock");
+                ShardedAggregator::catch_up(&mut guard, epoch, par.decay_factor, par.min_weight);
+                guard.graph.seal();
+                guards.push(guard);
+            }
+            DynamicCallGraph::merge_all(guards.iter().map(|g| &g.graph))
+        };
+        let rebuilt = par.merged_snapshot();
+        assert_eq!(rebuilt, reference);
+        assert_eq!(
+            DcgCodec::encode_snapshot(&rebuilt),
+            DcgCodec::encode_snapshot(&reference)
+        );
+        assert_eq!(
+            rebuilt.total_weight().to_bits(),
+            reference.total_weight().to_bits()
+        );
+    }
+
+    #[test]
+    fn cached_queries_match_direct_shard_scans() {
+        let agg = ShardedAggregator::new(AggregatorConfig::with_shards(8));
+        // Site id 4 reused under several callers (some in other shards).
+        agg.ingest_records(&[
+            (e(2, 4, 10), 50.0),
+            (e(2, 4, 11), 45.0),
+            (e(3, 4, 10), 500.0),
+            (e(17, 4, 12), 9.0),
+            (e(2, 6, 12), 5.0),
+        ]);
+        let dist = agg.site_distribution(MethodId::new(2), CallSiteId::new(4));
+        // Only caller 2's shard contributes; caller 3/17 noise (if in
+        // other shards) is filtered out exactly as the per-shard scan did.
+        let shard2 = agg.shard_of(MethodId::new(2));
+        let expect = {
+            let guard = agg.shards[shard2].lock().unwrap();
+            guard.graph.site_distribution(CallSiteId::new(4))
+        };
+        assert_eq!(dist, expect);
+        assert_eq!(agg.outgoing_weight(MethodId::new(2)), 100.0);
     }
 
     #[test]

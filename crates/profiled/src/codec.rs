@@ -174,6 +174,7 @@ fn put_varint(out: &mut Vec<u8>, mut v: u128) {
 }
 
 /// Cursor over an encoded frame.
+#[derive(Debug)]
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -254,6 +255,95 @@ fn read_weight(r: &mut Reader<'_>) -> Result<f64, CodecError> {
     Ok(w)
 }
 
+/// A streaming cursor over one encoded frame's records, created by
+/// [`DcgCodec::records`].
+///
+/// Yields `Result<(CallEdge, f64), CodecError>` in ascending edge
+/// order, applying exactly the validation [`DcgCodec::decode`] does —
+/// including the trailing-bytes check, which surfaces as a final `Err`
+/// after the last declared record. The first error fuses the iterator
+/// (subsequent `next` calls return `None`), so a consumer folding
+/// records into an aggregate must drain the iterator and abort on any
+/// `Err` without applying partial results.
+///
+/// This is the server's decode-into-aggregate fast path: frames fold
+/// straight into shard buckets without materializing an intermediate
+/// record vector.
+#[derive(Debug)]
+pub struct RecordIter<'a> {
+    r: Reader<'a>,
+    kind: FrameKind,
+    remaining: usize,
+    prev: Option<u128>,
+    fused: bool,
+}
+
+impl RecordIter<'_> {
+    /// The frame kind declared in the header.
+    pub fn kind(&self) -> FrameKind {
+        self.kind
+    }
+
+    /// Records not yet yielded (the header count before iteration).
+    pub fn len(&self) -> usize {
+        self.remaining
+    }
+
+    /// `true` when no records remain.
+    pub fn is_empty(&self) -> bool {
+        self.remaining == 0
+    }
+
+    fn read_record(&mut self) -> Result<(CallEdge, f64), CodecError> {
+        let step = self.r.varint()?;
+        let key = match self.prev {
+            None => step,
+            Some(p) => {
+                if step == 0 {
+                    return Err(CodecError::UnsortedKeys);
+                }
+                p.checked_add(step).ok_or(CodecError::KeyOverflow)?
+            }
+        };
+        self.prev = Some(key);
+        let edge = edge_of(key)?;
+        let weight = read_weight(&mut self.r)?;
+        Ok((edge, weight))
+    }
+}
+
+impl Iterator for RecordIter<'_> {
+    type Item = Result<(CallEdge, f64), CodecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.fused {
+            return None;
+        }
+        if self.remaining == 0 {
+            if !self.r.done() {
+                self.fused = true;
+                return Some(Err(CodecError::TrailingBytes));
+            }
+            return None;
+        }
+        self.remaining -= 1;
+        let rec = self.read_record();
+        if rec.is_err() {
+            self.fused = true;
+        }
+        Some(rec)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.fused {
+            (0, Some(0))
+        } else {
+            // +1 for the potential trailing-bytes error item.
+            (self.remaining, Some(self.remaining + 1))
+        }
+    }
+}
+
 /// Encoder/decoder for the binary profile format.
 ///
 /// Stateless; all methods are associated functions. See the
@@ -329,13 +419,20 @@ impl DcgCodec {
         out
     }
 
-    /// Decodes a frame.
+    /// Parses a frame header and returns a streaming cursor over its
+    /// records, validating each one lazily as it is yielded.
+    ///
+    /// This is the allocation-free path: the header checks (magic,
+    /// version, kind, hostile record count) run eagerly, while record
+    /// validation happens per [`RecordIter::next`] call. [`Self::decode`]
+    /// is this plus collecting into a `Vec`, so the two paths accept and
+    /// reject exactly the same inputs.
     ///
     /// # Errors
     ///
-    /// Any malformed input yields a [`CodecError`]; no partial frame is
-    /// ever returned.
-    pub fn decode(bytes: &[u8]) -> Result<DcgFrame, CodecError> {
+    /// Any malformed header yields a [`CodecError`]; malformed records
+    /// surface as `Err` items from the returned iterator.
+    pub fn records(bytes: &[u8]) -> Result<RecordIter<'_>, CodecError> {
         let mut r = Reader { buf: bytes, pos: 0 };
         if r.take(4)? != MAGIC {
             return Err(CodecError::BadMagic);
@@ -352,25 +449,27 @@ impl DcgCodec {
         if count > bytes.len() / 2 {
             return Err(CodecError::Truncated);
         }
-        let mut edges = Vec::with_capacity(count);
-        let mut prev: Option<u128> = None;
-        for _ in 0..count {
-            let step = r.varint()?;
-            let key = match prev {
-                None => step,
-                Some(p) => {
-                    if step == 0 {
-                        return Err(CodecError::UnsortedKeys);
-                    }
-                    p.checked_add(step).ok_or(CodecError::KeyOverflow)?
-                }
-            };
-            prev = Some(key);
-            let edge = edge_of(key)?;
-            edges.push((edge, read_weight(&mut r)?));
-        }
-        if !r.done() {
-            return Err(CodecError::TrailingBytes);
+        Ok(RecordIter {
+            r,
+            kind,
+            remaining: count,
+            prev: None,
+            fused: false,
+        })
+    }
+
+    /// Decodes a frame.
+    ///
+    /// # Errors
+    ///
+    /// Any malformed input yields a [`CodecError`]; no partial frame is
+    /// ever returned.
+    pub fn decode(bytes: &[u8]) -> Result<DcgFrame, CodecError> {
+        let iter = Self::records(bytes)?;
+        let kind = iter.kind();
+        let mut edges = Vec::with_capacity(iter.len());
+        for rec in iter {
+            edges.push(rec?);
         }
         Ok(DcgFrame { kind, edges })
     }
@@ -601,6 +700,71 @@ mod tests {
         put_varint(&mut bytes, 1u128 << 96);
         bytes.push(2);
         assert_eq!(DcgCodec::decode(&bytes), Err(CodecError::KeyOverflow));
+    }
+
+    #[test]
+    fn streaming_records_match_decode_on_valid_frames() {
+        let mut g = DynamicCallGraph::new();
+        for i in 0..50u32 {
+            g.record(e(i % 7, i, i + 1), 0.5 + f64::from(i));
+        }
+        let bytes = DcgCodec::encode_snapshot(&g);
+        let frame = DcgCodec::decode(&bytes).unwrap();
+        let iter = DcgCodec::records(&bytes).unwrap();
+        assert_eq!(iter.kind(), frame.kind);
+        assert_eq!(iter.len(), frame.edges.len());
+        assert!(!iter.is_empty());
+        let streamed: Vec<(CallEdge, f64)> = iter.map(|r| r.unwrap()).collect();
+        assert_eq!(streamed, frame.edges);
+    }
+
+    #[test]
+    fn streaming_records_error_parity_with_decode() {
+        // Every truncation of a real frame and a set of malformed bodies
+        // must fail the streaming path with the same error decode gives,
+        // and the iterator must fuse after the first error.
+        let mut g = DynamicCallGraph::new();
+        g.record(e(5, 6, 7), 0.125);
+        g.record(e(1000000, 2, 3), 9.0);
+        let good = DcgCodec::encode_snapshot(&g);
+
+        let mut cases: Vec<Vec<u8>> = (0..good.len()).map(|cut| good[..cut].to_vec()).collect();
+        let mut trailing = good.clone();
+        trailing.push(0);
+        cases.push(trailing);
+        let mut zero_step = Vec::new();
+        zero_step.extend_from_slice(&MAGIC);
+        zero_step.extend_from_slice(&[VERSION, 0, 2, 5, 2, 0, 2]);
+        cases.push(zero_step);
+        let mut bad_weight = Vec::new();
+        bad_weight.extend_from_slice(&MAGIC);
+        bad_weight.extend_from_slice(&[VERSION, 0, 1, 5, 0]);
+        cases.push(bad_weight);
+        let mut key_overflow = Vec::new();
+        key_overflow.extend_from_slice(&MAGIC);
+        key_overflow.extend_from_slice(&[VERSION, 0, 1]);
+        put_varint(&mut key_overflow, 1u128 << 96);
+        key_overflow.push(2);
+        cases.push(key_overflow);
+
+        for bytes in &cases {
+            let want = DcgCodec::decode(bytes).unwrap_err();
+            let got = match DcgCodec::records(bytes) {
+                Err(e) => e,
+                Ok(mut iter) => {
+                    let first_err = loop {
+                        match iter.next() {
+                            Some(Err(e)) => break e,
+                            Some(Ok(_)) => continue,
+                            None => panic!("streaming accepted a frame decode rejects"),
+                        }
+                    };
+                    assert!(iter.next().is_none(), "iterator must fuse after an error");
+                    first_err
+                }
+            };
+            assert_eq!(got, want, "error parity for {bytes:?}");
+        }
     }
 
     #[test]

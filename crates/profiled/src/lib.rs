@@ -68,7 +68,7 @@ pub mod resilient;
 pub mod server;
 pub mod wire;
 
-pub use aggregator::{AggregatorConfig, AggregatorStats, ShardedAggregator};
+pub use aggregator::{AggregatorConfig, AggregatorStats, IngestScratch, ShardedAggregator};
 pub use client::{ClientError, ProfileClient, PushOutcome};
 pub use codec::{CodecError, DcgCodec, DcgFrame, FrameKind};
 pub use faults::{Fault, FaultCounts, FaultSchedule, FaultStream};

@@ -69,6 +69,16 @@ pub struct ProfiledMetrics {
     pub agg_decay_catchups: Counter,
     /// Edges pruned by decay (weight fell below the floor).
     pub agg_pruned_edges: Counter,
+    /// Snapshot-cache hits: merged snapshot served without touching
+    /// any shard.
+    pub agg_cache_hits: Counter,
+    /// Snapshot-cache misses: a merged snapshot was rebuilt (cold cache
+    /// or stale generation).
+    pub agg_cache_misses: Counter,
+    /// Snapshot-cache invalidations observed: a rebuild found a cached
+    /// snapshot whose generation stamp had been outrun by ingest or an
+    /// epoch advance.
+    pub agg_cache_invalidations: Counter,
     /// Scrape-time gauge: current decay epoch.
     pub agg_epoch: Gauge,
     /// Scrape-time gauge: total live edges across shards.
@@ -171,6 +181,18 @@ impl ProfiledMetrics {
                 agg_pruned_edges: r.counter(
                     "profiled.agg.pruned_edges",
                     "edges pruned by decay below the weight floor",
+                ),
+                agg_cache_hits: r.counter(
+                    "profiled.agg.cache_hits",
+                    "merged snapshots served from the generation-stamped cache",
+                ),
+                agg_cache_misses: r.counter(
+                    "profiled.agg.cache_misses",
+                    "merged snapshots rebuilt on a cold or stale cache",
+                ),
+                agg_cache_invalidations: r.counter(
+                    "profiled.agg.cache_invalidations",
+                    "cached snapshots found stale at rebuild time",
                 ),
                 agg_epoch: r.gauge("profiled.agg.epoch", "current decay epoch (scrape-time)"),
                 agg_edges: r.gauge(

@@ -21,11 +21,11 @@
 //! `ST_ERR server shutting down` reply instead of being silently
 //! dropped.
 
-use crate::aggregator::ShardedAggregator;
+use crate::aggregator::{IngestScratch, ShardedAggregator};
 use crate::codec::DcgCodec;
 use crate::metrics::ProfiledMetrics;
 use crate::wire::{
-    read_msg, write_msg, NetConfig, CHUNK_REPLY_OVERHEAD, OP_EPOCH, OP_METRICS, OP_PULL,
+    read_msg_into, write_msg, NetConfig, CHUNK_REPLY_OVERHEAD, OP_EPOCH, OP_METRICS, OP_PULL,
     OP_PULL_CHUNK, OP_PUSH, OP_PUSH_SEQ, OP_STATS, ST_ERR, ST_OK,
 };
 use std::collections::HashMap;
@@ -229,19 +229,54 @@ fn drain_refuse(listener: &TcpListener, config: NetConfig) {
 /// Writes one reply through the single counting choke point: reply
 /// frame sizes land in the bytes-out histogram and `ST_ERR` replies in
 /// the error counter before the bytes hit the socket.
-fn reply(stream: &mut TcpStream, metrics: &ProfiledMetrics, parts: &[&[u8]]) -> io::Result<()> {
+///
+/// The frame — length prefix and all parts — is assembled into the
+/// pooled `out` buffer and hits the socket in **one** `write_all`, so a
+/// reply costs one syscall instead of one per part plus a flush, and
+/// steady-state serving reuses the buffer's capacity instead of
+/// allocating per reply.
+fn reply(
+    stream: &mut TcpStream,
+    metrics: &ProfiledMetrics,
+    out: &mut Vec<u8>,
+    parts: &[&[u8]],
+) -> io::Result<()> {
     let len: usize = parts.iter().map(|p| p.len()).sum();
     metrics.server_frame_bytes_out.observe(len as u64);
     if parts.first().and_then(|p| p.first()) == Some(&ST_ERR) {
         metrics.server_err_replies.inc();
     }
-    write_msg(stream, parts)
+    let len32 = u32::try_from(len)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "message exceeds u32 length"))?;
+    out.clear();
+    out.reserve(4 + len);
+    out.extend_from_slice(&len32.to_be_bytes());
+    for p in parts {
+        out.extend_from_slice(p);
+    }
+    stream.write_all(out)
+}
+
+/// Drains a frame's record stream without applying it: the cheap
+/// validity check backing "bad frame beats duplicate" on the
+/// `OP_PUSH_SEQ` dedup path (a duplicate is acknowledged, not
+/// re-applied — but only if the retransmitted frame is well-formed).
+fn validate_frame(bytes: &[u8]) -> Result<(), crate::codec::CodecError> {
+    for rec in DcgCodec::records(bytes)? {
+        rec?;
+    }
+    Ok(())
 }
 
 /// Serves one connection until EOF, timeout, or a fatal protocol error.
 /// Every malformed input is answered with `ST_ERR` before closing, so
 /// clients always learn why they were dropped; errors never propagate
 /// past the connection.
+///
+/// The request buffer, reply buffer, and ingest-partition scratch are
+/// pooled per connection: once their capacities plateau at the
+/// connection's working sizes, steady-state request handling performs
+/// no per-frame allocation.
 fn serve_connection(
     mut stream: TcpStream,
     aggregator: &ShardedAggregator,
@@ -254,36 +289,46 @@ fn serve_connection(
     stream.set_nodelay(true).ok();
     // The consistent snapshot captured by the connection's last
     // `OP_PULL_CHUNK` page-0 request; later pages are served from it so
-    // pagination never observes a torn merge.
-    let mut chunk_capture: Vec<u8> = Vec::new();
+    // pagination never observes a torn merge. Shared with the
+    // aggregator's snapshot cache — capturing is a refcount bump.
+    let mut chunk_capture: Arc<Vec<u8>> = Arc::new(Vec::new());
+    let mut read_buf: Vec<u8> = Vec::new();
+    let mut out: Vec<u8> = Vec::new();
+    let mut scratch = IngestScratch::new();
     loop {
-        let msg = match read_msg(&mut stream, config.max_frame_bytes) {
-            Ok(Some(msg)) => msg,
+        match read_msg_into(&mut stream, config.max_frame_bytes, &mut read_buf) {
+            Ok(Some(_)) => {}
             Ok(None) => return Ok(()), // clean close
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // Oversized frame: the unread payload makes the stream
                 // unframeable, so answer and drop the connection.
-                let _ = reply(&mut stream, m, &[&[ST_ERR], e.to_string().as_bytes()]);
+                let _ = reply(
+                    &mut stream,
+                    m,
+                    &mut out,
+                    &[&[ST_ERR], e.to_string().as_bytes()],
+                );
                 return Ok(());
             }
             Err(e) => return Err(e), // timeout / reset: just drop
         };
         let started = Instant::now();
-        m.server_frame_bytes_in.observe(msg.len() as u64);
-        let (op, body) = match msg.split_first() {
+        m.server_frame_bytes_in.observe(read_buf.len() as u64);
+        let (op, body) = match read_buf.split_first() {
             Some(x) => x,
             None => {
-                let _ = reply(&mut stream, m, &[&[ST_ERR], b"empty request"]);
+                let _ = reply(&mut stream, m, &mut out, &[&[ST_ERR], b"empty request"]);
                 return Ok(());
             }
         };
         match *op {
             OP_PUSH => {
                 m.server_op_push.inc();
-                match DcgCodec::decode(body) {
-                    Ok(frame) => {
-                        aggregator.ingest(&frame);
-                        reply(&mut stream, m, &[&[ST_OK]])?;
+                // Streaming ingest: records fold into the shard buckets
+                // as they decode; a malformed frame applies nothing.
+                match aggregator.ingest_frame_bytes(body, &mut scratch) {
+                    Ok(_) => {
+                        reply(&mut stream, m, &mut out, &[&[ST_OK]])?;
                     }
                     Err(e) => {
                         // Reject the frame, keep serving: framing is intact,
@@ -292,6 +337,7 @@ fn serve_connection(
                         reply(
                             &mut stream,
                             m,
+                            &mut out,
                             &[&[ST_ERR], format!("bad frame: {e}").as_bytes()],
                         )?;
                     }
@@ -303,54 +349,73 @@ fn serve_connection(
                     reply(
                         &mut stream,
                         m,
+                        &mut out,
                         &[&[ST_ERR], b"push-seq needs a client id and a sequence"],
                     )?;
-                    stream.flush()?;
                     continue;
                 }
                 let client_id = u64::from_be_bytes(body[0..8].try_into().expect("8 bytes"));
                 let seq = u64::from_be_bytes(body[8..16].try_into().expect("8 bytes"));
-                match DcgCodec::decode(&body[16..]) {
-                    Ok(frame) => {
-                        // Hold the table lock across check-apply-record:
-                        // a retry of the same batch arriving on a fresh
-                        // connection while a zombie thread is mid-apply
-                        // must observe apply+record atomically, or it
-                        // could double-count the frame.
-                        let mut seqs = lock_seqs(seqs, m);
-                        let last = seqs.get(&client_id).copied().unwrap_or(0);
-                        if seq > last {
-                            aggregator.ingest(&frame);
-                            seqs.insert(client_id, seq);
-                            drop(seqs);
-                            reply(&mut stream, m, &[&[ST_OK], b"applied"])?;
-                        } else {
-                            drop(seqs);
-                            m.server_dedup_hits.inc();
-                            reply(&mut stream, m, &[&[ST_OK], b"duplicate"])?;
+                let frame = &body[16..];
+                // Hold the table lock across check-apply-record: a retry
+                // of the same batch arriving on a fresh connection while
+                // a zombie thread is mid-apply must observe apply+record
+                // atomically, or it could double-count the frame.
+                let mut table = lock_seqs(seqs, m);
+                let last = table.get(&client_id).copied().unwrap_or(0);
+                if seq > last {
+                    match aggregator.ingest_frame_bytes(frame, &mut scratch) {
+                        Ok(_) => {
+                            table.insert(client_id, seq);
+                            drop(table);
+                            reply(&mut stream, m, &mut out, &[&[ST_OK], b"applied"])?;
+                        }
+                        Err(e) => {
+                            drop(table);
+                            m.server_bad_frames.inc();
+                            reply(
+                                &mut stream,
+                                m,
+                                &mut out,
+                                &[&[ST_ERR], format!("bad frame: {e}").as_bytes()],
+                            )?;
                         }
                     }
-                    Err(e) => {
-                        m.server_bad_frames.inc();
-                        reply(
-                            &mut stream,
-                            m,
-                            &[&[ST_ERR], format!("bad frame: {e}").as_bytes()],
-                        )?;
+                } else {
+                    drop(table);
+                    // Bad frame beats duplicate: the retransmission is
+                    // acknowledged only if it is well-formed.
+                    match validate_frame(frame) {
+                        Ok(()) => {
+                            m.server_dedup_hits.inc();
+                            reply(&mut stream, m, &mut out, &[&[ST_OK], b"duplicate"])?;
+                        }
+                        Err(e) => {
+                            m.server_bad_frames.inc();
+                            reply(
+                                &mut stream,
+                                m,
+                                &mut out,
+                                &[&[ST_ERR], format!("bad frame: {e}").as_bytes()],
+                            )?;
+                        }
                     }
                 }
             }
             OP_PULL => {
                 m.server_op_pull.inc();
-                let snapshot = DcgCodec::encode_snapshot(&aggregator.merged_snapshot());
+                // Served from the generation-stamped cache: repeated
+                // pulls of an unchanged aggregate reuse one encoding.
+                let snapshot = aggregator.encoded_snapshot();
                 if snapshot.len() + 1 > config.max_frame_bytes {
                     reply(
                         &mut stream,
                         m,
+                        &mut out,
                         &[&[ST_ERR], b"merged snapshot exceeds the frame limit"],
                     )?;
                 } else {
-                    reply(&mut stream, m, &[&[ST_OK], &snapshot])?;
+                    reply(&mut stream, m, &mut out, &[&[ST_OK], snapshot.as_slice()])?;
                 }
             }
             OP_PULL_CHUNK => {
@@ -359,14 +424,14 @@ fn serve_connection(
                     reply(
                         &mut stream,
                         m,
+                        &mut out,
                         &[&[ST_ERR], b"chunk request needs a 4-byte page index"],
                     )?;
-                    stream.flush()?;
                     continue;
                 };
                 let page = u32::from_be_bytes(page_bytes) as usize;
                 if page == 0 {
-                    chunk_capture = DcgCodec::encode_snapshot(&aggregator.merged_snapshot());
+                    chunk_capture = aggregator.encoded_snapshot();
                 }
                 let chunk_len = config
                     .max_frame_bytes
@@ -377,6 +442,7 @@ fn serve_connection(
                     reply(
                         &mut stream,
                         m,
+                        &mut out,
                         &[
                             &[ST_ERR],
                             format!("page {page} out of range (total {total})").as_bytes(),
@@ -388,6 +454,7 @@ fn serve_connection(
                     reply(
                         &mut stream,
                         m,
+                        &mut out,
                         &[
                             &[ST_OK],
                             &(total as u32).to_be_bytes(),
@@ -417,7 +484,7 @@ fn serve_connection(
                     s.total_edges(),
                     s.shard_edges.len(),
                 );
-                reply(&mut stream, m, &[&[ST_OK], text.as_bytes()])?;
+                reply(&mut stream, m, &mut out, &[&[ST_OK], text.as_bytes()])?;
             }
             OP_METRICS => {
                 m.server_op_metrics.inc();
@@ -430,17 +497,23 @@ fn serve_connection(
                 let dedup_clients = lock_seqs(seqs, m).len();
                 m.server_dedup_clients.set(dedup_clients as i64);
                 let text = cbs_telemetry::global().render();
-                reply(&mut stream, m, &[&[ST_OK], text.as_bytes()])?;
+                reply(&mut stream, m, &mut out, &[&[ST_OK], text.as_bytes()])?;
             }
             OP_EPOCH => {
                 m.server_op_epoch.inc();
                 let epoch = aggregator.advance_epoch();
-                reply(&mut stream, m, &[&[ST_OK], epoch.to_string().as_bytes()])?;
+                reply(
+                    &mut stream,
+                    m,
+                    &mut out,
+                    &[&[ST_OK], epoch.to_string().as_bytes()],
+                )?;
             }
             other => {
                 let _ = reply(
                     &mut stream,
                     m,
+                    &mut out,
                     &[&[ST_ERR], format!("unknown op {other}").as_bytes()],
                 );
                 return Ok(());
@@ -448,7 +521,6 @@ fn serve_connection(
         }
         m.server_handler_latency_us
             .observe(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
-        stream.flush()?;
     }
 }
 

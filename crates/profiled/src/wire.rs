@@ -102,6 +102,30 @@ impl Default for NetConfig {
 /// I/O failures, truncation mid-message, and length prefixes above
 /// `max_frame_bytes` (surfaced as [`io::ErrorKind::InvalidData`]).
 pub fn read_msg(r: &mut impl Read, max_frame_bytes: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut buf = Vec::new();
+    Ok(read_msg_into(r, max_frame_bytes, &mut buf)?.map(|_| buf))
+}
+
+/// Reads one length-prefixed message into a caller-owned buffer,
+/// returning its length.
+///
+/// This is the pooled variant of [`read_msg`]: `buf` is cleared and
+/// refilled, retaining its capacity across calls, so a connection loop
+/// reading into the same buffer allocates nothing once the buffer has
+/// grown to the connection's working frame size. Returns `Ok(None)` on
+/// clean end-of-stream (the peer closed between messages); `buf` is
+/// left empty then.
+///
+/// # Errors
+///
+/// I/O failures, truncation mid-message, and length prefixes above
+/// `max_frame_bytes` (surfaced as [`io::ErrorKind::InvalidData`]).
+pub fn read_msg_into(
+    r: &mut impl Read,
+    max_frame_bytes: usize,
+    buf: &mut Vec<u8>,
+) -> io::Result<Option<usize>> {
+    buf.clear();
     let mut len_buf = [0u8; 4];
     // A clean EOF is only clean on the first header byte.
     match r.read(&mut len_buf[..1])? {
@@ -117,9 +141,9 @@ pub fn read_msg(r: &mut impl Read, max_frame_bytes: usize) -> io::Result<Option<
             format!("message of {len} bytes exceeds the {max_frame_bytes}-byte frame limit"),
         ));
     }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
-    Ok(Some(body))
+    buf.resize(len, 0);
+    r.read_exact(buf)?;
+    Ok(Some(len))
 }
 
 /// Writes one length-prefixed message built from `parts` (concatenated),
@@ -153,6 +177,26 @@ mod tests {
         assert_eq!(read_msg(&mut cur, 1024).unwrap().unwrap(), b"\x01payload");
         assert_eq!(read_msg(&mut cur, 1024).unwrap().unwrap(), b"");
         assert_eq!(read_msg(&mut cur, 1024).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn read_msg_into_reuses_the_buffer_across_messages() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &[b"a longer first message"]).unwrap();
+        write_msg(&mut buf, &[b"short"]).unwrap();
+        let mut cur = Cursor::new(buf);
+        let mut pooled = Vec::new();
+        assert_eq!(
+            read_msg_into(&mut cur, 1024, &mut pooled).unwrap(),
+            Some(22)
+        );
+        assert_eq!(pooled, b"a longer first message");
+        let cap = pooled.capacity();
+        assert_eq!(read_msg_into(&mut cur, 1024, &mut pooled).unwrap(), Some(5));
+        assert_eq!(pooled, b"short");
+        assert_eq!(pooled.capacity(), cap, "buffer capacity is retained");
+        assert_eq!(read_msg_into(&mut cur, 1024, &mut pooled).unwrap(), None);
+        assert!(pooled.is_empty(), "clean EOF leaves the buffer empty");
     }
 
     #[test]

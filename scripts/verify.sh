@@ -40,9 +40,34 @@ cargo test --offline --locked -q
 echo "==> cargo test -q --workspace (member-crate unit tests)"
 cargo test --offline --locked -q --workspace
 
+echo "==> BENCH_ingest.json schema check (committed ingest-bench artifact)"
+BENCH_JSON=BENCH_ingest.json
+[[ -f "$BENCH_JSON" ]] \
+  || { echo "FAIL: $BENCH_JSON missing (regenerate: cargo bench -p cbs-bench --bench profile_ingest)" >&2; exit 1; }
+grep -q '"bench": "profile_ingest"' "$BENCH_JSON" \
+  || { echo "FAIL: $BENCH_JSON is not a profile_ingest artifact" >&2; exit 1; }
+for key in records frames wire_bytes; do
+  grep -Eq "\"$key\": [1-9][0-9]*" "$BENCH_JSON" \
+    || { echo "FAIL: $BENCH_JSON missing positive \"$key\"" >&2; exit 1; }
+done
+for cfg in codec/encode codec/decode \
+           aggregate/shards=1/serial aggregate/shards=4/serial aggregate/shards=8/serial \
+           aggregate/shards=8/streaming pull/rebuild pull/cached; do
+  grep -q "\"config\": \"$cfg\"" "$BENCH_JSON" \
+    || { echo "FAIL: $BENCH_JSON missing config \"$cfg\"" >&2; exit 1; }
+done
+awk '/"median_ns"/ && $0 !~ /"median_ns": [1-9][0-9]*/ { bad = 1 } END { exit bad }' "$BENCH_JSON" \
+  || { echo "FAIL: non-positive median_ns in $BENCH_JSON" >&2; exit 1; }
+
 if [[ "$BENCH_SMOKE" == "1" ]]; then
   echo "==> cargo bench (smoke: CBS_BENCH_SMOKE=1, one iteration per bench)"
+  # Smoke mode must exercise every bench code path (profile_ingest
+  # included) without rewriting committed artifacts.
+  BENCH_SUM_BEFORE="$(cksum "$BENCH_JSON")"
   CBS_BENCH_SMOKE=1 cargo bench --offline --locked --workspace
+  BENCH_SUM_AFTER="$(cksum "$BENCH_JSON")"
+  [[ "$BENCH_SUM_BEFORE" == "$BENCH_SUM_AFTER" ]] \
+    || { echo "FAIL: bench smoke rewrote $BENCH_JSON (smoke runs must not emit artifacts)" >&2; exit 1; }
 fi
 
 echo "==> profiled loopback smoke (server + dcgtool push/pull/convert)"
