@@ -17,7 +17,12 @@
 //! * `pull/rebuild` — a merged-snapshot pull whose cache was just
 //!   invalidated (epoch advance), i.e. the full lock-merge-encode cost;
 //! * `pull/cached` — the same pull against a warm generation-stamped
-//!   cache (the repeated-`OP_PULL` fast path, O(1) per request).
+//!   cache (the repeated-`OP_PULL` fast path, O(1) per request);
+//! * `wal/append` — the durable-store write path (4 shards, WAL append
+//!   then apply, fsync off — the async-fsync configuration whose cost
+//!   must stay within 2× of `aggregate/shards=4/streaming`);
+//! * `recovery/replay` — `ProfileStore::open` replaying the 64-frame
+//!   WAL into a fresh aggregator.
 //!
 //! Emits `BENCH_ingest.json` at the repo root (skipped in smoke mode,
 //! like every other bench artifact).
@@ -25,7 +30,13 @@
 use cbs_bench::{smoke_mode, BenchGroup, BenchResult};
 use cbs_core::bytecode::{CallSiteId, MethodId};
 use cbs_core::dcg::CallEdge;
-use cbs_core::profiled::{AggregatorConfig, DcgCodec, DcgFrame, IngestScratch, ShardedAggregator};
+use cbs_core::profiled::{
+    AggregatorConfig, DcgCodec, DcgFrame, IngestScratch, ProfileJournal, ShardedAggregator,
+};
+use cbs_core::store::{FsyncPolicy, ProfileStore, StoreConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 const EDGES: usize = 50_000;
 const FRAMES: usize = 64;
@@ -64,6 +75,14 @@ fn synthetic_records() -> Vec<(CallEdge, f64)> {
             )
         })
         .collect()
+}
+
+/// A unique scratch directory per call (the workspace has no tempfile
+/// dependency); callers remove it when done.
+fn scratch_dir(label: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("cbs-bench-{label}-{}-{n}", std::process::id()))
 }
 
 /// Records-per-second at the median iteration time.
@@ -204,6 +223,65 @@ fn main() {
         .bench("pull/cached", || loaded.encoded_snapshot().len())
         .clone();
     entries.push(json_entry("pull/cached", snapshot_edges, &cached));
+
+    // Durable-store write path: same frames, same 4-shard aggregator as
+    // aggregate/shards=4/streaming, plus a WAL append per frame with
+    // fsync off (the async-durability configuration). Checkpointing is
+    // disabled so the measurement is the steady-state append+apply cost.
+    let store_config = StoreConfig {
+        fsync: FsyncPolicy::Never,
+        checkpoint_every: 0,
+        ..StoreConfig::default()
+    };
+    let wal_append = group
+        .bench("wal/append", || {
+            let dir = scratch_dir("wal-append");
+            let agg = Arc::new(ShardedAggregator::new(AggregatorConfig::with_shards(4)));
+            let store = ProfileStore::open(&dir, agg, store_config.clone()).expect("open store");
+            let mut scratch = IngestScratch::new();
+            for frame in &frames {
+                store
+                    .ingest_frame(frame, &mut scratch)
+                    .expect("own encoding ingests");
+            }
+            let records = store.aggregator().stats().records;
+            drop(store);
+            std::fs::remove_dir_all(&dir).expect("remove scratch dir");
+            records
+        })
+        .clone();
+    entries.push(json_entry("wal/append", EDGES, &wal_append));
+
+    // Recovery: open a directory whose WAL already holds every frame
+    // and replay it into a fresh aggregator. (Each open leaves one
+    // empty segment behind; scanning those headers is negligible next
+    // to the replay itself.)
+    let replay_dir = scratch_dir("recovery-replay");
+    {
+        let agg = Arc::new(ShardedAggregator::new(AggregatorConfig::with_shards(4)));
+        let store = ProfileStore::open(&replay_dir, agg, store_config.clone()).expect("open store");
+        let mut scratch = IngestScratch::new();
+        for frame in &frames {
+            store
+                .ingest_frame(frame, &mut scratch)
+                .expect("own encoding ingests");
+        }
+    }
+    let replay = group
+        .bench("recovery/replay", || {
+            let agg = Arc::new(ShardedAggregator::new(AggregatorConfig::with_shards(4)));
+            let store =
+                ProfileStore::open(&replay_dir, agg, store_config.clone()).expect("recovery opens");
+            assert_eq!(
+                store.recovery_report().replayed_frames,
+                FRAMES as u64,
+                "every frame replays"
+            );
+            store.aggregator().stats().records
+        })
+        .clone();
+    entries.push(json_entry("recovery/replay", EDGES, &replay));
+    std::fs::remove_dir_all(&replay_dir).expect("remove scratch dir");
 
     if smoke_mode() {
         eprintln!("profile_ingest: smoke mode, skipping BENCH_ingest.json");

@@ -14,6 +14,9 @@
 //! dcgtool pull    <host:port> <out>              # fetch merged fleet profile
 //! dcgtool stats   <host:port>                    # ingestion + dedup counters
 //! dcgtool metrics <host:port>                    # telemetry text exposition
+//! dcgtool store inspect <dir>                    # durable-store summary
+//! dcgtool store compact <dir> [--shards <n>] [--decay <f64>]
+//!                       [--min-weight <f64>]     # checkpoint + truncate WAL
 //! ```
 //!
 //! `collect-all` profiles the whole suite (small inputs), sharding
@@ -41,9 +44,12 @@ use cbs_core::dcg::{dot, overlap, serialize, stats, DynamicCallGraph};
 use cbs_core::parallel::{run_cells, Parallelism};
 use cbs_core::prelude::*;
 use cbs_core::profiled::{
-    DcgCodec, FaultSchedule, NetConfig, ProfileClient, ResilientClient, RetryPolicy,
+    AggregatorConfig, DcgCodec, FaultSchedule, NetConfig, ProfileClient, ResilientClient,
+    RetryPolicy, ShardedAggregator,
 };
+use cbs_core::store::{inspect, ProfileStore, StoreConfig};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() -> ExitCode {
@@ -456,9 +462,86 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 Ok(())
             }
         }
+        Some("store") => run_store(&args[1..]),
         _ => Err(
-            "usage: dcgtool collect|collect-all|merge|compare|shape|dot|convert|push|pull|stats|metrics …"
+            "usage: dcgtool collect|collect-all|merge|compare|shape|dot|convert|push|pull|stats|metrics|store …"
                 .into(),
         ),
+    }
+}
+
+/// The `store inspect|compact` subcommands: offline views and
+/// maintenance of a `--data-dir` directory (run them against a stopped
+/// server — the store is single-writer).
+fn run_store(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    match args.first().map(String::as_str) {
+        Some("inspect") => {
+            let dir = args.get(1).ok_or("store inspect needs a directory")?;
+            let report = inspect(std::path::Path::new(dir))?;
+            match &report.checkpoint {
+                Some(c) => println!(
+                    "checkpoint: epoch={} frames={} records={} dedup_clients={} \
+                     snapshot_bytes={} wal_seq={}",
+                    c.epoch, c.frames, c.records, c.dedup_clients, c.snapshot_bytes, c.wal_seq
+                ),
+                None => println!("checkpoint: none"),
+            }
+            for s in &report.segments {
+                println!(
+                    "segment {:#018x}: bytes={} frames={} seq_frames={} epochs={}{}",
+                    s.seq,
+                    s.bytes,
+                    s.frames,
+                    s.seq_frames,
+                    s.epochs,
+                    if s.corrupt { " CORRUPT-TAIL" } else { "" }
+                );
+            }
+            println!(
+                "tail: {} frame(s) across {} segment(s) would replay on open",
+                report.tail_frames(),
+                report.segments.len()
+            );
+            Ok(())
+        }
+        Some("compact") => {
+            let mut agg_config = AggregatorConfig::default();
+            let mut dir: Option<&String> = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                let mut value = |flag: &str| -> Result<&String, Box<dyn std::error::Error>> {
+                    it.next()
+                        .ok_or_else(|| format!("{flag} requires a value").into())
+                };
+                match a.as_str() {
+                    "--shards" => agg_config.shards = value("--shards")?.parse()?,
+                    "--decay" => agg_config.decay_factor = value("--decay")?.parse()?,
+                    "--min-weight" => agg_config.min_weight = value("--min-weight")?.parse()?,
+                    _ if dir.is_none() => dir = Some(a),
+                    other => return Err(format!("unknown flag `{other}`").into()),
+                }
+            }
+            let dir = dir.ok_or("store compact needs a directory")?;
+            // Recover the directory (replaying the WAL tail), then
+            // checkpoint: the subsumed segments are deleted and the next
+            // open replays nothing. Aggregator geometry must match the
+            // server's so the checkpointed snapshot is the bytes the
+            // server would serve.
+            let aggregator = Arc::new(ShardedAggregator::new(agg_config));
+            let store = ProfileStore::open(dir.as_str(), aggregator, StoreConfig::default())?;
+            let r = store.recovery_report().clone();
+            store.checkpoint_now()?;
+            let stats = store.aggregator().stats();
+            eprintln!(
+                "compacted {dir}: replayed {} frame(s), checkpoint at epoch {} \
+                 ({} frames, {} records)",
+                r.replayed_frames, stats.epoch, stats.frames, stats.records
+            );
+            if r.truncated_tail {
+                eprintln!("note: a torn WAL tail was truncated during recovery");
+            }
+            Ok(())
+        }
+        _ => Err("usage: dcgtool store inspect|compact <dir> …".into()),
     }
 }

@@ -1,9 +1,12 @@
 //! The profile-ingestion daemon: serves a [`ShardedAggregator`] over
-//! TCP for a fleet of VMs.
+//! TCP for a fleet of VMs, optionally backed by the durable store.
 //!
 //! ```text
 //! profiled [--addr <host:port>] [--shards <n>] [--decay <f64>]
 //!          [--min-weight <f64>] [--max-frame-bytes <n>] [--max-inflight <n>]
+//!          [--dedup-cap <n>]
+//!          [--data-dir <dir>] [--checkpoint-every <frames>]
+//!          [--fsync always|never|<n>]
 //! ```
 //!
 //! Binds `--addr` (default `127.0.0.1:0`, an OS-assigned port), prints
@@ -11,9 +14,20 @@
 //! port, then serves until killed. Push profiles with `dcgtool push`,
 //! read the merged fleet profile back with `dcgtool pull`.
 //!
+//! With `--data-dir`, every accepted push is appended to a write-ahead
+//! log before it is acknowledged and the directory is recovered on
+//! startup — a `recovered ...` line (printed before `listening`)
+//! reports what came back. `--fsync` picks the durability/throughput
+//! trade (`always` per-ack, `never`, or sync every `<n>` appends);
+//! `--checkpoint-every` bounds replay time by checkpointing after that
+//! many applied frames.
+//!
 //! [`ShardedAggregator`]: cbs_core::profiled::ShardedAggregator
 
-use cbs_core::profiled::{serve, AggregatorConfig, NetConfig, ShardedAggregator};
+use cbs_core::profiled::{
+    serve_with, AggregatorConfig, NetConfig, ServerConfig, ShardedAggregator,
+};
+use cbs_core::store::{FsyncPolicy, ProfileStore, StoreConfig};
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -33,6 +47,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut addr = "127.0.0.1:0".to_owned();
     let mut agg_config = AggregatorConfig::default();
     let mut net_config = NetConfig::default();
+    let mut store_config = StoreConfig::default();
+    let mut data_dir: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| it.next().ok_or(format!("{flag} requires a value"));
@@ -45,10 +61,18 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 net_config.max_frame_bytes = value("--max-frame-bytes")?.parse()?
             }
             "--max-inflight" => net_config.max_inflight = value("--max-inflight")?.parse()?,
+            "--dedup-cap" => store_config.dedup_capacity = value("--dedup-cap")?.parse()?,
+            "--data-dir" => data_dir = Some(value("--data-dir")?),
+            "--checkpoint-every" => {
+                store_config.checkpoint_every = value("--checkpoint-every")?.parse()?
+            }
+            "--fsync" => store_config.fsync = value("--fsync")?.parse::<FsyncPolicy>()?,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: profiled [--addr <host:port>] [--shards <n>] [--decay <f64>] \
-                     [--min-weight <f64>] [--max-frame-bytes <n>] [--max-inflight <n>]"
+                     [--min-weight <f64>] [--max-frame-bytes <n>] [--max-inflight <n>] \
+                     [--dedup-cap <n>] [--data-dir <dir>] [--checkpoint-every <frames>] \
+                     [--fsync always|never|<n>]"
                 );
                 return Ok(());
             }
@@ -57,7 +81,26 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let aggregator = Arc::new(ShardedAggregator::new(agg_config));
-    let server = serve(addr.as_str(), aggregator, net_config)?;
+    let mut server_config = ServerConfig {
+        net: net_config,
+        dedup_capacity: store_config.dedup_capacity,
+        journal: None,
+    };
+    if let Some(dir) = data_dir {
+        let store = ProfileStore::open(dir.as_str(), Arc::clone(&aggregator), store_config)?;
+        let r = store.recovery_report();
+        println!(
+            "recovered frames={} records={} epochs={} checkpoint_epoch={} truncated_tail={}",
+            r.replayed_frames,
+            r.replayed_records,
+            r.replayed_epochs,
+            r.checkpoint_epoch
+                .map_or_else(|| "none".to_owned(), |e| e.to_string()),
+            r.truncated_tail,
+        );
+        server_config.journal = Some(Arc::new(store));
+    }
+    let server = serve_with(addr.as_str(), aggregator, server_config)?;
     println!("listening {}", server.addr());
     std::io::stdout().flush()?;
     // Serve until killed: the accept loop runs on its own thread, so

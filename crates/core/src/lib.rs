@@ -20,6 +20,8 @@
 //! * [`adaptive`] — a full adaptive optimization system;
 //! * [`profiled`] — fleet-scale profile collection: a binary wire
 //!   codec, a sharded aggregation service, and its TCP server/client;
+//! * [`store`] — the durable profile store: write-ahead log,
+//!   checkpoints, and bit-identical crash recovery for the server;
 //! * [`workloads`] — the 13-benchmark synthetic suite and adversarial
 //!   programs;
 //! * [`experiments`] — functions regenerating **every table and figure**
@@ -64,6 +66,7 @@ pub use cbs_inliner as inliner;
 pub use cbs_opt as opt;
 pub use cbs_profiled as profiled;
 pub use cbs_profiler as profiler;
+pub use cbs_store as store;
 pub use cbs_telemetry as telemetry;
 pub use cbs_vm as vm;
 pub use cbs_workloads as workloads;

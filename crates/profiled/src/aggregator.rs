@@ -8,10 +8,14 @@
 //! ([`site_distribution`]) stay single-graph exact.
 //!
 //! Freshness is a *virtual epoch clock*: [`advance_epoch`] only bumps an
-//! atomic counter; each shard applies `decay_factor^(elapsed epochs)`
-//! lazily the next time it is locked. Decay is multiplicative per epoch,
-//! so a shard that sleeps through `k` epochs catches up in one
-//! `decay(factor.powi(k))` — identical to having decayed every epoch.
+//! atomic counter; each shard applies one multiplicative decay pass per
+//! elapsed epoch lazily the next time it is locked. The catch-up is one
+//! `decay(factor)` **per epoch** rather than a single
+//! `decay(factor.powi(k))`: sequential single multiplies produce the
+//! same bit pattern no matter how the elapsed epochs are grouped across
+//! catch-ups, which is what lets a crash-recovered aggregator (whose
+//! catch-up points differ from the original run's) reproduce weights
+//! bit-for-bit.
 //!
 //! Consistency: [`merged_snapshot`] locks all shards (in index order —
 //! every multi-shard path uses that order, so there is no lock-order
@@ -203,11 +207,20 @@ impl ShardedAggregator {
     /// [`merged_snapshot`](Self::merged_snapshot)).
     fn catch_up(guard: &mut Shard, epoch: u64, decay_factor: f64, min_weight: f64) {
         if guard.epoch < epoch {
-            let elapsed = (epoch - guard.epoch).min(i32::MAX as u64) as i32;
             if decay_factor != 1.0 {
                 let m = ProfiledMetrics::get();
                 let before = guard.graph.num_edges();
-                guard.graph.decay(decay_factor.powi(elapsed), min_weight);
+                // One multiply per elapsed epoch, never a pre-folded
+                // power: `(w·f)·f` and `w·(f·f)` differ in their last
+                // rounding bit, so folding would make the weights
+                // depend on *when* catch-ups happened (e.g. on pull
+                // timing) — and crash recovery, whose catch-up points
+                // differ from the original run's, could then never be
+                // bit-identical. Pruning per pass matches eager
+                // per-epoch decay exactly.
+                for _ in guard.epoch..epoch {
+                    guard.graph.decay(decay_factor, min_weight);
+                }
                 m.agg_decay_catchups.inc();
                 m.agg_pruned_edges
                     .add(before.saturating_sub(guard.graph.num_edges()) as u64);
@@ -346,6 +359,36 @@ impl ShardedAggregator {
     /// and on [`advance_epoch`](Self::advance_epoch)).
     pub fn generation(&self) -> u64 {
         self.generation.load(Ordering::Acquire)
+    }
+
+    /// Restores the epoch clock after recovery: sets the global epoch
+    /// **and** stamps every shard as already decayed through it, so no
+    /// catch-up decay fires for the restored span.
+    ///
+    /// A checkpoint snapshot is captured post-catch-up — its weights
+    /// already reflect every decay through its epoch. Re-ingesting it
+    /// into a fresh aggregator (epoch 0) and then calling
+    /// `restore_clock(epoch)` therefore reproduces the checkpointed
+    /// shard state exactly; decaying again would double-apply.
+    ///
+    /// Recovery-only: callers must be the sole owner (no concurrent
+    /// ingest), as during `ProfileStore::open`.
+    pub fn restore_clock(&self, epoch: u64) {
+        for shard in &self.shards {
+            shard.lock().expect("shard lock").epoch = epoch;
+        }
+        self.epoch.store(epoch, Ordering::Release);
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Restores the frame/record counters after recovery, so
+    /// `OP_STATS` continues the pre-crash sequence instead of counting
+    /// the checkpoint snapshot as one giant frame.
+    ///
+    /// Recovery-only, like [`restore_clock`](Self::restore_clock).
+    pub fn restore_counters(&self, frames: u64, records: u64) {
+        self.frames.store(frames, Ordering::Relaxed);
+        self.records.store(records, Ordering::Relaxed);
     }
 
     /// Builds a merged snapshot from the live shards: all shards locked
@@ -581,6 +624,74 @@ mod tests {
         agg.ingest_records(&[(e(0, 0, 1), 1.0)]);
         assert!((agg.merged_snapshot().weight(&e(0, 0, 1)) - 3.0).abs() < 1e-12);
         assert_eq!(agg.epoch(), 3);
+    }
+
+    /// Decay catch-up must be grouping-invariant at the bit level: a
+    /// shard that sleeps through k epochs and catches up once must end
+    /// with weights bit-identical to one that was brought current after
+    /// every single epoch. (A folded `powi(k)` catch-up fails this —
+    /// `(w·f)·f != w·(f·f)` in the last rounding bit — which would make
+    /// recovered state depend on pre-crash pull timing.)
+    #[test]
+    fn decay_catch_up_is_bit_invariant_across_groupings() {
+        let cfg = AggregatorConfig {
+            shards: 4,
+            decay_factor: 0.9,
+            min_weight: 0.0,
+        };
+        let records: Vec<(CallEdge, f64)> = (0..64u32)
+            .map(|i| (e(i % 7, i % 3, i % 5), 0.1 + f64::from(i) / 3.0))
+            .collect();
+        let lazy = ShardedAggregator::new(cfg);
+        lazy.ingest_records(&records);
+        let eager = ShardedAggregator::new(cfg);
+        eager.ingest_records(&records);
+        for _ in 0..5 {
+            lazy.advance_epoch();
+            eager.advance_epoch();
+            // Forcing a snapshot brings every shard current each epoch.
+            let _ = eager.encoded_snapshot();
+        }
+        assert_eq!(
+            *lazy.encoded_snapshot(),
+            *eager.encoded_snapshot(),
+            "one 5-epoch catch-up must be bit-identical to 5 single-epoch ones"
+        );
+    }
+
+    /// Restoring a checkpoint must not re-apply decay: re-ingesting a
+    /// post-catch-up snapshot and stamping the clock reproduces the
+    /// original bytes, and decay resumes identically afterwards.
+    #[test]
+    fn restore_clock_resumes_without_double_decay() {
+        let cfg = AggregatorConfig {
+            shards: 4,
+            decay_factor: 0.5,
+            min_weight: 0.0,
+        };
+        let original = ShardedAggregator::new(cfg);
+        original.ingest_records(&[(e(0, 0, 1), 16.0), (e(9, 1, 2), 5.5)]);
+        original.advance_epoch();
+        original.advance_epoch();
+        let snapshot = original.encoded_snapshot();
+
+        let restored = ShardedAggregator::new(cfg);
+        let mut scratch = IngestScratch::new();
+        restored
+            .ingest_frame_bytes(&snapshot, &mut scratch)
+            .expect("checkpoint snapshot ingests");
+        restored.restore_clock(original.epoch());
+        restored.restore_counters(2, 2);
+        assert_eq!(restored.epoch(), 2);
+        assert_eq!(
+            *restored.encoded_snapshot(),
+            *snapshot,
+            "restore must not decay the checkpointed weights again"
+        );
+        // And the clock keeps ticking in lockstep.
+        original.advance_epoch();
+        restored.advance_epoch();
+        assert_eq!(*restored.encoded_snapshot(), *original.encoded_snapshot());
     }
 
     #[test]

@@ -474,6 +474,29 @@ impl DcgCodec {
         Ok(DcgFrame { kind, edges })
     }
 
+    /// Validates an encoded frame without materializing it: drains the
+    /// streaming record iterator and returns the frame kind and record
+    /// count. Accepts and rejects exactly the inputs [`decode`] does —
+    /// this is the cheap pre-check the dedup path ("bad frame beats
+    /// duplicate") and the write-ahead log (journal only what will
+    /// apply) rely on.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] [`decode`] would return for the same bytes.
+    ///
+    /// [`decode`]: Self::decode
+    pub fn validate(bytes: &[u8]) -> Result<(FrameKind, usize), CodecError> {
+        let iter = Self::records(bytes)?;
+        let kind = iter.kind();
+        let mut count = 0usize;
+        for rec in iter {
+            rec?;
+            count += 1;
+        }
+        Ok((kind, count))
+    }
+
     /// Decodes a frame and requires it to be a snapshot, returning the
     /// reconstructed graph.
     ///

@@ -1,0 +1,263 @@
+//! The bounded `OP_PUSH_SEQ` dedup table.
+//!
+//! Exactly-once sequenced pushes need the server to remember, per
+//! client id, the highest sequence it has applied. An unbounded
+//! `HashMap` grows forever under fleet client churn (every VM that ever
+//! connected stays resident), so [`DedupTable`] caps the client count
+//! and evicts the *least recently applied* client when a new one would
+//! exceed the cap.
+//!
+//! Recency is a monotone touch counter, bumped **only when a record is
+//! applied** — never when a duplicate is acknowledged. That restriction
+//! is what makes the table recoverable: the durable store journals
+//! exactly the applied records, so replaying the journal reproduces the
+//! same touch values in the same order and eviction decisions are
+//! bit-for-bit deterministic across a crash and restart.
+//!
+//! Evicting a client forgets its sequence history: if that client later
+//! retries an old batch, the retry is applied again (the table cannot
+//! distinguish it from a first delivery). The cap therefore trades a
+//! bounded memory footprint for at-least-once delivery of clients idle
+//! long enough to be evicted — the default cap (65 536 clients) makes
+//! that window far wider than any retry policy's horizon.
+
+use crate::metrics::ProfiledMetrics;
+use std::collections::HashMap;
+
+/// One client's dedup state, as exported for checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DedupEntry {
+    /// Client id.
+    pub client: u64,
+    /// Highest applied sequence.
+    pub seq: u64,
+    /// Touch stamp of the client's most recent applied record.
+    pub touch: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    seq: u64,
+    touch: u64,
+}
+
+/// Highest applied push sequence per client id, bounded by a
+/// least-recently-applied eviction policy (see the module docs).
+#[derive(Debug, Clone)]
+pub struct DedupTable {
+    capacity: usize,
+    next_touch: u64,
+    map: HashMap<u64, Entry>,
+}
+
+impl Default for DedupTable {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl DedupTable {
+    /// Default client cap: generous for any realistic fleet, small
+    /// enough (tens of bytes per client) to bound the table at a few
+    /// megabytes.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// An empty table capped at `capacity` clients (`0` = unbounded).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            next_touch: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// The client cap (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Clients currently tracked.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no client is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The highest applied sequence recorded for `client`, if tracked.
+    /// Reads do not refresh recency (see the module docs).
+    pub fn last_seq(&self, client: u64) -> Option<u64> {
+        self.map.get(&client).map(|e| e.seq)
+    }
+
+    /// Records an applied `(client, seq)` pair, refreshing the client's
+    /// recency, then evicts least-recently-applied clients until the
+    /// table fits its cap again. Returns how many clients were evicted
+    /// (also counted on `profiled.server.dedup_evictions`).
+    ///
+    /// Eviction scans for the minimum touch stamp — O(len), paid only
+    /// when the table is at capacity and a *new* client arrives, which
+    /// is exactly the fleet-churn case the cap exists for.
+    pub fn record(&mut self, client: u64, seq: u64) -> usize {
+        let touch = self.next_touch;
+        self.next_touch += 1;
+        self.map.insert(client, Entry { seq, touch });
+        let mut evicted = 0usize;
+        if self.capacity > 0 {
+            while self.map.len() > self.capacity {
+                // Touch stamps are unique; the id tiebreak only guards
+                // against hand-restored duplicates.
+                let victim = self
+                    .map
+                    .iter()
+                    .min_by_key(|(id, e)| (e.touch, **id))
+                    .map(|(id, _)| *id)
+                    .expect("non-empty over-cap table");
+                self.map.remove(&victim);
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            ProfiledMetrics::get()
+                .server_dedup_evictions
+                .add(evicted as u64);
+        }
+        evicted
+    }
+
+    /// The highest sequence across all tracked clients (0 when empty) —
+    /// the `dedup_max_seq` stats field.
+    pub fn max_seq(&self) -> u64 {
+        self.map.values().map(|e| e.seq).max().unwrap_or(0)
+    }
+
+    /// The touch stamp the next applied record will receive (journaled
+    /// by checkpoints so recovery resumes the same recency sequence).
+    pub fn next_touch(&self) -> u64 {
+        self.next_touch
+    }
+
+    /// Every tracked entry, sorted by client id — the canonical
+    /// (deterministic) order checkpoints serialize.
+    pub fn entries(&self) -> Vec<DedupEntry> {
+        let mut v: Vec<DedupEntry> = self
+            .map
+            .iter()
+            .map(|(&client, e)| DedupEntry {
+                client,
+                seq: e.seq,
+                touch: e.touch,
+            })
+            .collect();
+        v.sort_unstable_by_key(|e| e.client);
+        v
+    }
+
+    /// Replaces the table contents from a checkpoint: the entries keep
+    /// their recorded touch stamps and the touch counter resumes at
+    /// `next_touch`. The capacity is *not* restored — it is
+    /// configuration, and a restart may legitimately lower it (the next
+    /// [`record`](Self::record) then evicts down to the new cap).
+    pub fn restore(&mut self, next_touch: u64, entries: &[DedupEntry]) {
+        self.map.clear();
+        for e in entries {
+            self.map.insert(
+                e.client,
+                Entry {
+                    seq: e.seq,
+                    touch: e.touch,
+                },
+            );
+        }
+        self.next_touch = next_touch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reads_back() {
+        let mut t = DedupTable::new(8);
+        assert_eq!(t.last_seq(7), None);
+        t.record(7, 3);
+        assert_eq!(t.last_seq(7), Some(3));
+        t.record(7, 5);
+        assert_eq!(t.last_seq(7), Some(5));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.max_seq(), 5);
+    }
+
+    #[test]
+    fn eviction_is_least_recently_applied_and_bounded() {
+        let mut t = DedupTable::new(3);
+        t.record(1, 1);
+        t.record(2, 1);
+        t.record(3, 1);
+        // Refresh client 1: it is now the most recent.
+        t.record(1, 2);
+        assert_eq!(t.record(4, 1), 1, "one eviction at cap");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.last_seq(2), None, "client 2 was the oldest applier");
+        assert_eq!(t.last_seq(1), Some(2));
+        assert_eq!(t.last_seq(3), Some(1));
+        assert_eq!(t.last_seq(4), Some(1));
+    }
+
+    #[test]
+    fn duplicate_reads_do_not_refresh_recency() {
+        let mut t = DedupTable::new(2);
+        t.record(1, 1);
+        t.record(2, 1);
+        // Reading client 1 must not save it from eviction.
+        assert_eq!(t.last_seq(1), Some(1));
+        t.record(3, 1);
+        assert_eq!(t.last_seq(1), None, "reads must not bump recency");
+        assert_eq!(t.last_seq(2), Some(1));
+    }
+
+    #[test]
+    fn zero_capacity_is_unbounded() {
+        let mut t = DedupTable::new(0);
+        for client in 0..1000 {
+            assert_eq!(t.record(client, 1), 0);
+        }
+        assert_eq!(t.len(), 1000);
+    }
+
+    #[test]
+    fn restore_round_trips_entries_and_touch_counter() {
+        let mut t = DedupTable::new(4);
+        t.record(9, 2);
+        t.record(4, 7);
+        t.record(9, 3);
+        let entries = t.entries();
+        let next = t.next_touch();
+
+        let mut r = DedupTable::new(4);
+        r.restore(next, &entries);
+        assert_eq!(r.entries(), entries);
+        assert_eq!(r.next_touch(), next);
+        assert_eq!(r.last_seq(9), Some(3));
+        // And the recency sequence continues identically.
+        t.record(5, 1);
+        r.record(5, 1);
+        assert_eq!(r.entries(), t.entries());
+    }
+
+    #[test]
+    fn restore_beyond_a_lowered_cap_evicts_on_next_record() {
+        let mut t = DedupTable::new(0);
+        for client in 0..5 {
+            t.record(client, 1);
+        }
+        let mut r = DedupTable::new(3);
+        r.restore(t.next_touch(), &t.entries());
+        assert_eq!(r.len(), 5, "restore keeps checkpointed entries");
+        assert_eq!(r.record(9, 1), 3, "next record evicts down to cap");
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -28,7 +28,16 @@
 //! * [`faults`] — [`FaultStream`]/[`FaultSchedule`], a deterministic
 //!   in-process fault proxy (drops, delays, truncations, resets, busy
 //!   refusals on a seeded schedule) used by the tests and the
-//!   `repro -- fleet --faults` experiment.
+//!   `repro -- fleet --faults` experiment; it also carries the
+//!   scripted crash points ([`CrashSite`]/[`CrashSpec`]) the durable
+//!   store (`cbs-store`) honours in its write path.
+//!
+//! The server's write path is abstracted behind [`ProfileJournal`]
+//! ([`journal`]): the default [`MemJournal`] applies straight to the
+//! aggregator, while `cbs-store`'s `ProfileStore` journals every
+//! accepted operation to a write-ahead log first so a restart recovers
+//! the aggregator — and the bounded [`DedupTable`] ([`dedup`]) —
+//! bit-for-bit.
 //!
 //! ## Loopback example
 //!
@@ -62,7 +71,9 @@
 pub mod aggregator;
 pub mod client;
 pub mod codec;
+pub mod dedup;
 pub mod faults;
+pub mod journal;
 pub mod metrics;
 pub mod resilient;
 pub mod server;
@@ -71,8 +82,10 @@ pub mod wire;
 pub use aggregator::{AggregatorConfig, AggregatorStats, IngestScratch, ShardedAggregator};
 pub use client::{ClientError, ProfileClient, PushOutcome};
 pub use codec::{CodecError, DcgCodec, DcgFrame, FrameKind};
-pub use faults::{Fault, FaultCounts, FaultSchedule, FaultStream};
+pub use dedup::{DedupEntry, DedupTable};
+pub use faults::{CrashSite, CrashSpec, Fault, FaultCounts, FaultSchedule, FaultStream};
+pub use journal::{DedupUsage, JournalError, MemJournal, ProfileJournal, SeqIngest};
 pub use metrics::ProfiledMetrics;
 pub use resilient::{backoff_for_attempt, ResilientClient, RetryPolicy, TransportStats};
-pub use server::{serve, ServerHandle};
+pub use server::{serve, serve_with, ServerConfig, ServerHandle};
 pub use wire::NetConfig;

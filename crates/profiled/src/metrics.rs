@@ -50,6 +50,9 @@ pub struct ProfiledMetrics {
     pub server_dedup_hits: Counter,
     /// Times the seq-dedup mutex was recovered from poisoning.
     pub server_seq_lock_recovered: Counter,
+    /// Clients evicted from the bounded dedup table (least recently
+    /// applied first).
+    pub server_dedup_evictions: Counter,
     /// Request frame sizes, bytes (body, excluding the length prefix).
     pub server_frame_bytes_in: Histogram,
     /// Reply frame sizes, bytes (body, excluding the length prefix).
@@ -149,6 +152,10 @@ impl ProfiledMetrics {
                 server_seq_lock_recovered: r.counter(
                     "profiled.server.seq_lock_recovered",
                     "seq-dedup mutex poisonings recovered",
+                ),
+                server_dedup_evictions: r.counter(
+                    "profiled.server.dedup_evictions",
+                    "clients evicted from the bounded dedup table",
                 ),
                 server_frame_bytes_in: r.histogram(
                     "profiled.server.frame_bytes_in",

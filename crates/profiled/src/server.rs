@@ -9,10 +9,15 @@
 //! with `ST_ERR`, then the connection — never the server — is dropped).
 //!
 //! All connection threads share one [`ShardedAggregator`] behind an
-//! `Arc`, so pushes from many VMs interleave at shard granularity. A
-//! shared per-client sequence table backs the exactly-once
-//! `OP_PUSH_SEQ` op: retries of a maybe-delivered frame are
-//! acknowledged without being re-applied, which is what lets the
+//! `Arc`, so pushes from many VMs interleave at shard granularity.
+//! Every state-changing op flows through a shared [`ProfileJournal`]
+//! before it is acknowledged: the default [`MemJournal`] applies
+//! straight to the aggregator, while a durable journal (`cbs-store`'s
+//! `ProfileStore`, wired in via [`ServerConfig::journal`]) appends to a
+//! write-ahead log first so a restart loses nothing it acked. The
+//! journal also owns the bounded per-client sequence table backing the
+//! exactly-once `OP_PUSH_SEQ` op: retries of a maybe-delivered frame
+//! are acknowledged without being re-applied, which is what lets the
 //! resilient client requeue and blindly resend after any fault.
 //!
 //! Shutdown is drain-and-refuse: once [`ServerHandle::shutdown`] flips
@@ -22,39 +27,43 @@
 //! dropped.
 
 use crate::aggregator::{IngestScratch, ShardedAggregator};
-use crate::codec::DcgCodec;
+use crate::dedup::DedupTable;
+use crate::journal::{JournalError, MemJournal, ProfileJournal, SeqIngest};
 use crate::metrics::ProfiledMetrics;
 use crate::wire::{
     read_msg_into, write_msg, NetConfig, CHUNK_REPLY_OVERHEAD, OP_EPOCH, OP_METRICS, OP_PULL,
     OP_PULL_CHUNK, OP_PUSH, OP_PUSH_SEQ, OP_STATS, ST_ERR, ST_OK,
 };
-use std::collections::HashMap;
 use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// Highest applied push sequence per client id (the `OP_PUSH_SEQ`
-/// dedup table), shared by every connection thread.
-type SeqTable = Arc<Mutex<HashMap<u64, u64>>>;
+/// Tuning for [`serve_with`] beyond the transport knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Transport limits and timeouts.
+    pub net: NetConfig,
+    /// Client cap of the `OP_PUSH_SEQ` dedup table (`0` = unbounded).
+    /// Ignored when [`journal`](Self::journal) is supplied — a journal
+    /// brings its own table.
+    pub dedup_capacity: usize,
+    /// The write path. `None` serves purely in memory via
+    /// [`MemJournal`]; supply a durable journal (e.g. `cbs-store`'s
+    /// `ProfileStore`) to journal every accepted op before it is acked.
+    pub journal: Option<Arc<dyn ProfileJournal>>,
+}
 
-/// Locks the seq-dedup table, recovering from poisoning.
-///
-/// A handler that panics mid-update leaves the table *valid*: either
-/// the frame was applied and its sequence recorded, or neither
-/// happened — `u64` inserts cannot be observed half-done. Treating the
-/// poison as fatal (the old `.expect`) turned one crashed connection
-/// into a permanent outage of every later `OP_PUSH_SEQ` exchange.
-fn lock_seqs<'a>(
-    seqs: &'a SeqTable,
-    metrics: &ProfiledMetrics,
-) -> MutexGuard<'a, HashMap<u64, u64>> {
-    seqs.lock().unwrap_or_else(|e: PoisonError<_>| {
-        metrics.server_seq_lock_recovered.inc();
-        e.into_inner()
-    })
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            net: NetConfig::default(),
+            dedup_capacity: DedupTable::DEFAULT_CAPACITY,
+            journal: None,
+        }
+    }
 }
 
 /// A running profile server; dropping the handle leaves the server
@@ -65,7 +74,7 @@ pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     aggregator: Arc<ShardedAggregator>,
-    seqs: SeqTable,
+    journal: Arc<dyn ProfileJournal>,
 }
 
 impl ServerHandle {
@@ -83,7 +92,12 @@ impl ServerHandle {
     /// Number of clients currently tracked by the `OP_PUSH_SEQ` dedup
     /// table (the in-process view of the `dedup_clients` stats field).
     pub fn dedup_clients(&self) -> usize {
-        lock_seqs(&self.seqs, ProfiledMetrics::get()).len()
+        self.journal.dedup_usage().clients
+    }
+
+    /// The journal every state-changing op flows through.
+    pub fn journal(&self) -> &Arc<dyn ProfileJournal> {
+        &self.journal
     }
 
     /// Stops accepting connections and joins the accept loop.
@@ -116,22 +130,50 @@ pub fn serve(
     aggregator: Arc<ShardedAggregator>,
     config: NetConfig,
 ) -> io::Result<ServerHandle> {
+    serve_with(
+        addr,
+        aggregator,
+        ServerConfig {
+            net: config,
+            ..ServerConfig::default()
+        },
+    )
+}
+
+/// [`serve`] with the full [`ServerConfig`]: a custom dedup cap and an
+/// optional durable journal in front of the aggregator.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve_with(
+    addr: impl ToSocketAddrs,
+    aggregator: Arc<ShardedAggregator>,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
-    let seqs: SeqTable = Arc::new(Mutex::new(HashMap::new()));
+    let journal: Arc<dyn ProfileJournal> = match config.journal {
+        Some(j) => j,
+        None => Arc::new(MemJournal::with_capacity(
+            Arc::clone(&aggregator),
+            config.dedup_capacity,
+        )),
+    };
+    let net = config.net;
     let accept_thread = {
         let aggregator = Arc::clone(&aggregator);
         let stop = Arc::clone(&stop);
-        let seqs = Arc::clone(&seqs);
-        std::thread::spawn(move || accept_loop(&listener, &aggregator, &stop, &seqs, config))
+        let journal = Arc::clone(&journal);
+        std::thread::spawn(move || accept_loop(&listener, &aggregator, &stop, &journal, net))
     };
     Ok(ServerHandle {
         addr: local,
         stop,
         accept_thread: Some(accept_thread),
         aggregator,
-        seqs,
+        journal,
     })
 }
 
@@ -157,7 +199,7 @@ fn accept_loop(
     listener: &TcpListener,
     aggregator: &Arc<ShardedAggregator>,
     stop: &Arc<AtomicBool>,
-    seqs: &SeqTable,
+    journal: &Arc<dyn ProfileJournal>,
     config: NetConfig,
 ) {
     let metrics = ProfiledMetrics::get();
@@ -185,7 +227,7 @@ fn accept_loop(
         metrics.server_connections.inc();
         let slot = SlotGuard::acquire(&active);
         let aggregator = Arc::clone(aggregator);
-        let seqs = Arc::clone(seqs);
+        let journal = Arc::clone(journal);
         std::thread::spawn(move || {
             // The guard rides inside the thread: a panic anywhere in
             // `serve_connection` unwinds through it and still releases
@@ -193,7 +235,7 @@ fn accept_loop(
             // input — every decode error is an ST_ERR reply — so this
             // covers e.g. allocation failure).
             let _slot = slot;
-            let _ = serve_connection(stream, &aggregator, &seqs, config);
+            let _ = serve_connection(stream, &aggregator, &journal, config);
         });
     }
 }
@@ -257,15 +299,19 @@ fn reply(
     stream.write_all(out)
 }
 
-/// Drains a frame's record stream without applying it: the cheap
-/// validity check backing "bad frame beats duplicate" on the
-/// `OP_PUSH_SEQ` dedup path (a duplicate is acknowledged, not
-/// re-applied — but only if the retransmitted frame is well-formed).
-fn validate_frame(bytes: &[u8]) -> Result<(), crate::codec::CodecError> {
-    for rec in DcgCodec::records(bytes)? {
-        rec?;
+/// Answers a failed journaled op: codec failures count as bad frames,
+/// storage/crash failures only as error replies (the frame itself was
+/// fine; the client may retry once the journal recovers).
+fn reply_journal_err(
+    stream: &mut TcpStream,
+    m: &ProfiledMetrics,
+    out: &mut Vec<u8>,
+    e: &JournalError,
+) -> io::Result<()> {
+    if matches!(e, JournalError::Frame(_)) {
+        m.server_bad_frames.inc();
     }
-    Ok(())
+    reply(stream, m, out, &[&[ST_ERR], e.to_string().as_bytes()])
 }
 
 /// Serves one connection until EOF, timeout, or a fatal protocol error.
@@ -280,7 +326,7 @@ fn validate_frame(bytes: &[u8]) -> Result<(), crate::codec::CodecError> {
 fn serve_connection(
     mut stream: TcpStream,
     aggregator: &ShardedAggregator,
-    seqs: &SeqTable,
+    journal: &Arc<dyn ProfileJournal>,
     config: NetConfig,
 ) -> io::Result<()> {
     let m = ProfiledMetrics::get();
@@ -324,22 +370,16 @@ fn serve_connection(
         match *op {
             OP_PUSH => {
                 m.server_op_push.inc();
-                // Streaming ingest: records fold into the shard buckets
-                // as they decode; a malformed frame applies nothing.
-                match aggregator.ingest_frame_bytes(body, &mut scratch) {
+                // Journal-then-apply via the shared write path: the
+                // frame is durable (to the journal's policy) before the
+                // ST_OK goes out; a malformed frame applies nothing.
+                match journal.ingest_frame(body, &mut scratch) {
                     Ok(_) => {
                         reply(&mut stream, m, &mut out, &[&[ST_OK]])?;
                     }
                     Err(e) => {
-                        // Reject the frame, keep serving: framing is intact,
-                        // only the payload was bad.
-                        m.server_bad_frames.inc();
-                        reply(
-                            &mut stream,
-                            m,
-                            &mut out,
-                            &[&[ST_ERR], format!("bad frame: {e}").as_bytes()],
-                        )?;
+                        // Reject the op, keep serving: framing is intact.
+                        reply_journal_err(&mut stream, m, &mut out, &e)?;
                     }
                 }
             }
@@ -357,48 +397,19 @@ fn serve_connection(
                 let client_id = u64::from_be_bytes(body[0..8].try_into().expect("8 bytes"));
                 let seq = u64::from_be_bytes(body[8..16].try_into().expect("8 bytes"));
                 let frame = &body[16..];
-                // Hold the table lock across check-apply-record: a retry
-                // of the same batch arriving on a fresh connection while
-                // a zombie thread is mid-apply must observe apply+record
-                // atomically, or it could double-count the frame.
-                let mut table = lock_seqs(seqs, m);
-                let last = table.get(&client_id).copied().unwrap_or(0);
-                if seq > last {
-                    match aggregator.ingest_frame_bytes(frame, &mut scratch) {
-                        Ok(_) => {
-                            table.insert(client_id, seq);
-                            drop(table);
-                            reply(&mut stream, m, &mut out, &[&[ST_OK], b"applied"])?;
-                        }
-                        Err(e) => {
-                            drop(table);
-                            m.server_bad_frames.inc();
-                            reply(
-                                &mut stream,
-                                m,
-                                &mut out,
-                                &[&[ST_ERR], format!("bad frame: {e}").as_bytes()],
-                            )?;
-                        }
+                // The journal runs check-apply-record under one lock,
+                // so a retry racing a half-applied original observes
+                // the pair atomically.
+                match journal.ingest_sequenced(client_id, seq, frame, &mut scratch) {
+                    Ok(SeqIngest::Applied { .. }) => {
+                        reply(&mut stream, m, &mut out, &[&[ST_OK], b"applied"])?;
                     }
-                } else {
-                    drop(table);
-                    // Bad frame beats duplicate: the retransmission is
-                    // acknowledged only if it is well-formed.
-                    match validate_frame(frame) {
-                        Ok(()) => {
-                            m.server_dedup_hits.inc();
-                            reply(&mut stream, m, &mut out, &[&[ST_OK], b"duplicate"])?;
-                        }
-                        Err(e) => {
-                            m.server_bad_frames.inc();
-                            reply(
-                                &mut stream,
-                                m,
-                                &mut out,
-                                &[&[ST_ERR], format!("bad frame: {e}").as_bytes()],
-                            )?;
-                        }
+                    Ok(SeqIngest::Duplicate) => {
+                        m.server_dedup_hits.inc();
+                        reply(&mut stream, m, &mut out, &[&[ST_OK], b"duplicate"])?;
+                    }
+                    Err(e) => {
+                        reply_journal_err(&mut stream, m, &mut out, &e)?;
                     }
                 }
             }
@@ -471,10 +482,8 @@ fn serve_connection(
                 // version marker and the dedup-table keys, so v1 parsers
                 // (which read `key=value` lines and skip unknown keys)
                 // keep working.
-                let (dedup_clients, dedup_max_seq) = {
-                    let t = lock_seqs(seqs, m);
-                    (t.len(), t.values().copied().max().unwrap_or(0))
-                };
+                let usage = journal.dedup_usage();
+                let (dedup_clients, dedup_max_seq) = (usage.clients, usage.max_seq);
                 let text = format!(
                     "frames={}\nrecords={}\nepoch={}\nedges={}\nshards={}\n\
                      stats_version=2\ndedup_clients={dedup_clients}\ndedup_max_seq={dedup_max_seq}\n",
@@ -494,20 +503,22 @@ fn serve_connection(
                 m.agg_epoch.set(s.epoch as i64);
                 m.agg_edges.set(s.total_edges() as i64);
                 m.publish_shard_edges(&s.shard_edges);
-                let dedup_clients = lock_seqs(seqs, m).len();
-                m.server_dedup_clients.set(dedup_clients as i64);
+                m.server_dedup_clients
+                    .set(journal.dedup_usage().clients as i64);
                 let text = cbs_telemetry::global().render();
                 reply(&mut stream, m, &mut out, &[&[ST_OK], text.as_bytes()])?;
             }
             OP_EPOCH => {
                 m.server_op_epoch.inc();
-                let epoch = aggregator.advance_epoch();
-                reply(
-                    &mut stream,
-                    m,
-                    &mut out,
-                    &[&[ST_OK], epoch.to_string().as_bytes()],
-                )?;
+                match journal.advance_epoch() {
+                    Ok(epoch) => reply(
+                        &mut stream,
+                        m,
+                        &mut out,
+                        &[&[ST_OK], epoch.to_string().as_bytes()],
+                    )?,
+                    Err(e) => reply_journal_err(&mut stream, m, &mut out, &e)?,
+                }
             }
             other => {
                 let _ = reply(
@@ -529,6 +540,7 @@ mod tests {
     use super::*;
     use crate::aggregator::AggregatorConfig;
     use crate::client::{ProfileClient, PushOutcome};
+    use crate::codec::DcgCodec;
     use crate::wire::read_msg;
 
     /// Regression for the inflight-slot leak: a panic while holding a
@@ -566,16 +578,25 @@ mod tests {
     #[test]
     fn push_seq_keeps_working_after_a_handler_panic_poisons_the_seq_table() {
         let agg = Arc::new(ShardedAggregator::new(AggregatorConfig::with_shards(2)));
-        let server = serve("127.0.0.1:0", agg, NetConfig::default()).expect("binds");
+        let mem = Arc::new(MemJournal::new(Arc::clone(&agg)));
+        let server = serve_with(
+            "127.0.0.1:0",
+            agg,
+            ServerConfig {
+                journal: Some(Arc::clone(&mem) as Arc<dyn ProfileJournal>),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("binds");
         // Script the handler panic: grab the shared table the way a
         // connection thread does, then unwind while holding it.
-        let seqs = Arc::clone(&server.seqs);
+        let table = Arc::clone(&mem);
         let panicker = std::thread::spawn(move || {
-            let _guard = seqs.lock().expect("first locker sees no poison");
+            let _guard = table.dedup().lock().expect("first locker sees no poison");
             panic!("scripted handler panic while holding the seq table");
         });
         assert!(panicker.join().is_err(), "thread must have panicked");
-        assert!(server.seqs.is_poisoned(), "the mutex is really poisoned");
+        assert!(mem.dedup().is_poisoned(), "the mutex is really poisoned");
 
         let edge = cbs_dcg::CallEdge::new(
             cbs_bytecode::MethodId::new(1),
@@ -596,6 +617,66 @@ mod tests {
         );
         let fleet = client.pull().expect("pull");
         assert_eq!(fleet.weight(&edge), 2.0, "the duplicate was not re-applied");
+        server.shutdown();
+    }
+
+    /// Regression for the unbounded dedup table: pushes from more
+    /// distinct client ids than the cap must leave the table at the
+    /// cap (oldest clients evicted) while duplicate detection keeps
+    /// working for clients still resident.
+    #[test]
+    fn dedup_table_is_bounded_under_client_churn() {
+        let agg = Arc::new(ShardedAggregator::new(AggregatorConfig::with_shards(2)));
+        let cap = 8usize;
+        let server = serve_with(
+            "127.0.0.1:0",
+            agg,
+            ServerConfig {
+                dedup_capacity: cap,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("binds");
+        let edge = cbs_dcg::CallEdge::new(
+            cbs_bytecode::MethodId::new(1),
+            cbs_bytecode::CallSiteId::new(0),
+            cbs_bytecode::MethodId::new(2),
+        );
+        let frame = DcgCodec::encode_delta(&[(edge, 1.0)]);
+        let mut client =
+            ProfileClient::connect(server.addr(), NetConfig::default()).expect("connects");
+        // 3× the cap of distinct clients churn through.
+        for id in 1..=(3 * cap as u64) {
+            assert_eq!(
+                client.push_seq(id, 1, &frame).expect("served"),
+                PushOutcome::Applied
+            );
+        }
+        assert_eq!(
+            server.dedup_clients(),
+            cap,
+            "table must be bounded by the configured cap"
+        );
+        // The most recent clients are resident: their retries dedup.
+        let live = 3 * cap as u64;
+        assert_eq!(
+            client.push_seq(live, 1, &frame).expect("served"),
+            PushOutcome::Duplicate,
+            "live client's retry must be acknowledged, not re-applied"
+        );
+        // An evicted client's history is forgotten: its old sequence
+        // is applied again (at-least-once after eviction, by design).
+        assert_eq!(
+            client.push_seq(1, 1, &frame).expect("served"),
+            PushOutcome::Applied,
+            "evicted client is treated as new"
+        );
+        let fleet = client.pull().expect("pull");
+        assert_eq!(
+            fleet.weight(&edge),
+            (3 * cap + 1) as f64,
+            "each applied push added exactly one unit of weight"
+        );
         server.shutdown();
     }
 

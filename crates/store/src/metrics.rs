@@ -1,0 +1,45 @@
+//! Static telemetry handles for the durable store, registered in the
+//! process-wide [`cbs_telemetry::global`] registry (naming scheme
+//! `store.<subsystem>.<metric>`). All counters here are deterministic
+//! for a deterministic workload.
+
+use cbs_telemetry::{global, Counter};
+use std::sync::OnceLock;
+
+/// The store's metric handles. Obtain via [`StoreMetrics::get`].
+#[derive(Debug)]
+pub struct StoreMetrics {
+    /// WAL records appended (frames, sequenced frames, epoch advances).
+    pub wal_appends: Counter,
+    /// WAL bytes written (framing included).
+    pub wal_bytes: Counter,
+    /// Checkpoints committed.
+    pub checkpoints: Counter,
+    /// Frames re-applied from the WAL during recovery.
+    pub recovery_replayed_frames: Counter,
+    /// Recoveries that truncated a torn or corrupt WAL tail.
+    pub recovery_truncated_tail: Counter,
+}
+
+impl StoreMetrics {
+    /// The process-wide handles, registered on first call.
+    pub fn get() -> &'static StoreMetrics {
+        static HANDLES: OnceLock<StoreMetrics> = OnceLock::new();
+        HANDLES.get_or_init(|| {
+            let r = global();
+            StoreMetrics {
+                wal_appends: r.counter("store.wal.appends", "WAL records appended"),
+                wal_bytes: r.counter("store.wal.bytes", "WAL bytes written (framing included)"),
+                checkpoints: r.counter("store.checkpoints", "checkpoints committed"),
+                recovery_replayed_frames: r.counter(
+                    "store.recovery.replayed_frames",
+                    "frames re-applied from the WAL during recovery",
+                ),
+                recovery_truncated_tail: r.counter(
+                    "store.recovery.truncated_tail",
+                    "recoveries that truncated a torn or corrupt WAL tail",
+                ),
+            }
+        })
+    }
+}

@@ -1,0 +1,560 @@
+//! [`ProfileStore`]: the durable [`ProfileJournal`] implementation.
+//!
+//! Every accepted operation is appended to the WAL *before* the server
+//! acknowledges it, and applied to the aggregator under the same lock
+//! the append holds — so the log's record order is exactly the apply
+//! order, and replaying the log through the identical
+//! [`ShardedAggregator::ingest_frame_bytes`] path reproduces the
+//! aggregator bit-for-bit. Periodic checkpoints bound replay time:
+//! a checkpoint rotates the WAL, snapshots graph + epoch + counters +
+//! dedup table in that same critical section, installs the snapshot
+//! atomically, and deletes the segments it subsumes.
+//!
+//! ## Recovery invariant
+//!
+//! After `open`, the store's observable state — the encoded snapshot,
+//! the decay epoch, the dedup table (entries *and* recency counter),
+//! and the lifetime frame/record counters — is byte-identical to an
+//! uninterrupted store that ingested exactly the durable prefix of
+//! operations. A torn or corrupt WAL tail is detected by CRC, truncated
+//! away, and reported; it is never an error and never half-applied.
+//!
+//! ## Crash injection
+//!
+//! For tests, a [`FaultSchedule`] armed with a [`CrashSpec`] makes the
+//! store simulate a power loss at a scripted [`CrashSite`]: the write
+//! path performs exactly the disk writes that would have landed, sets a
+//! poisoned flag, and fails every later operation with
+//! [`JournalError::Crashed`] until the directory is reopened.
+
+use crate::checkpoint::{Checkpoint, CKPT_TMP_FILE};
+use crate::metrics::StoreMetrics;
+use crate::wal::{
+    self, decode_op, encode_epoch, encode_frame, encode_seq_frame, list_segments, scan_segment,
+    SegmentWriter, WalOp, RECORD_OVERHEAD, WAL_HEADER_LEN,
+};
+use cbs_profiled::{
+    CrashSite, CrashSpec, DcgCodec, DedupEntry, DedupTable, DedupUsage, FaultSchedule, FrameKind,
+    IngestScratch, JournalError, ProfileJournal, SeqIngest, ShardedAggregator,
+};
+use std::fs::{self, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// When the WAL file is fsynced relative to the acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync before every ack: an acked operation survives power loss.
+    Always,
+    /// Never sync explicitly: an acked operation survives a process
+    /// crash (the write reached the kernel) but not a power loss.
+    Never,
+    /// Sync every `n`-th append: bounded loss window, near-`Never`
+    /// throughput.
+    EveryN(u64),
+}
+
+impl FromStr for FsyncPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "always" => Ok(Self::Always),
+            "never" => Ok(Self::Never),
+            n => n
+                .parse::<u64>()
+                .ok()
+                .filter(|&n| n > 0)
+                .map(Self::EveryN)
+                .ok_or_else(|| format!("fsync policy must be 'always', 'never', or a count: {s}")),
+        }
+    }
+}
+
+/// Durable-store configuration.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// WAL fsync policy.
+    pub fsync: FsyncPolicy,
+    /// Applied frames between automatic checkpoints (`0` = only
+    /// explicit [`ProfileStore::checkpoint_now`] calls).
+    pub checkpoint_every: u64,
+    /// Dedup-table client cap (`0` = unbounded).
+    pub dedup_capacity: usize,
+    /// Largest WAL record payload accepted (a guard against a
+    /// misconfigured frame limit upstream).
+    pub max_record_bytes: usize,
+    /// Fault schedule carrying scripted crash points, if any.
+    pub faults: Option<Arc<Mutex<FaultSchedule>>>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: 1024,
+            dedup_capacity: DedupTable::DEFAULT_CAPACITY,
+            max_record_bytes: 64 << 20,
+            faults: None,
+        }
+    }
+}
+
+/// What recovery found and did while opening the store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The committed checkpoint's epoch, when one was loaded.
+    pub checkpoint_epoch: Option<u64>,
+    /// WAL segments scanned (checkpoint-subsumed leftovers excluded).
+    pub segments_scanned: usize,
+    /// Stale segments (subsumed by the checkpoint) deleted.
+    pub stale_segments_removed: usize,
+    /// Frames re-applied from the WAL.
+    pub replayed_frames: u64,
+    /// Edge records those frames carried.
+    pub replayed_records: u64,
+    /// Epoch advances re-applied from the WAL.
+    pub replayed_epochs: u64,
+    /// `true` when a torn/corrupt tail was truncated away.
+    pub truncated_tail: bool,
+    /// Where the truncation happened: (segment seq, byte offset).
+    pub truncated_at: Option<(u64, u64)>,
+}
+
+#[derive(Debug)]
+struct StoreInner {
+    wal: SegmentWriter,
+    dedup: DedupTable,
+    frames_since_checkpoint: u64,
+    appends_since_sync: u64,
+    crashed: bool,
+}
+
+/// The durable profile journal. See the module docs.
+#[derive(Debug)]
+pub struct ProfileStore {
+    dir: PathBuf,
+    aggregator: Arc<ShardedAggregator>,
+    config: StoreConfig,
+    recovery: RecoveryReport,
+    inner: Mutex<StoreInner>,
+}
+
+impl ProfileStore {
+    /// Opens (or initializes) the store in `dir`, recovering
+    /// checkpoint + WAL tail into `aggregator` — which must be fresh
+    /// (zero frames, epoch zero): recovery rebuilds it from disk.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a corrupt checkpoint (`InvalidData`), or a
+    /// non-fresh aggregator (`InvalidInput`). A torn/corrupt WAL tail
+    /// is *not* an error — it is truncated and reported in the
+    /// [`RecoveryReport`].
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        aggregator: Arc<ShardedAggregator>,
+        config: StoreConfig,
+    ) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let stats = aggregator.stats();
+        if stats.frames != 0 || stats.epoch != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "ProfileStore::open requires a fresh aggregator (recovery rebuilds it)",
+            ));
+        }
+        // A crash can leave a prepared-but-uncommitted checkpoint temp
+        // behind; it was never acknowledged as installed, so drop it.
+        let _ = fs::remove_file(dir.join(CKPT_TMP_FILE));
+
+        let mut report = RecoveryReport::default();
+        let mut dedup = DedupTable::new(config.dedup_capacity);
+        let mut scratch = IngestScratch::new();
+        let (mut base_frames, mut base_records) = (0u64, 0u64);
+        let mut min_seq = 0u64;
+
+        if let Some(ckpt) = Checkpoint::load(&dir)? {
+            // Ingest the snapshot at epoch zero (undecayed — the bytes
+            // are post-catch-up), then stamp the clock without decaying.
+            aggregator
+                .ingest_frame_bytes(&ckpt.snapshot, &mut scratch)
+                .map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("checkpoint snapshot failed to decode: {e}"),
+                    )
+                })?;
+            aggregator.restore_clock(ckpt.epoch);
+            dedup.restore(ckpt.next_touch, &ckpt.dedup);
+            base_frames = ckpt.frames;
+            base_records = ckpt.records;
+            min_seq = ckpt.wal_seq;
+            report.checkpoint_epoch = Some(ckpt.epoch);
+        }
+
+        let mut max_seq_seen = min_seq;
+        let mut live = Vec::new();
+        for (seq, path) in list_segments(&dir)? {
+            max_seq_seen = max_seq_seen.max(seq);
+            if seq < min_seq {
+                // Subsumed by the checkpoint: a crash between the
+                // checkpoint rename and segment deletion left it here.
+                fs::remove_file(&path)?;
+                report.stale_segments_removed += 1;
+            } else {
+                live.push((seq, path));
+            }
+        }
+
+        let mut cut: Option<(usize, u64, PathBuf)> = None; // (live idx, offset, path)
+        'segments: for (idx, (_seq, path)) in live.iter().enumerate() {
+            report.segments_scanned += 1;
+            let scan = scan_segment(path)?;
+            for record in &scan.records {
+                let applied = match decode_op(&record.payload) {
+                    Some(WalOp::Frame(frame)) => {
+                        Some(aggregator.ingest_frame_bytes(frame, &mut scratch))
+                    }
+                    Some(WalOp::SeqFrame { client, seq, frame }) => {
+                        // The writer only journals applied sequences, so
+                        // a replayed pair is always new relative to the
+                        // restored table; the guard is pure defense.
+                        if dedup.last_seq(client).is_none_or(|last| seq > last) {
+                            let applied = aggregator.ingest_frame_bytes(frame, &mut scratch);
+                            if applied.is_ok() {
+                                dedup.record(client, seq);
+                            }
+                            Some(applied)
+                        } else {
+                            None
+                        }
+                    }
+                    Some(WalOp::Epoch(_)) => {
+                        aggregator.advance_epoch();
+                        report.replayed_epochs += 1;
+                        None
+                    }
+                    None => {
+                        // CRC-intact but undecodable: corruption (or a
+                        // crash between an append and its failed-apply
+                        // truncation). Cut here.
+                        cut = Some((idx, record.offset, path.clone()));
+                        break 'segments;
+                    }
+                };
+                match applied {
+                    Some(Ok((_, records))) => {
+                        report.replayed_frames += 1;
+                        report.replayed_records += records as u64;
+                    }
+                    Some(Err(_)) => {
+                        // Same policy as an undecodable payload.
+                        cut = Some((idx, record.offset, path.clone()));
+                        break 'segments;
+                    }
+                    None => {}
+                }
+            }
+            if scan.corrupt {
+                cut = Some((idx, scan.valid_len, path.clone()));
+                break 'segments;
+            }
+        }
+
+        if let Some((idx, offset, path)) = cut {
+            let seq = live[idx].0;
+            if offset < WAL_HEADER_LEN {
+                // Even the header is gone; nothing in the file is real.
+                fs::remove_file(&path)?;
+            } else {
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(offset)?;
+                f.sync_all()?;
+            }
+            // Anything after the cut never became durable in order;
+            // later segments (if any) are unreachable tail too.
+            for (_, later) in &live[idx + 1..] {
+                fs::remove_file(later)?;
+            }
+            wal::sync_dir(&dir)?;
+            report.truncated_tail = true;
+            report.truncated_at = Some((seq, offset));
+            StoreMetrics::get().recovery_truncated_tail.inc();
+        }
+
+        aggregator.restore_counters(
+            base_frames + report.replayed_frames,
+            base_records + report.replayed_records,
+        );
+        StoreMetrics::get()
+            .recovery_replayed_frames
+            .add(report.replayed_frames);
+
+        let wal = SegmentWriter::create(&dir, max_seq_seen + 1)?;
+        Ok(Self {
+            dir,
+            aggregator,
+            config,
+            inner: Mutex::new(StoreInner {
+                wal,
+                dedup,
+                // A long replayed tail means the last checkpoint is
+                // stale; carry the count so the next ingest can trigger
+                // an automatic checkpoint promptly.
+                frames_since_checkpoint: report.replayed_frames,
+                appends_since_sync: 0,
+                crashed: false,
+            }),
+            recovery: report,
+        })
+    }
+
+    /// The aggregator this store recovers into and applies onto.
+    pub fn aggregator(&self) -> &Arc<ShardedAggregator> {
+        &self.aggregator
+    }
+
+    /// What recovery found when this store was opened.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// The store's data directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The dedup table's entries (sorted by client id) — exposed so
+    /// tests can assert bit-identical recovery of the table.
+    pub fn dedup_entries(&self) -> Vec<DedupEntry> {
+        self.lock_inner().dedup.entries()
+    }
+
+    /// The dedup table's touch counter.
+    pub fn dedup_next_touch(&self) -> u64 {
+        self.lock_inner().dedup.next_touch()
+    }
+
+    /// Takes a checkpoint now: rotates the WAL, snapshots the merged
+    /// graph + epoch + counters + dedup table, installs it atomically,
+    /// and deletes the subsumed segments.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Storage`] on I/O failure, [`JournalError::Crashed`]
+    /// after a scripted crash.
+    pub fn checkpoint_now(&self) -> Result<(), JournalError> {
+        let mut inner = self.lock_inner();
+        if inner.crashed {
+            return Err(JournalError::Crashed);
+        }
+        self.checkpoint_locked(&mut inner)
+    }
+
+    fn lock_inner(&self) -> MutexGuard<'_, StoreInner> {
+        // A panic while holding the lock leaves disk state unknown;
+        // poison the store rather than guessing.
+        self.inner.lock().unwrap_or_else(|e| {
+            let mut g = e.into_inner();
+            g.crashed = true;
+            g
+        })
+    }
+
+    fn crash_fires(&self, site: CrashSite) -> Option<CrashSpec> {
+        let faults = self.config.faults.as_ref()?;
+        faults
+            .lock()
+            .expect("fault schedule lock")
+            .crash_fires(site)
+    }
+
+    /// Appends `payload`, honouring the scripted crash sites, and
+    /// returns the pre-append offset for a failed-apply rollback.
+    fn append_record(&self, inner: &mut StoreInner, payload: &[u8]) -> Result<u64, JournalError> {
+        if payload.len() > self.config.max_record_bytes {
+            return Err(JournalError::Storage(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "WAL record of {} bytes exceeds max_record_bytes {}",
+                    payload.len(),
+                    self.config.max_record_bytes
+                ),
+            )));
+        }
+        if self.crash_fires(CrashSite::BeforeWalAppend).is_some() {
+            inner.crashed = true;
+            return Err(JournalError::Crashed);
+        }
+        if let Some(spec) = self.crash_fires(CrashSite::TornWalRecord) {
+            inner.wal.append_torn(payload, spec.torn_keep)?;
+            inner.crashed = true;
+            return Err(JournalError::Crashed);
+        }
+        Ok(inner.wal.append(payload)?)
+    }
+
+    /// The post-apply half of the write path: durability (per policy),
+    /// the after-append crash site, bookkeeping, auto-checkpoint.
+    fn commit_applied(
+        &self,
+        inner: &mut StoreInner,
+        record_payload_len: usize,
+        counts_frame: bool,
+    ) -> Result<(), JournalError> {
+        if self.crash_fires(CrashSite::AfterWalAppend).is_some() {
+            // The operation is durable (force the sync) but will never
+            // be acknowledged.
+            inner.wal.sync()?;
+            inner.crashed = true;
+            return Err(JournalError::Crashed);
+        }
+        match self.config.fsync {
+            FsyncPolicy::Always => inner.wal.sync()?,
+            FsyncPolicy::Never => {}
+            FsyncPolicy::EveryN(n) => {
+                inner.appends_since_sync += 1;
+                if inner.appends_since_sync >= n {
+                    inner.appends_since_sync = 0;
+                    inner.wal.sync()?;
+                }
+            }
+        }
+        let m = StoreMetrics::get();
+        m.wal_appends.inc();
+        m.wal_bytes.add(RECORD_OVERHEAD + record_payload_len as u64);
+        if counts_frame {
+            inner.frames_since_checkpoint += 1;
+            if self.config.checkpoint_every > 0
+                && inner.frames_since_checkpoint >= self.config.checkpoint_every
+            {
+                self.checkpoint_locked(inner)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn checkpoint_locked(&self, inner: &mut StoreInner) -> Result<(), JournalError> {
+        // Rotate first: records appended after this critical section go
+        // to the new segment, which is exactly the set the checkpoint
+        // does not capture.
+        inner.wal.sync()?;
+        let new_seq = inner.wal.seq() + 1;
+        inner.wal = SegmentWriter::create(&self.dir, new_seq)?;
+
+        let stats = self.aggregator.stats();
+        let ckpt = Checkpoint {
+            epoch: stats.epoch,
+            frames: stats.frames,
+            records: stats.records,
+            next_touch: inner.dedup.next_touch(),
+            wal_seq: new_seq,
+            dedup: inner.dedup.entries(),
+            snapshot: self.aggregator.encoded_snapshot().as_ref().clone(),
+        };
+        let tmp = ckpt.write_temp(&self.dir)?;
+        if self.crash_fires(CrashSite::MidCheckpoint).is_some() {
+            // The temp file is on disk but was never installed; recovery
+            // discards it and falls back to the previous checkpoint.
+            inner.crashed = true;
+            return Err(JournalError::Crashed);
+        }
+        Checkpoint::commit_temp(&self.dir, &tmp)?;
+        for (seq, path) in list_segments(&self.dir)? {
+            if seq < new_seq {
+                fs::remove_file(&path)?;
+            }
+        }
+        wal::sync_dir(&self.dir)?;
+        inner.frames_since_checkpoint = 0;
+        StoreMetrics::get().checkpoints.inc();
+        Ok(())
+    }
+}
+
+impl ProfileJournal for ProfileStore {
+    fn ingest_frame(
+        &self,
+        bytes: &[u8],
+        scratch: &mut IngestScratch,
+    ) -> Result<(FrameKind, usize), JournalError> {
+        let mut inner = self.lock_inner();
+        if inner.crashed {
+            return Err(JournalError::Crashed);
+        }
+        let offset = self.append_record(&mut inner, &encode_frame(bytes))?;
+        let (kind, records) = match self.aggregator.ingest_frame_bytes(bytes, scratch) {
+            Ok(applied) => applied,
+            Err(e) => {
+                // Journal-then-apply: a bad frame was appended before
+                // validation; un-append it. (A crash in between is
+                // absorbed by recovery's cut-at-first-bad-record rule.)
+                inner.wal.truncate_to(offset)?;
+                return Err(e.into());
+            }
+        };
+        self.commit_applied(&mut inner, 1 + bytes.len(), true)?;
+        Ok((kind, records))
+    }
+
+    fn ingest_sequenced(
+        &self,
+        client_id: u64,
+        seq: u64,
+        bytes: &[u8],
+        scratch: &mut IngestScratch,
+    ) -> Result<SeqIngest, JournalError> {
+        let mut inner = self.lock_inner();
+        if inner.crashed {
+            return Err(JournalError::Crashed);
+        }
+        let last = inner.dedup.last_seq(client_id).unwrap_or(0);
+        if seq <= last {
+            drop(inner);
+            // Bad frame beats duplicate, as in the in-memory journal —
+            // and duplicates are not journaled (they change nothing).
+            DcgCodec::validate(bytes)?;
+            return Ok(SeqIngest::Duplicate);
+        }
+        let payload = encode_seq_frame(client_id, seq, bytes);
+        let offset = self.append_record(&mut inner, &payload)?;
+        let (kind, records) = match self.aggregator.ingest_frame_bytes(bytes, scratch) {
+            Ok(applied) => applied,
+            Err(e) => {
+                inner.wal.truncate_to(offset)?;
+                return Err(e.into());
+            }
+        };
+        inner.dedup.record(client_id, seq);
+        self.commit_applied(&mut inner, payload.len(), true)?;
+        Ok(SeqIngest::Applied { kind, records })
+    }
+
+    fn advance_epoch(&self) -> Result<u64, JournalError> {
+        let mut inner = self.lock_inner();
+        if inner.crashed {
+            return Err(JournalError::Crashed);
+        }
+        // All mutation is serialized through this lock, so the epoch
+        // after the advance is knowable before applying it.
+        let epoch_after = self.aggregator.epoch() + 1;
+        let payload = encode_epoch(epoch_after);
+        self.append_record(&mut inner, &payload)?;
+        let advanced = self.aggregator.advance_epoch();
+        debug_assert_eq!(advanced, epoch_after);
+        self.commit_applied(&mut inner, payload.len(), false)?;
+        Ok(advanced)
+    }
+
+    fn dedup_usage(&self) -> DedupUsage {
+        let inner = self.lock_inner();
+        DedupUsage {
+            clients: inner.dedup.len(),
+            max_seq: inner.dedup.max_seq(),
+        }
+    }
+}

@@ -52,12 +52,20 @@ for key in records frames wire_bytes; do
 done
 for cfg in codec/encode codec/decode \
            aggregate/shards=1/serial aggregate/shards=4/serial aggregate/shards=8/serial \
-           aggregate/shards=8/streaming pull/rebuild pull/cached; do
+           aggregate/shards=4/streaming aggregate/shards=8/streaming \
+           pull/rebuild pull/cached wal/append recovery/replay; do
   grep -q "\"config\": \"$cfg\"" "$BENCH_JSON" \
     || { echo "FAIL: $BENCH_JSON missing config \"$cfg\"" >&2; exit 1; }
 done
 awk '/"median_ns"/ && $0 !~ /"median_ns": [1-9][0-9]*/ { bad = 1 } END { exit bad }' "$BENCH_JSON" \
   || { echo "FAIL: non-positive median_ns in $BENCH_JSON" >&2; exit 1; }
+# Durability acceptance bound: the WAL-on ingest path (async fsync) must
+# stay within 2x of the equivalent in-memory streaming path.
+awk -F'"median_ns": ' '
+  /"config": "aggregate\/shards=4\/streaming"/ { split($2, a, ","); mem = a[1] }
+  /"config": "wal\/append"/                    { split($2, a, ","); wal = a[1] }
+  END { if (mem == 0 || wal == 0 || wal > 2 * mem) exit 1 }' "$BENCH_JSON" \
+  || { echo "FAIL: wal/append median exceeds 2x aggregate/shards=4/streaming in $BENCH_JSON" >&2; exit 1; }
 
 if [[ "$BENCH_SMOKE" == "1" ]]; then
   echo "==> cargo bench (smoke: CBS_BENCH_SMOKE=1, one iteration per bench)"
@@ -74,9 +82,11 @@ echo "==> profiled loopback smoke (server + dcgtool push/pull/convert)"
 SMOKE_DIR="$(mktemp -d)"
 PROFILED_PID=""
 PROFILED2_PID=""
+PROFILED3_PID=""
 cleanup() {
   [[ -n "$PROFILED_PID" ]] && kill "$PROFILED_PID" 2>/dev/null || true
   [[ -n "$PROFILED2_PID" ]] && kill "$PROFILED2_PID" 2>/dev/null || true
+  [[ -n "$PROFILED3_PID" ]] && kill "$PROFILED3_PID" 2>/dev/null || true
   rm -rf "$SMOKE_DIR"
 }
 trap cleanup EXIT
@@ -135,5 +145,77 @@ timeout 60 "$DCGTOOL" push "$ADDR2" --faults 7 --fault-rate 0.3 --retries 32 --b
 timeout 60 "$DCGTOOL" pull "$ADDR2" --retries 8 --backoff-ms 1 "$SMOKE_DIR/merged_faulty.dcg"
 cmp "$SMOKE_DIR/a.dcg" "$SMOKE_DIR/merged_faulty.dcg" \
   || { echo "FAIL: profile pulled over the faulty transport differs from the clean one" >&2; exit 1; }
+
+echo "==> durable-store crash-recovery smoke (SIGKILL, restart, bit-identical pull)"
+# A store-backed server (--fsync always: every ack is durable) absorbs a
+# plain push and a sequenced exactly-once push, then dies by SIGKILL. A
+# restart on the same --data-dir must replay the WAL and serve a fleet
+# profile byte-identical to the pre-kill pull (i.e. to a serial re-ingest
+# of exactly the acked frames). Every client command is timeout-bounded.
+STORE_DIR="$SMOKE_DIR/store"
+wait_for_listening() {
+  local out="$1"
+  for _ in $(seq 1 50); do
+    grep -q '^listening ' "$out" && break
+    sleep 0.1
+  done
+  awk '/^listening /{print $2; exit}' "$out"
+}
+"$PROFILED" --addr 127.0.0.1:0 --shards 4 --data-dir "$STORE_DIR" --fsync always \
+  > "$SMOKE_DIR/server3.out" &
+PROFILED3_PID=$!
+ADDR3="$(wait_for_listening "$SMOKE_DIR/server3.out")"
+[[ -n "$ADDR3" ]] || { echo "FAIL: store-backed profiled did not report its address" >&2; exit 1; }
+grep -q '^recovered frames=0 ' "$SMOKE_DIR/server3.out" \
+  || { echo "FAIL: fresh data dir reported a non-empty recovery" >&2;
+       cat "$SMOKE_DIR/server3.out" >&2; exit 1; }
+timeout 60 "$DCGTOOL" push "$ADDR3" "$SMOKE_DIR/a.dcgb"
+timeout 60 "$DCGTOOL" push "$ADDR3" --seed 11 --retries 8 --backoff-ms 1 "$SMOKE_DIR/a.dcgb"
+timeout 60 "$DCGTOOL" pull "$ADDR3" "$SMOKE_DIR/pre_kill.dcg"
+kill -9 "$PROFILED3_PID"
+wait "$PROFILED3_PID" 2>/dev/null || true
+PROFILED3_PID=""
+timeout 60 "$DCGTOOL" store inspect "$STORE_DIR" > "$SMOKE_DIR/inspect.txt"
+grep -q '^segment ' "$SMOKE_DIR/inspect.txt" \
+  || { echo "FAIL: store inspect shows no WAL segment after the kill" >&2;
+       cat "$SMOKE_DIR/inspect.txt" >&2; exit 1; }
+"$PROFILED" --addr 127.0.0.1:0 --shards 4 --data-dir "$STORE_DIR" --fsync always \
+  > "$SMOKE_DIR/server4.out" &
+PROFILED3_PID=$!
+ADDR4="$(wait_for_listening "$SMOKE_DIR/server4.out")"
+[[ -n "$ADDR4" ]] || { echo "FAIL: restarted profiled did not report its address" >&2;
+                       cat "$SMOKE_DIR/server4.out" >&2; exit 1; }
+grep -Eq '^recovered frames=[1-9]' "$SMOKE_DIR/server4.out" \
+  || { echo "FAIL: restart after SIGKILL replayed no frames" >&2;
+       cat "$SMOKE_DIR/server4.out" >&2; exit 1; }
+timeout 60 "$DCGTOOL" pull "$ADDR4" "$SMOKE_DIR/post_kill.dcg"
+cmp "$SMOKE_DIR/pre_kill.dcg" "$SMOKE_DIR/post_kill.dcg" \
+  || { echo "FAIL: recovered fleet profile differs from the pre-kill pull" >&2; exit 1; }
+kill "$PROFILED3_PID" 2>/dev/null || true
+wait "$PROFILED3_PID" 2>/dev/null || true
+PROFILED3_PID=""
+# Offline compaction folds the WAL into a checkpoint; a restart then
+# replays nothing yet still serves the identical profile.
+timeout 60 "$DCGTOOL" store compact "$STORE_DIR" --shards 4
+"$PROFILED" --addr 127.0.0.1:0 --shards 4 --data-dir "$STORE_DIR" --fsync always \
+  > "$SMOKE_DIR/server5.out" &
+PROFILED3_PID=$!
+ADDR5="$(wait_for_listening "$SMOKE_DIR/server5.out")"
+[[ -n "$ADDR5" ]] || { echo "FAIL: post-compaction profiled did not report its address" >&2;
+                       cat "$SMOKE_DIR/server5.out" >&2; exit 1; }
+grep -Eq '^recovered frames=0 .* checkpoint_epoch=[0-9]' "$SMOKE_DIR/server5.out" \
+  || { echo "FAIL: compacted store should recover from the checkpoint alone" >&2;
+       cat "$SMOKE_DIR/server5.out" >&2; exit 1; }
+timeout 60 "$DCGTOOL" pull "$ADDR5" "$SMOKE_DIR/post_compact.dcg"
+cmp "$SMOKE_DIR/pre_kill.dcg" "$SMOKE_DIR/post_compact.dcg" \
+  || { echo "FAIL: compacted store serves a different fleet profile" >&2; exit 1; }
+
+echo "==> repro fleet render pin (deterministic output matches the committed artifact)"
+# The fleet table and its telemetry counters are fully deterministic, so
+# the committed render must never drift from what the binary produces.
+timeout 300 target/release/repro fleet > "$SMOKE_DIR/fleet_render.txt"
+cmp repro_fleet_output.txt "$SMOKE_DIR/fleet_render.txt" \
+  || { echo "FAIL: repro fleet output drifted from repro_fleet_output.txt" \
+            "(regenerate: target/release/repro fleet > repro_fleet_output.txt)" >&2; exit 1; }
 
 echo "OK: all gates passed"
