@@ -12,6 +12,7 @@
 //! dcgtool convert <in> <out> [--to text|binary]  # text v1 <-> binary
 //! dcgtool push    <host:port> <profile>...       # send to a profiled server
 //! dcgtool pull    <host:port> <out>              # fetch merged fleet profile
+//! dcgtool plan    <host:port>                    # fetch + render fleet inlining plan
 //! dcgtool stats   <host:port>                    # ingestion + dedup counters
 //! dcgtool metrics <host:port>                    # telemetry text exposition
 //! dcgtool store inspect <dir>                    # durable-store summary
@@ -462,9 +463,30 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 Ok(())
             }
         }
+        Some("plan") => {
+            let (positional, opts) = split_transport_flags(&args[1..])?;
+            let addr = positional.first().ok_or("plan needs a server address")?;
+            // The fleet plan: NewLinearPolicy + the 40% rule run
+            // server-side against the merged snapshot. Rendered as the
+            // deterministic `cbs-inline-plan v1` text format.
+            let plan = if opts.resilient() {
+                let mut client = ResilientClient::connect_tcp(
+                    addr.as_str(),
+                    NetConfig::default(),
+                    opts.policy(),
+                    opts.seed.unwrap_or(0x5EED),
+                );
+                client.pull_plan()?
+            } else {
+                let mut client = ProfileClient::connect(addr.as_str(), NetConfig::default())?;
+                client.pull_plan()?
+            };
+            print!("{}", plan.render());
+            Ok(())
+        }
         Some("store") => run_store(&args[1..]),
         _ => Err(
-            "usage: dcgtool collect|collect-all|merge|compare|shape|dot|convert|push|pull|stats|metrics|store …"
+            "usage: dcgtool collect|collect-all|merge|compare|shape|dot|convert|push|pull|plan|stats|metrics|store …"
                 .into(),
         ),
     }

@@ -6,7 +6,8 @@
 //! artifacts: table1 table2a table2b table3 figure1 figure5-jikes
 //!            figure5-j9 inliner-ablation exhaustive-overhead patching
 //!            frequency-sweep hardware context inline-depth shapes
-//!            fleet all (default; excludes fleet)
+//!            fleet fleet-optimize all (default; excludes the fleet
+//!            artifacts)
 //! ```
 //!
 //! `--scale 1.0` (default) runs benchmarks at the paper's running times
@@ -17,7 +18,7 @@
 
 use cbs_core::experiments::{
     context_sensitivity_with, exhaustive_overhead_with, figure1_demo, figure5_with,
-    fleet_faults_with, fleet_with, frequency_sweep, hardware_vs_cbs_with,
+    fleet_faults_with, fleet_optimize_with, fleet_with, frequency_sweep, hardware_vs_cbs_with,
     inline_depth_ablation_with, inliner_ablation_with, patching_vs_cbs_with, table1_with, table2,
     table3_with, workload_shapes_with, Table2Options,
 };
@@ -67,7 +68,7 @@ fn main() -> ExitCode {
                      [table1|table2a|table2b|\
                      table3|figure1|figure5-jikes|figure5-j9|inliner-ablation|\
                      exhaustive-overhead|patching|frequency-sweep|hardware|context|\
-                     inline-depth|shapes|fleet|all]\n\
+                     inline-depth|shapes|fleet|fleet-optimize|all]\n\
                      --faults (fleet only): stream profiles through a deterministic \
                      fault-injecting transport seeded by --seed"
                 );
@@ -114,6 +115,7 @@ fn run(
         "inline-depth",
         "shapes",
         "fleet",
+        "fleet-optimize",
     ];
     if !known.contains(&artifact) {
         return Err(format!("unknown artifact `{artifact}`").into());
@@ -206,6 +208,18 @@ fn run(
             .without_gauges()
             .nonzero();
         println!("== fleet telemetry (deterministic counters) ==");
+        print!("{}", delta.render());
+    }
+    // Not part of `all` for the same reason as `fleet`.
+    if artifact == "fleet-optimize" {
+        let telemetry_base = cbs_core::telemetry::global().snapshot();
+        println!("{}", fleet_optimize_with(scale, jobs)?.render());
+        let delta = cbs_core::telemetry::global()
+            .delta_since(&telemetry_base)
+            .deterministic()
+            .without_gauges()
+            .nonzero();
+        println!("== fleet-optimize telemetry (deterministic counters) ==");
         print!("{}", delta.render());
     }
     Ok(())

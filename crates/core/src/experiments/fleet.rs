@@ -35,7 +35,7 @@ use std::time::Duration;
 
 /// Per-VM sampler strides; their pairwise co-primality decorrelates the
 /// replicas' sample streams.
-const STRIDES: [u32; 4] = [3, 5, 7, 11];
+pub(super) const STRIDES: [u32; 4] = [3, 5, 7, 11];
 
 /// Number of simulated VMs per benchmark.
 pub const FLEET_SIZE: usize = STRIDES.len();
@@ -335,7 +335,7 @@ impl FleetFaults {
     }
 }
 
-fn transport(e: impl std::fmt::Display) -> ExperimentError {
+pub(super) fn transport(e: impl std::fmt::Display) -> ExperimentError {
     ExperimentError::Transport(e.to_string())
 }
 

@@ -16,11 +16,13 @@
 //! | §3.1 exhaustive-counter cost | [`exhaustive_overhead`] |
 //! | §3.2 burst-profiling hazard | [`patching_vs_cbs`] |
 //! | Fleet aggregation (beyond the paper) | [`fleet`] |
+//! | Fleet exploitation (beyond the paper) | [`fleet_optimize`] |
 
 mod ablations;
 mod figure1;
 mod figure5;
 mod fleet;
+mod fleet_optimize;
 mod table1;
 mod table2;
 mod table3;
@@ -38,6 +40,7 @@ pub use fleet::{
     fleet, fleet_faults, fleet_faults_with, fleet_with, Fleet, FleetFaults, FleetFaultsRow,
     FleetRow, FLEET_SIZE,
 };
+pub use fleet_optimize::{fleet_optimize, fleet_optimize_with, FleetOptimize, FleetOptimizeRow};
 pub use table1::{
     table1, table1_with, workload_shapes, workload_shapes_with, Table1, Table1Row, WorkloadShapes,
 };

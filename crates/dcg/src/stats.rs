@@ -40,7 +40,13 @@ pub fn shape(dcg: &DynamicCallGraph) -> ProfileShape {
     let total: f64 = dcg.total_weight();
 
     let decile = (n / 10).max(1);
-    let top_decile_share: f64 = edges.iter().take(decile).map(|(_, w)| w).sum::<f64>() / total;
+    // A graph whose every edge decayed to zero weight has n > 0 with
+    // total == 0; dividing would yield NaN and poison sorted renders.
+    let top_decile_share: f64 = if total > 0.0 {
+        edges.iter().take(decile).map(|(_, w)| w).sum::<f64>() / total
+    } else {
+        0.0
+    };
 
     let mut covered = 0.0;
     let mut edges_for_90pct = n;
@@ -119,7 +125,22 @@ mod tests {
     fn empty_graph_is_zeroed() {
         let s = shape(&DynamicCallGraph::new());
         assert_eq!(s.edges, 0);
+        assert_eq!(s.top_decile_share, 0.0);
         assert_eq!(s.gini, 0.0);
+    }
+
+    /// Regression: a non-empty graph whose weights all decayed to zero
+    /// must not produce NaN statistics (0/0 in `top_decile_share`).
+    #[test]
+    fn zero_weight_graph_is_finite() {
+        let mut g = graph(&[1.0, 2.0, 3.0]);
+        g.decay(0.0, 0.0);
+        assert_eq!(g.total_weight(), 0.0);
+        let s = shape(&g);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.top_decile_share, 0.0);
+        assert_eq!(s.gini, 0.0);
+        assert!(s.top_decile_share.is_finite() && s.gini.is_finite());
     }
 
     #[test]

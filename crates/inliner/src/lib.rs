@@ -15,6 +15,9 @@
 //!   cold-suppression);
 //! * [`inline_program`] — the plan/apply/optimize pipeline, with growth
 //!   budgets and bounded transitive rounds;
+//! * [`build_plan`] / [`apply_plan`] — fleet plans: the 40% rule runs
+//!   server-side against a *pooled* profile and ships per-site decisions
+//!   ([`InlinePlan`]) that VMs replay through the same pipeline;
 //! * [`CompileTimeModel`] — makes the compile-time effect of inlining
 //!   decisions measurable (J9's dynamic heuristics cut compile time ~9%).
 //!
@@ -52,12 +55,14 @@
 #![warn(missing_debug_implementations)]
 
 mod compile;
+mod plan;
 mod planner;
 mod policies;
 mod policy;
 mod transform;
 
 pub use compile::CompileTimeModel;
+pub use plan::{apply_plan, build_plan, plan_round_from_plan, InlinePlan, PlanEntry, PlanKind};
 pub use planner::{inline_program, plan_round, InlineReport, TRIVIAL_SIZE};
 pub use policies::{J9Policy, NewLinearPolicy, OldJikesPolicy, TrivialOnlyPolicy};
 pub use policy::{DirectContext, InlineBudget, InlinePolicy, VirtualContext, VirtualTarget};

@@ -58,7 +58,11 @@ impl InlineReport {
 
 /// All classes whose vtable maps `slot` to `method` — the exact-class
 /// guards that devirtualize this target.
-fn guard_classes(program: &Program, slot: VirtualSlot, method: MethodId) -> Vec<ClassId> {
+pub(crate) fn guard_classes(
+    program: &Program,
+    slot: VirtualSlot,
+    method: MethodId,
+) -> Vec<ClassId> {
     program
         .classes()
         .iter()
@@ -278,46 +282,8 @@ pub fn inline_program(
         if decisions.is_empty() {
             break;
         }
-        for d in &decisions {
-            if let InlineKind::Guarded { .. } = d.kind {
-                if let Some(op) = program.method(d.caller).code().get(d.pc as usize) {
-                    if let Some(site) = op.call_site() {
-                        guarded_sites.insert(site);
-                    }
-                }
-            }
-        }
         report.rounds_run = round;
-        // Group by caller; apply highest pc first so earlier indices stay
-        // valid.
-        let mut by_caller: HashMap<MethodId, Vec<InlineDecision>> = HashMap::new();
-        for d in decisions {
-            by_caller.entry(d.caller).or_default().push(d);
-        }
-        let mut callers: Vec<MethodId> = by_caller.keys().copied().collect();
-        callers.sort_unstable();
-        for caller in callers {
-            let mut ds = by_caller.remove(&caller).expect("key exists");
-            ds.sort_unstable_by_key(|d| std::cmp::Reverse(d.pc));
-            for d in ds {
-                match apply_decision(program, &d) {
-                    Ok(()) => match d.kind {
-                        InlineKind::Direct { .. } => report.direct_inlines += 1,
-                        InlineKind::Devirtualized { .. } => {
-                            report.direct_inlines += 1;
-                            report.devirtualized += 1;
-                        }
-                        InlineKind::Guarded { .. } => report.guarded_inlines += 1,
-                    },
-                    Err(e) => {
-                        // A decision invalidated by an earlier splice in
-                        // the same round (should not happen with the
-                        // ordering above) — surface loudly in debug.
-                        debug_assert!(false, "inline decision failed: {e}");
-                    }
-                }
-            }
-        }
+        apply_round(program, decisions, &mut guarded_sites, &mut report);
     }
 
     if optimize {
@@ -325,6 +291,58 @@ pub fn inline_program(
     }
     report.size_after = program.total_size_bytes();
     report
+}
+
+/// Applies one round's worth of decisions, updating `guarded_sites` and
+/// the report counters.
+///
+/// Shared by [`inline_program`] and the fleet-plan pipeline
+/// ([`apply_plan`](crate::apply_plan)): guarded sites are recorded
+/// before any splice moves them, then decisions group by caller and
+/// apply highest pc first so earlier indices stay valid.
+pub(crate) fn apply_round(
+    program: &mut Program,
+    decisions: Vec<InlineDecision>,
+    guarded_sites: &mut HashSet<CallSiteId>,
+    report: &mut InlineReport,
+) {
+    for d in &decisions {
+        if let InlineKind::Guarded { .. } = d.kind {
+            if let Some(op) = program.method(d.caller).code().get(d.pc as usize) {
+                if let Some(site) = op.call_site() {
+                    guarded_sites.insert(site);
+                }
+            }
+        }
+    }
+    let mut by_caller: HashMap<MethodId, Vec<InlineDecision>> = HashMap::new();
+    for d in decisions {
+        by_caller.entry(d.caller).or_default().push(d);
+    }
+    let mut callers: Vec<MethodId> = by_caller.keys().copied().collect();
+    callers.sort_unstable();
+    for caller in callers {
+        let mut ds = by_caller.remove(&caller).expect("key exists");
+        ds.sort_unstable_by_key(|d| std::cmp::Reverse(d.pc));
+        for d in ds {
+            match apply_decision(program, &d) {
+                Ok(()) => match d.kind {
+                    InlineKind::Direct { .. } => report.direct_inlines += 1,
+                    InlineKind::Devirtualized { .. } => {
+                        report.direct_inlines += 1;
+                        report.devirtualized += 1;
+                    }
+                    InlineKind::Guarded { .. } => report.guarded_inlines += 1,
+                },
+                Err(e) => {
+                    // A decision invalidated by an earlier splice in
+                    // the same round (should not happen with the
+                    // ordering above) — surface loudly in debug.
+                    debug_assert!(false, "inline decision failed: {e}");
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

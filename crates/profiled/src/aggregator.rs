@@ -123,6 +123,14 @@ struct SnapshotCache {
     encoded: Arc<Vec<u8>>,
 }
 
+/// The encoded fleet inlining plan stamped with the generation it was
+/// built from; same freshness argument as [`SnapshotCache`].
+#[derive(Debug)]
+struct PlanCache {
+    generation: u64,
+    encoded: Arc<Vec<u8>>,
+}
+
 /// Counters describing an aggregator's ingestion history.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AggregatorStats {
@@ -158,6 +166,7 @@ pub struct ShardedAggregator {
     /// cache compares its stamp against this to decide hit vs rebuild.
     generation: AtomicU64,
     cache: Mutex<Option<SnapshotCache>>,
+    plan_cache: Mutex<Option<PlanCache>>,
     decay_factor: f64,
     min_weight: f64,
 }
@@ -173,6 +182,7 @@ impl ShardedAggregator {
             records: AtomicU64::new(0),
             generation: AtomicU64::new(0),
             cache: Mutex::new(None),
+            plan_cache: Mutex::new(None),
             decay_factor: config.decay_factor,
             min_weight: config.min_weight,
         }
@@ -490,6 +500,40 @@ impl ShardedAggregator {
         self.cached_snapshot().1
     }
 
+    /// The canonical [`DcgCodec::encode_plan`] bytes of the fleet
+    /// inlining plan — [`cbs_inliner::build_plan`] with the paper's
+    /// [`NewLinearPolicy`](cbs_inliner::NewLinearPolicy) run against the
+    /// merged snapshot, stamped with the snapshot generation.
+    ///
+    /// Cached under the same generation discipline as
+    /// [`encoded_snapshot`](Self::encoded_snapshot): an unchanged
+    /// aggregate serves the identical buffer (so `OP_PLAN` answers are
+    /// bit-identical), and the cache invalidates exactly when pulls do.
+    pub fn encoded_plan(&self) -> Arc<Vec<u8>> {
+        let m = ProfiledMetrics::get();
+        let mut cache = self.plan_cache.lock().expect("plan cache lock");
+        let generation = self.generation.load(Ordering::Acquire);
+        if let Some(c) = cache.as_ref() {
+            if c.generation == generation {
+                m.plan_cache_hits.inc();
+                return Arc::clone(&c.encoded);
+            }
+            m.plan_cache_invalidations.inc();
+        }
+        m.plan_cache_misses.inc();
+        let graph = self.merged_snapshot_shared();
+        let plan =
+            cbs_inliner::build_plan(&graph, &cbs_inliner::NewLinearPolicy::default(), generation);
+        m.plan_builds.inc();
+        m.plan_decisions.add(plan.entries.len() as u64);
+        let encoded = Arc::new(DcgCodec::encode_plan(&plan));
+        *cache = Some(PlanCache {
+            generation,
+            encoded: Arc::clone(&encoded),
+        });
+        encoded
+    }
+
     /// Fleet-wide hot edges: edges holding at least `percent` of the
     /// merged total weight, heaviest first (the inliner's hot-edge
     /// query). Served from the snapshot cache.
@@ -501,18 +545,15 @@ impl ShardedAggregator {
     /// descending weight — the input to the paper's 40% guarded-inlining
     /// rule.
     ///
-    /// A call site lives inside exactly one caller, so its whole
-    /// distribution sits in one shard. The query runs against the cached
-    /// merged snapshot, restricted to edges whose caller hashes to
-    /// `caller`'s shard — the same edge subsequence, in the same sorted
-    /// order, as scanning that shard directly (site ids can repeat under
-    /// callers in *other* shards, hence the filter).
+    /// A call site is identified by its `(caller, site)` pair: site ids
+    /// can repeat under *other* callers (including callers that happen to
+    /// hash to the same shard), so the query filters the cached merged
+    /// snapshot on the caller itself, never on its shard.
     pub fn site_distribution(&self, caller: MethodId, site: CallSiteId) -> Vec<(MethodId, f64)> {
-        let shard = self.shard_of(caller);
         let graph = self.merged_snapshot_shared();
         let mut per_callee: HashMap<MethodId, f64> = HashMap::new();
         for (e, w) in graph.iter() {
-            if e.site == site && self.shard_of(e.caller) == shard {
+            if e.caller == caller && e.site == site {
                 *per_callee.entry(e.callee).or_insert(0.0) += w;
             }
         }
@@ -886,15 +927,51 @@ mod tests {
             (e(2, 6, 12), 5.0),
         ]);
         let dist = agg.site_distribution(MethodId::new(2), CallSiteId::new(4));
-        // Only caller 2's shard contributes; caller 3/17 noise (if in
-        // other shards) is filtered out exactly as the per-shard scan did.
-        let shard2 = agg.shard_of(MethodId::new(2));
-        let expect = {
-            let guard = agg.shards[shard2].lock().unwrap();
-            guard.graph.site_distribution(CallSiteId::new(4))
-        };
-        assert_eq!(dist, expect);
+        // Only caller 2's own edges contribute — callers 3 and 17 reuse
+        // site id 4 but belong to different call sites, wherever their
+        // shards land.
+        assert_eq!(
+            dist,
+            vec![(MethodId::new(10), 50.0), (MethodId::new(11), 45.0)]
+        );
         assert_eq!(agg.outgoing_weight(MethodId::new(2)), 100.0);
+    }
+
+    /// Regression: two callers that hash to the *same shard* and reuse a
+    /// site id are distinct call sites. Filtering by shard (as the query
+    /// once did) merges their receiver distributions and corrupts the
+    /// 40%-rule input.
+    #[test]
+    fn site_distribution_filters_on_caller_not_shard() {
+        let agg = ShardedAggregator::new(AggregatorConfig::with_shards(8));
+        let a = MethodId::new(2);
+        let b = (3..4096u32)
+            .map(MethodId::new)
+            .find(|m| agg.shard_of(*m) == agg.shard_of(a))
+            .expect("some other caller shares caller 2's shard");
+        agg.ingest_records(&[
+            (
+                CallEdge::new(a, CallSiteId::new(4), MethodId::new(10)),
+                50.0,
+            ),
+            (
+                CallEdge::new(a, CallSiteId::new(4), MethodId::new(11)),
+                45.0,
+            ),
+            // Same shard, same site id, different caller: must not leak in.
+            (
+                CallEdge::new(b, CallSiteId::new(4), MethodId::new(12)),
+                500.0,
+            ),
+        ]);
+        let dist = agg.site_distribution(a, CallSiteId::new(4));
+        assert_eq!(
+            dist,
+            vec![(MethodId::new(10), 50.0), (MethodId::new(11), 45.0)],
+            "same-shard caller {b:?} polluted caller {a:?}'s distribution"
+        );
+        let dist_b = agg.site_distribution(b, CallSiteId::new(4));
+        assert_eq!(dist_b, vec![(MethodId::new(12), 500.0)]);
     }
 
     #[test]

@@ -26,10 +26,11 @@
 use crate::codec::{CodecError, DcgCodec};
 use crate::metrics::ProfiledMetrics;
 use crate::wire::{
-    read_msg, write_msg, NetConfig, OP_EPOCH, OP_METRICS, OP_PULL, OP_PULL_CHUNK, OP_PUSH,
+    read_msg, write_msg, NetConfig, OP_EPOCH, OP_METRICS, OP_PLAN, OP_PULL, OP_PULL_CHUNK, OP_PUSH,
     OP_PUSH_SEQ, OP_STATS, ST_OK,
 };
 use cbs_dcg::{CallEdge, DynamicCallGraph};
+use cbs_inliner::InlinePlan;
 use std::error::Error;
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -266,6 +267,20 @@ impl<S: Read + Write> ProfileClient<S> {
     pub fn pull(&mut self) -> Result<DynamicCallGraph, ClientError> {
         let payload = self.exchange(OP_PULL, &[])?;
         Ok(DcgCodec::decode_snapshot(&payload)?)
+    }
+
+    /// Pulls the fleet inlining plan — [`cbs_inliner::build_plan`] run
+    /// server-side against the merged snapshot, versioned with its
+    /// snapshot generation. An unchanged aggregate answers with
+    /// byte-identical frames (the server's generation-keyed cache).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a server-side rejection, or an undecodable
+    /// reply.
+    pub fn pull_plan(&mut self) -> Result<InlinePlan, ClientError> {
+        let payload = self.exchange(OP_PLAN, &[])?;
+        Ok(DcgCodec::decode_plan(&payload)?)
     }
 
     /// Pulls the fleet-wide merged snapshot via paged `OP_PULL_CHUNK`

@@ -39,9 +39,32 @@
 //! unsorted keys, keys exceeding 96 bits, and trailing bytes are all
 //! distinct [`CodecError`]s — a server can reject any malformed frame
 //! without trusting the sender.
+//!
+//! ## Plan frames (`CBSI`)
+//!
+//! The fleet daemon also serves *inlining plans* — the output of
+//! [`cbs_inliner::build_plan`] run against the merged snapshot — in
+//! their own frame format, sharing the varint/weight primitives:
+//!
+//! ```text
+//! plan     := magic "CBSI" | version u8 (=1) | varint(generation)
+//!           | tweight | varint(n) | n × entry
+//! entry    := varint(site-key step) | weight | kind u8 | payload
+//! payload  := varint(callee)                          -- 0 direct
+//!           | varint(callee) | weight                 -- 1 devirtualize
+//!           | varint(t) | t × (varint(callee) | weight) -- 2 guarded
+//! ```
+//!
+//! Site keys pack `caller·2³² + site` into 64 bits, delta-encoded in
+//! strictly ascending order like edge keys. `tweight` is the source
+//! graph's total weight and, uniquely, may be zero (an empty
+//! aggregate); every other weight is positive. Encoding a plan and
+//! decoding it back is bit-exact, so a generation-cached encoded plan
+//! is byte-identical across serves.
 
 use cbs_bytecode::{CallSiteId, MethodId};
 use cbs_dcg::{CallEdge, DynamicCallGraph};
+use cbs_inliner::{InlinePlan, PlanEntry, PlanKind};
 use std::error::Error;
 use std::fmt;
 
@@ -49,6 +72,15 @@ use std::fmt;
 pub const MAGIC: [u8; 4] = *b"CBSP";
 /// Current (only) format version.
 pub const VERSION: u8 = 1;
+/// Magic bytes opening every inlining-plan frame.
+pub const PLAN_MAGIC: [u8; 4] = *b"CBSI";
+/// Current (only) plan format version.
+pub const PLAN_VERSION: u8 = 1;
+
+/// Plan-entry kind bytes on the wire.
+const PLAN_KIND_DIRECT: u8 = 0;
+const PLAN_KIND_DEVIRTUALIZE: u8 = 1;
+const PLAN_KIND_GUARDED: u8 = 2;
 
 /// What a frame's weights mean.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -238,18 +270,32 @@ fn put_weight(out: &mut Vec<u8>, w: f64) {
     }
 }
 
-fn read_weight(r: &mut Reader<'_>) -> Result<f64, CodecError> {
+fn read_weight_raw(r: &mut Reader<'_>) -> Result<f64, CodecError> {
     let tag = r.varint()?;
-    let w = if tag & 1 == 0 {
+    if tag & 1 == 0 {
         let m = u64::try_from(tag >> 1).map_err(|_| CodecError::BadWeight)?;
-        m as f64
+        Ok(m as f64)
     } else if tag == 1 {
         let bytes: [u8; 8] = r.take(8)?.try_into().expect("take(8) returns 8 bytes");
-        f64::from_bits(u64::from_le_bytes(bytes))
+        Ok(f64::from_bits(u64::from_le_bytes(bytes)))
     } else {
-        return Err(CodecError::BadWeight);
-    };
+        Err(CodecError::BadWeight)
+    }
+}
+
+fn read_weight(r: &mut Reader<'_>) -> Result<f64, CodecError> {
+    let w = read_weight_raw(r)?;
     if !w.is_finite() || w <= 0.0 {
+        return Err(CodecError::BadWeight);
+    }
+    Ok(w)
+}
+
+/// Like [`read_weight`] but admits zero — used only for a plan's total
+/// weight, which is legitimately 0 for an empty aggregate.
+fn read_weight_nonneg(r: &mut Reader<'_>) -> Result<f64, CodecError> {
+    let w = read_weight_raw(r)?;
+    if !w.is_finite() || w < 0.0 {
         return Err(CodecError::BadWeight);
     }
     Ok(w)
@@ -510,6 +556,145 @@ impl DcgCodec {
             return Err(CodecError::BadKind(frame.kind.to_byte()));
         }
         Ok(frame.to_graph())
+    }
+
+    /// Encodes a fleet inlining plan as a `CBSI` frame.
+    ///
+    /// Entries must be sorted by `(caller, site)` with no duplicates —
+    /// exactly what [`cbs_inliner::build_plan`] produces. Weights
+    /// round-trip bit-exactly, so the same plan always encodes to the
+    /// same bytes.
+    pub fn encode_plan(plan: &InlinePlan) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + plan.entries.len() * 8);
+        out.extend_from_slice(&PLAN_MAGIC);
+        out.push(PLAN_VERSION);
+        put_varint(&mut out, u128::from(plan.generation));
+        put_weight(&mut out, plan.total_weight);
+        put_varint(&mut out, plan.entries.len() as u128);
+        let mut prev: Option<u64> = None;
+        for e in &plan.entries {
+            let key = (u64::from(u32::from(e.caller)) << 32) | u64::from(u32::from(e.site));
+            let step = match prev {
+                None => key,
+                Some(p) => {
+                    debug_assert!(key > p, "plan entries must be sorted by (caller, site)");
+                    key - p
+                }
+            };
+            prev = Some(key);
+            put_varint(&mut out, u128::from(step));
+            put_weight(&mut out, e.site_weight);
+            match &e.kind {
+                PlanKind::Direct { callee } => {
+                    out.push(PLAN_KIND_DIRECT);
+                    put_varint(&mut out, u128::from(u32::from(*callee)));
+                }
+                PlanKind::Devirtualize { callee, weight } => {
+                    out.push(PLAN_KIND_DEVIRTUALIZE);
+                    put_varint(&mut out, u128::from(u32::from(*callee)));
+                    put_weight(&mut out, *weight);
+                }
+                PlanKind::Guarded { targets } => {
+                    out.push(PLAN_KIND_GUARDED);
+                    put_varint(&mut out, targets.len() as u128);
+                    for (m, w) in targets {
+                        put_varint(&mut out, u128::from(u32::from(*m)));
+                        put_weight(&mut out, *w);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a `CBSI` plan frame.
+    ///
+    /// Validation is as strict as frame decoding: bad magic/version,
+    /// truncation, overlong varints, ids beyond 32 bits, unsorted or
+    /// duplicate `(caller, site)` keys, non-positive weights (a zero
+    /// *total* is allowed), unknown kind bytes and trailing bytes are
+    /// all rejected; no partial plan is ever returned.
+    ///
+    /// # Errors
+    ///
+    /// The [`CodecError`] describing the first malformed byte sequence.
+    pub fn decode_plan(bytes: &[u8]) -> Result<InlinePlan, CodecError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.take(4)? != PLAN_MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = r.byte()?;
+        if version != PLAN_VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        let generation = u64::try_from(r.varint()?).map_err(|_| CodecError::VarintOverflow)?;
+        let total_weight = read_weight_nonneg(&mut r)?;
+        let count = usize::try_from(r.varint()?).map_err(|_| CodecError::VarintOverflow)?;
+        // An entry is ≥ 4 bytes (step, weight, kind, payload); reject a
+        // hostile count before allocating.
+        if count > bytes.len() / 4 {
+            return Err(CodecError::Truncated);
+        }
+        let read_id = |r: &mut Reader<'_>| -> Result<u32, CodecError> {
+            u32::try_from(r.varint()?).map_err(|_| CodecError::KeyOverflow)
+        };
+        let mut entries = Vec::with_capacity(count);
+        let mut prev: Option<u64> = None;
+        for _ in 0..count {
+            let step = r.varint()?;
+            let key = match prev {
+                None => u64::try_from(step).map_err(|_| CodecError::KeyOverflow)?,
+                Some(p) => {
+                    if step == 0 {
+                        return Err(CodecError::UnsortedKeys);
+                    }
+                    let step = u64::try_from(step).map_err(|_| CodecError::KeyOverflow)?;
+                    p.checked_add(step).ok_or(CodecError::KeyOverflow)?
+                }
+            };
+            prev = Some(key);
+            let caller = MethodId::new((key >> 32) as u32);
+            let site = CallSiteId::new(key as u32);
+            let site_weight = read_weight(&mut r)?;
+            let kind = match r.byte()? {
+                PLAN_KIND_DIRECT => PlanKind::Direct {
+                    callee: MethodId::new(read_id(&mut r)?),
+                },
+                PLAN_KIND_DEVIRTUALIZE => PlanKind::Devirtualize {
+                    callee: MethodId::new(read_id(&mut r)?),
+                    weight: read_weight(&mut r)?,
+                },
+                PLAN_KIND_GUARDED => {
+                    let n = usize::try_from(r.varint()?).map_err(|_| CodecError::VarintOverflow)?;
+                    // A guard target is ≥ 2 bytes.
+                    if n > bytes.len() / 2 {
+                        return Err(CodecError::Truncated);
+                    }
+                    let mut targets = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let m = MethodId::new(read_id(&mut r)?);
+                        let w = read_weight(&mut r)?;
+                        targets.push((m, w));
+                    }
+                    PlanKind::Guarded { targets }
+                }
+                other => return Err(CodecError::BadKind(other)),
+            };
+            entries.push(PlanEntry {
+                caller,
+                site,
+                site_weight,
+                kind,
+            });
+        }
+        if !r.done() {
+            return Err(CodecError::TrailingBytes);
+        }
+        Ok(InlinePlan {
+            generation,
+            total_weight,
+            entries,
+        })
     }
 }
 
@@ -799,5 +984,139 @@ mod tests {
         // Claims ~2^35 records with an empty body.
         put_varint(&mut bytes, 1u128 << 35);
         assert_eq!(DcgCodec::decode(&bytes), Err(CodecError::Truncated));
+    }
+
+    fn sample_plan() -> InlinePlan {
+        InlinePlan {
+            generation: 42,
+            total_weight: 1234.5,
+            entries: vec![
+                PlanEntry {
+                    caller: MethodId::new(0),
+                    site: CallSiteId::new(3),
+                    site_weight: 50.0,
+                    kind: PlanKind::Direct {
+                        callee: MethodId::new(7),
+                    },
+                },
+                PlanEntry {
+                    caller: MethodId::new(1),
+                    site: CallSiteId::new(0),
+                    site_weight: 100.25,
+                    kind: PlanKind::Devirtualize {
+                        callee: MethodId::new(9),
+                        weight: 90.25,
+                    },
+                },
+                PlanEntry {
+                    caller: MethodId::new(1),
+                    site: CallSiteId::new(5),
+                    site_weight: 80.0,
+                    kind: PlanKind::Guarded {
+                        targets: vec![(MethodId::new(2), 44.0), (MethodId::new(4), 36.0)],
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn plan_round_trips_bit_exactly() {
+        let plan = sample_plan();
+        let bytes = DcgCodec::encode_plan(&plan);
+        assert_eq!(&bytes[..4], b"CBSI");
+        let back = DcgCodec::decode_plan(&bytes).unwrap();
+        assert_eq!(back, plan);
+        // Deterministic encoding: same plan, same bytes.
+        assert_eq!(bytes, DcgCodec::encode_plan(&back));
+    }
+
+    #[test]
+    fn empty_plan_with_zero_total_round_trips() {
+        let plan = InlinePlan {
+            generation: 0,
+            total_weight: 0.0,
+            entries: Vec::new(),
+        };
+        let bytes = DcgCodec::encode_plan(&plan);
+        assert_eq!(DcgCodec::decode_plan(&bytes).unwrap(), plan);
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected() {
+        let good = DcgCodec::encode_plan(&sample_plan());
+
+        // Wrong magic (a CBSP frame is not a plan).
+        let snapshot = DcgCodec::encode_snapshot(&DynamicCallGraph::new());
+        assert_eq!(DcgCodec::decode_plan(&snapshot), Err(CodecError::BadMagic));
+
+        // Bad version.
+        let mut bad = good.clone();
+        bad[4] = 9;
+        assert_eq!(DcgCodec::decode_plan(&bad), Err(CodecError::BadVersion(9)));
+
+        // Truncated mid-entry.
+        assert_eq!(
+            DcgCodec::decode_plan(&good[..good.len() - 1]),
+            Err(CodecError::Truncated)
+        );
+
+        // Trailing bytes after the last entry.
+        let mut long = good.clone();
+        long.push(0);
+        assert_eq!(DcgCodec::decode_plan(&long), Err(CodecError::TrailingBytes));
+
+        // Duplicate (caller, site) keys: zero step.
+        let mut dup = Vec::new();
+        dup.extend_from_slice(&PLAN_MAGIC);
+        dup.push(PLAN_VERSION);
+        put_varint(&mut dup, 1); // generation
+        put_weight(&mut dup, 10.0); // total
+        put_varint(&mut dup, 2); // two entries
+        for step in [5u128, 0u128] {
+            put_varint(&mut dup, step);
+            put_weight(&mut dup, 1.0);
+            dup.push(PLAN_KIND_DIRECT);
+            put_varint(&mut dup, 1);
+        }
+        assert_eq!(DcgCodec::decode_plan(&dup), Err(CodecError::UnsortedKeys));
+
+        // Unknown kind byte.
+        let mut bad_kind = Vec::new();
+        bad_kind.extend_from_slice(&PLAN_MAGIC);
+        bad_kind.push(PLAN_VERSION);
+        put_varint(&mut bad_kind, 1);
+        put_weight(&mut bad_kind, 10.0);
+        put_varint(&mut bad_kind, 1);
+        put_varint(&mut bad_kind, 5);
+        put_weight(&mut bad_kind, 1.0);
+        bad_kind.push(3);
+        put_varint(&mut bad_kind, 1);
+        assert_eq!(
+            DcgCodec::decode_plan(&bad_kind),
+            Err(CodecError::BadKind(3))
+        );
+
+        // Hostile entry count with an empty body.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&PLAN_MAGIC);
+        hostile.push(PLAN_VERSION);
+        put_varint(&mut hostile, 1);
+        put_weight(&mut hostile, 10.0);
+        put_varint(&mut hostile, 1u128 << 35);
+        assert_eq!(DcgCodec::decode_plan(&hostile), Err(CodecError::Truncated));
+
+        // Zero site weight is invalid (only the total may be zero).
+        let mut zero_w = Vec::new();
+        zero_w.extend_from_slice(&PLAN_MAGIC);
+        zero_w.push(PLAN_VERSION);
+        put_varint(&mut zero_w, 1);
+        put_weight(&mut zero_w, 10.0);
+        put_varint(&mut zero_w, 1);
+        put_varint(&mut zero_w, 5);
+        put_weight(&mut zero_w, 0.0);
+        zero_w.push(PLAN_KIND_DIRECT);
+        put_varint(&mut zero_w, 1);
+        assert_eq!(DcgCodec::decode_plan(&zero_w), Err(CodecError::BadWeight));
     }
 }

@@ -19,6 +19,14 @@
 //!   inflight-connection limits, and malformed-frame rejection that
 //!   never takes the server down.
 //!
+//! The exploitation loop closes over the same service: the aggregator
+//! runs `cbs_inliner::build_plan` (the paper's `NewLinearPolicy` + 40%
+//! guarded-inlining rule) against its merged snapshot and serves the
+//! resulting [`cbs_inliner::InlinePlan`] as a `CBSI` frame over
+//! `OP_PLAN` ([`ProfileClient::pull_plan`]), cached keyed on the
+//! snapshot generation so an unchanged aggregate answers
+//! byte-identically.
+//!
 //! On top of the base client sit the resilience layers:
 //!
 //! * [`resilient`] — [`ResilientClient`], reconnect + bounded retries

@@ -41,6 +41,8 @@ pub struct ProfiledMetrics {
     pub server_op_epoch: Counter,
     /// `OP_METRICS` requests handled.
     pub server_op_metrics: Counter,
+    /// `OP_PLAN` requests handled.
+    pub server_op_plan: Counter,
     /// Requests answered `ST_ERR` (malformed frames, unknown ops,
     /// out-of-range pages, oversized snapshots).
     pub server_err_replies: Counter,
@@ -86,6 +88,20 @@ pub struct ProfiledMetrics {
     pub agg_epoch: Gauge,
     /// Scrape-time gauge: total live edges across shards.
     pub agg_edges: Gauge,
+
+    // -- fleet plan builder --------------------------------------------
+    /// Plan-cache hits: encoded plan served without rebuilding.
+    pub plan_cache_hits: Counter,
+    /// Plan-cache misses: a plan was (re)built (cold cache or stale
+    /// generation).
+    pub plan_cache_misses: Counter,
+    /// Plan-cache invalidations observed: a rebuild found a cached plan
+    /// whose generation stamp had been outrun.
+    pub plan_cache_invalidations: Counter,
+    /// Fleet plans built from the merged snapshot.
+    pub plan_builds: Counter,
+    /// Per-site decisions emitted across all plan builds.
+    pub plan_decisions: Counter,
 
     // -- resilient client ---------------------------------------------
     /// Exchanges retried after a fault.
@@ -139,6 +155,7 @@ impl ProfiledMetrics {
                 server_op_epoch: r.counter("profiled.server.op.epoch", "OP_EPOCH requests handled"),
                 server_op_metrics: r
                     .counter("profiled.server.op.metrics", "OP_METRICS requests handled"),
+                server_op_plan: r.counter("profiled.server.op.plan", "OP_PLAN requests handled"),
                 server_err_replies: r
                     .counter("profiled.server.err_replies", "requests answered ST_ERR"),
                 server_bad_frames: r.counter(
@@ -200,6 +217,26 @@ impl ProfiledMetrics {
                 agg_cache_invalidations: r.counter(
                     "profiled.agg.cache_invalidations",
                     "cached snapshots found stale at rebuild time",
+                ),
+                plan_cache_hits: r.counter(
+                    "profiled.plan.cache_hits",
+                    "encoded plans served from the generation-stamped cache",
+                ),
+                plan_cache_misses: r.counter(
+                    "profiled.plan.cache_misses",
+                    "plans rebuilt on a cold or stale cache",
+                ),
+                plan_cache_invalidations: r.counter(
+                    "profiled.plan.cache_invalidations",
+                    "cached plans found stale at rebuild time",
+                ),
+                plan_builds: r.counter(
+                    "profiled.plan.builds",
+                    "fleet plans built from the merged snapshot",
+                ),
+                plan_decisions: r.counter(
+                    "profiled.plan.decisions",
+                    "per-site decisions emitted across plan builds",
                 ),
                 agg_epoch: r.gauge("profiled.agg.epoch", "current decay epoch (scrape-time)"),
                 agg_edges: r.gauge(

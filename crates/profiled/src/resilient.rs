@@ -37,6 +37,7 @@ use crate::faults::{FaultSchedule, FaultStream};
 use crate::metrics::ProfiledMetrics;
 use crate::wire::NetConfig;
 use cbs_dcg::{coalesce_increments, CallEdge, DynamicCallGraph};
+use cbs_inliner::InlinePlan;
 use cbs_prng::SmallRng;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -411,6 +412,17 @@ impl<S: Read + Write> ResilientClient<S> {
     /// As [`pull`](Self::pull).
     pub fn pull_counted(&mut self) -> Result<(DynamicCallGraph, u32), ClientError> {
         self.retrying(|s| s.ensure_connected()?.pull_chunked_counted())
+    }
+
+    /// Pulls the fleet inlining plan, with reconnection and retries
+    /// (plan pulls are idempotent: an unchanged aggregate answers
+    /// byte-identically from the generation-keyed cache).
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's failure once retries are exhausted.
+    pub fn pull_plan(&mut self) -> Result<InlinePlan, ClientError> {
+        self.retrying(|s| s.ensure_connected()?.pull_plan())
     }
 
     /// Fetches the server's stats text, with reconnection and retries.

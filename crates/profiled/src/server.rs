@@ -31,8 +31,8 @@ use crate::dedup::DedupTable;
 use crate::journal::{JournalError, MemJournal, ProfileJournal, SeqIngest};
 use crate::metrics::ProfiledMetrics;
 use crate::wire::{
-    read_msg_into, write_msg, NetConfig, CHUNK_REPLY_OVERHEAD, OP_EPOCH, OP_METRICS, OP_PULL,
-    OP_PULL_CHUNK, OP_PUSH, OP_PUSH_SEQ, OP_STATS, ST_ERR, ST_OK,
+    read_msg_into, write_msg, NetConfig, CHUNK_REPLY_OVERHEAD, OP_EPOCH, OP_METRICS, OP_PLAN,
+    OP_PULL, OP_PULL_CHUNK, OP_PUSH, OP_PUSH_SEQ, OP_STATS, ST_ERR, ST_OK,
 };
 use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -333,11 +333,15 @@ fn serve_connection(
     stream.set_read_timeout(Some(config.read_timeout))?;
     stream.set_write_timeout(Some(config.write_timeout))?;
     stream.set_nodelay(true).ok();
-    // The consistent snapshot captured by the connection's last
-    // `OP_PULL_CHUNK` page-0 request; later pages are served from it so
+    // The consistent snapshot captured by the connection's in-progress
+    // `OP_PULL_CHUNK` sequence; pages after page 0 are served from it so
     // pagination never observes a torn merge. Shared with the
-    // aggregator's snapshot cache — capturing is a refcount bump.
-    let mut chunk_capture: Arc<Vec<u8>> = Arc::new(Vec::new());
+    // aggregator's snapshot cache — capturing is a refcount bump. `None`
+    // outside an active sequence: a page>0 request with no capture (the
+    // connection never asked for page 0, or already consumed its final
+    // page) is a protocol error and must never be answered from a stale
+    // prior-generation capture.
+    let mut chunk_capture: Option<Arc<Vec<u8>>> = None;
     let mut read_buf: Vec<u8> = Vec::new();
     let mut out: Vec<u8> = Vec::new();
     let mut scratch = IngestScratch::new();
@@ -429,6 +433,22 @@ fn serve_connection(
                     reply(&mut stream, m, &mut out, &[&[ST_OK], snapshot.as_slice()])?;
                 }
             }
+            OP_PLAN => {
+                m.server_op_plan.inc();
+                // Served from the generation-keyed plan cache: an
+                // unchanged aggregate answers with identical bytes.
+                let plan = aggregator.encoded_plan();
+                if plan.len() + 1 > config.max_frame_bytes {
+                    reply(
+                        &mut stream,
+                        m,
+                        &mut out,
+                        &[&[ST_ERR], b"fleet plan exceeds the frame limit"],
+                    )?;
+                } else {
+                    reply(&mut stream, m, &mut out, &[&[ST_OK], plan.as_slice()])?;
+                }
+            }
             OP_PULL_CHUNK => {
                 m.server_op_pull_chunk.inc();
                 let Ok(page_bytes) = <[u8; 4]>::try_from(body) else {
@@ -442,13 +462,28 @@ fn serve_connection(
                 };
                 let page = u32::from_be_bytes(page_bytes) as usize;
                 if page == 0 {
-                    chunk_capture = aggregator.encoded_snapshot();
+                    chunk_capture = Some(aggregator.encoded_snapshot());
                 }
+                let Some(capture) = chunk_capture.clone() else {
+                    reply(
+                        &mut stream,
+                        m,
+                        &mut out,
+                        &[
+                            &[ST_ERR],
+                            format!(
+                                "page {page} requested with no page-0 capture on this connection"
+                            )
+                            .as_bytes(),
+                        ],
+                    )?;
+                    continue;
+                };
                 let chunk_len = config
                     .max_frame_bytes
                     .saturating_sub(CHUNK_REPLY_OVERHEAD)
                     .max(1);
-                let total = chunk_capture.len().div_ceil(chunk_len).max(1);
+                let total = capture.len().div_ceil(chunk_len).max(1);
                 if page >= total {
                     reply(
                         &mut stream,
@@ -461,7 +496,7 @@ fn serve_connection(
                     )?;
                 } else {
                     let lo = page * chunk_len;
-                    let hi = (lo + chunk_len).min(chunk_capture.len());
+                    let hi = (lo + chunk_len).min(capture.len());
                     reply(
                         &mut stream,
                         m,
@@ -470,9 +505,15 @@ fn serve_connection(
                             &[ST_OK],
                             &(total as u32).to_be_bytes(),
                             &(page as u32).to_be_bytes(),
-                            &chunk_capture[lo..hi],
+                            &capture[lo..hi],
                         ],
                     )?;
+                    // The final page ends the sequence; a later page>0
+                    // must restart from page 0, never re-read a capture
+                    // from a prior snapshot generation.
+                    if page == total - 1 {
+                        chunk_capture = None;
+                    }
                 }
             }
             OP_STATS => {

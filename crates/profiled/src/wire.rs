@@ -12,6 +12,7 @@
 //!           | OP_PULL_CHUNK | u32 page (BE)    -- fetch one snapshot page
 //!           | OP_PUSH_SEQ   | u64 client (BE) | u64 seq (BE) | codec frame
 //!           | OP_METRICS                       -- fetch telemetry exposition
+//!           | OP_PLAN                          -- fetch the fleet inlining plan
 //! response := ST_OK    | payload               -- op-specific payload
 //!           | ST_ERR   | utf-8 reason
 //! ```
@@ -56,6 +57,11 @@ pub const OP_PUSH_SEQ: u8 = 6;
 /// Request the process-wide telemetry exposition (no body; response
 /// body: the versioned `cbs-telemetry` text format, utf-8).
 pub const OP_METRICS: u8 = 7;
+/// Request the fleet inlining plan built from the merged snapshot (no
+/// body; response body: a `CBSI` plan frame, served from the
+/// generation-keyed cache so an unchanged aggregate answers
+/// byte-identically).
+pub const OP_PLAN: u8 = 8;
 
 /// Fixed bytes of an `OP_PULL_CHUNK` reply besides the chunk itself:
 /// status byte + total-pages word + page word.

@@ -12,6 +12,8 @@
 
 use cbs_bytecode::{CallSiteId, MethodId};
 use cbs_dcg::{CallEdge, DynamicCallGraph};
+use cbs_prng::prop::run_cases;
+use cbs_prng::SmallRng;
 use cbs_profiled::{
     serve, AggregatorConfig, DcgCodec, NetConfig, ProfileClient, ShardedAggregator,
 };
@@ -156,6 +158,145 @@ fn pull_observes_every_push_and_epoch_invalidates_the_cache() {
         "12 × 0.5 after one epoch"
     );
     server.shutdown();
+}
+
+/// Property acceptance for the 40%-rule query path: for arbitrary
+/// random frame streams and shard counts 1/4/8, every inliner-facing
+/// query against the aggregator's *cached merged snapshot* —
+/// `site_distribution`, `outgoing_weight`, `hot_edges` — is
+/// bit-identical to a brute-force scan of a serially re-ingested copy
+/// of the same frames. Sharding and caching are contention plumbing;
+/// they must never show up in a query answer.
+#[test]
+fn queries_match_brute_force_scans_of_a_serial_reingest() {
+    // Brute-force references: explicit scans, no graph query helpers.
+    fn brute_site_distribution(
+        g: &DynamicCallGraph,
+        caller: MethodId,
+        site: CallSiteId,
+    ) -> Vec<(MethodId, f64)> {
+        let mut per: Vec<(MethodId, f64)> = Vec::new();
+        for (edge, w) in g.iter() {
+            if edge.caller == caller && edge.site == site {
+                match per.iter_mut().find(|(c, _)| *c == edge.callee) {
+                    Some((_, acc)) => *acc += w,
+                    None => per.push((edge.callee, w)),
+                }
+            }
+        }
+        per.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        per
+    }
+    fn brute_outgoing(g: &DynamicCallGraph, caller: MethodId) -> f64 {
+        let mut weights = Vec::new();
+        for (edge, w) in g.iter() {
+            if edge.caller == caller {
+                weights.push(w);
+            }
+        }
+        // `Iterator::sum` semantics (its identity is `-0.0`), so an
+        // absent caller compares bit-identically too.
+        weights.into_iter().sum()
+    }
+    fn brute_hot(g: &DynamicCallGraph, percent: f64) -> Vec<(CallEdge, f64)> {
+        let total: f64 = g.iter().map(|(_, w)| w).sum();
+        let mut v: Vec<(CallEdge, f64)> = g
+            .iter()
+            .filter(|&(_, w)| total > 0.0 && 100.0 * w / total >= percent)
+            .map(|(e, w)| (*e, w))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v
+    }
+
+    run_cases("aggregator_query_consistency", 128, |rng| {
+        // A random stream of snapshot and delta frames over a dense id
+        // range, so site ids repeat under many callers (the shard-filter
+        // regression surface) and weights mix the integral and raw-bits
+        // codec paths.
+        let random_edge = |rng: &mut SmallRng| {
+            CallEdge::new(
+                MethodId::new(rng.gen_range(0..12u32)),
+                CallSiteId::new(rng.gen_range(0..4u32)),
+                MethodId::new(rng.gen_range(0..10u32)),
+            )
+        };
+        let random_weight = |rng: &mut SmallRng| {
+            if rng.gen_bool(0.5) {
+                rng.gen_range(1..1000u64) as f64
+            } else {
+                rng.gen_f64() * 100.0 + f64::MIN_POSITIVE
+            }
+        };
+        let frames: Vec<Vec<u8>> = (0..rng.gen_range(1..6usize))
+            .map(|_| {
+                let records: Vec<(CallEdge, f64)> = (0..rng.gen_range(0..80usize))
+                    .map(|_| (random_edge(rng), random_weight(rng)))
+                    .collect();
+                if rng.gen_bool(0.5) {
+                    let mut g = DynamicCallGraph::new();
+                    for &(e, w) in &records {
+                        g.record(e, w);
+                    }
+                    DcgCodec::encode_snapshot(&g)
+                } else {
+                    DcgCodec::encode_delta(&records)
+                }
+            })
+            .collect();
+
+        // Serial re-ingest: every frame applied to one plain graph.
+        let mut serial = DynamicCallGraph::new();
+        for bytes in &frames {
+            for &(e, w) in &DcgCodec::decode(bytes).unwrap().edges {
+                serial.record(e, w);
+            }
+        }
+
+        for shards in [1, 4, 8] {
+            let agg = ShardedAggregator::new(AggregatorConfig::with_shards(shards));
+            for bytes in &frames {
+                agg.ingest(&DcgCodec::decode(bytes).unwrap());
+            }
+            // Warm the snapshot cache so the queries exercise the
+            // cached path, then probe present *and* absent ids.
+            let _ = agg.merged_snapshot();
+            for caller in (0..13u32).map(MethodId::new) {
+                for site in (0..5u32).map(CallSiteId::new) {
+                    let got = agg.site_distribution(caller, site);
+                    let want = brute_site_distribution(&serial, caller, site);
+                    assert_eq!(got.len(), want.len(), "shards={shards} {caller} {site}");
+                    for ((gc, gw), (wc, ww)) in got.iter().zip(&want) {
+                        assert_eq!(gc, wc, "shards={shards} {caller} {site}");
+                        assert_eq!(
+                            gw.to_bits(),
+                            ww.to_bits(),
+                            "shards={shards} {caller} {site} callee {gc}"
+                        );
+                    }
+                }
+                let got = agg.outgoing_weight(caller);
+                assert_eq!(
+                    got.to_bits(),
+                    brute_outgoing(&serial, caller).to_bits(),
+                    "shards={shards} outgoing({caller})"
+                );
+            }
+            for percent in [0.0, 0.5, 5.0, 50.0, 101.0] {
+                let got = agg.hot_edges(percent);
+                let want = brute_hot(&serial, percent);
+                assert_eq!(got.len(), want.len(), "shards={shards} hot({percent})");
+                for ((ge, gw), (we, ww)) in got.iter().zip(&want) {
+                    assert_eq!(ge, we, "shards={shards} hot({percent})");
+                    assert_eq!(
+                        gw.to_bits(),
+                        ww.to_bits(),
+                        "shards={shards} hot({percent}) {ge}"
+                    );
+                }
+            }
+        }
+    });
 }
 
 #[test]

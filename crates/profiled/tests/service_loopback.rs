@@ -146,6 +146,97 @@ fn concurrent_vms_and_hostile_clients() {
     server.shutdown();
 }
 
+/// `OP_PLAN` end to end: the daemon builds the 40%-rule inlining plan
+/// from its merged snapshot, serves it versioned by snapshot
+/// generation, answers repeated pulls from the cache byte-identically,
+/// and rebuilds after the aggregate changes.
+#[test]
+fn op_plan_serves_versioned_plans_from_the_generation_keyed_cache() {
+    use cbs_inliner::PlanKind;
+
+    let agg = Arc::new(ShardedAggregator::new(AggregatorConfig::with_shards(4)));
+    let server = serve("127.0.0.1:0", Arc::clone(&agg), NetConfig::default()).expect("binds");
+    let mut client = ProfileClient::connect(server.addr(), NetConfig::default()).expect("connects");
+
+    let e = |caller: u32, site: u32, callee: u32| {
+        CallEdge::new(
+            MethodId::new(caller),
+            CallSiteId::new(site),
+            MethodId::new(callee),
+        )
+    };
+    // One polymorphic site where only one receiver clears the 40% rule,
+    // and one monomorphic site.
+    client
+        .push_delta(&[
+            (e(0, 0, 2), 60.0),
+            (e(0, 0, 3), 35.0),
+            (e(0, 0, 4), 5.0),
+            (e(1, 1, 5), 50.0),
+        ])
+        .expect("accepted");
+
+    let plan = client.pull_plan().expect("plan pulled");
+    assert_eq!(plan.generation, 1, "one ingested frame");
+    assert_eq!(plan.total_weight, 150.0);
+    assert_eq!(plan.entries.len(), 2, "plan: {}", plan.render());
+    let poly = &plan.entries[0];
+    assert_eq!(
+        (poly.caller, poly.site),
+        (MethodId::new(0), CallSiteId::new(0))
+    );
+    match &poly.kind {
+        PlanKind::Devirtualize { callee, weight } => {
+            assert_eq!(*callee, MethodId::new(2), "only m2 clears 40%");
+            assert_eq!(*weight, 60.0);
+        }
+        other => panic!("60/35/5 must devirtualize to the majority receiver: {other:?}"),
+    }
+    let mono = &plan.entries[1];
+    assert_eq!(
+        (mono.caller, mono.site),
+        (MethodId::new(1), CallSiteId::new(1))
+    );
+    match &mono.kind {
+        PlanKind::Direct { callee } => assert_eq!(*callee, MethodId::new(5)),
+        other => panic!("a single observed receiver is a direct entry: {other:?}"),
+    }
+
+    // Unchanged aggregate: repeated pulls serve the *same* cached
+    // encoding object (O(1) hit path, no rebuild), so the wire answer
+    // is bit-identical.
+    let enc1 = agg.encoded_plan();
+    let enc2 = agg.encoded_plan();
+    assert!(
+        Arc::ptr_eq(&enc1, &enc2),
+        "repeated plan pulls must hit the cache"
+    );
+    let again = client.pull_plan().expect("second pull");
+    assert_eq!(again.render(), plan.render());
+
+    // New weight flips the 40% outcome: the cache is invalidated and
+    // the next plan carries the new generation and a guarded entry.
+    client.push_delta(&[(e(0, 0, 3), 40.0)]).expect("accepted");
+    let enc3 = agg.encoded_plan();
+    assert!(
+        !Arc::ptr_eq(&enc1, &enc3),
+        "an ingested frame must invalidate the cached plan"
+    );
+    let updated = client.pull_plan().expect("rebuilt plan");
+    assert_eq!(updated.generation, 2);
+    match &updated.entries[0].kind {
+        PlanKind::Guarded { targets } => {
+            assert_eq!(
+                targets,
+                &vec![(MethodId::new(3), 75.0), (MethodId::new(2), 60.0)],
+                "60/75/5: both heavy receivers now clear 40%, heaviest first"
+            );
+        }
+        other => panic!("both receivers above 40% must guard: {other:?}"),
+    }
+    server.shutdown();
+}
+
 /// Epoch advance over the wire applies decay to later pulls.
 #[test]
 fn epoch_advance_decays_the_fleet_profile() {

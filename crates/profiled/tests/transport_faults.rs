@@ -8,7 +8,7 @@
 use cbs_bytecode::{CallSiteId, MethodId};
 use cbs_dcg::{CallEdge, DynamicCallGraph};
 use cbs_prng::SmallRng;
-use cbs_profiled::wire::{read_msg, write_msg, OP_EPOCH, OP_STATS, ST_OK};
+use cbs_profiled::wire::{read_msg, write_msg, OP_EPOCH, OP_PULL_CHUNK, OP_STATS, ST_ERR, ST_OK};
 use cbs_profiled::{
     serve, AggregatorConfig, ClientError, Fault, FaultSchedule, FaultStream, NetConfig,
     ProfileClient, PushOutcome, ResilientClient, RetryPolicy, ServerHandle, ShardedAggregator,
@@ -266,6 +266,66 @@ fn chunked_pull_reassembles_an_oversized_snapshot_bit_identically() {
         merged.total_weight().to_bits()
     );
     assert_eq!(pulled, vm, "nothing lost on the way up either");
+    server.shutdown();
+}
+
+/// Regression for the out-of-sequence chunk request bug: `OP_PULL_CHUNK`
+/// for a page > 0 on a connection that never captured page 0 — or whose
+/// capture was cleared by a completed pull — must draw a clean `ST_ERR`
+/// that names the missing capture, never a stale page, a panic, or a
+/// dead connection.
+#[test]
+fn chunk_page_without_a_page0_capture_is_refused_cleanly() {
+    let config = fast_config();
+    let server = start_server(config);
+    let mut pusher = ProfileClient::connect(server.addr(), config).expect("connects");
+    pusher
+        .push_delta(&[(
+            CallEdge::new(MethodId::new(1), CallSiteId::new(0), MethodId::new(2)),
+            5.0,
+        )])
+        .expect("accepted");
+
+    let mut raw = TcpStream::connect(server.addr()).expect("connects");
+    let ask = |raw: &mut TcpStream, page: u32| -> Vec<u8> {
+        write_msg(raw, &[&[OP_PULL_CHUNK], &page.to_be_bytes()]).expect("request sent");
+        read_msg(raw, config.max_frame_bytes)
+            .expect("reply readable")
+            .expect("whole frame")
+    };
+
+    // Page 3 before any page 0 on this connection: refused by name.
+    let reply = ask(&mut raw, 3);
+    assert_eq!(reply[0], ST_ERR);
+    assert!(
+        String::from_utf8_lossy(&reply[1..]).contains("no page-0 capture"),
+        "{:?}",
+        String::from_utf8_lossy(&reply[1..])
+    );
+
+    // The refusal kept the connection: page 0 captures and serves.
+    let reply = ask(&mut raw, 0);
+    assert_eq!(reply[0], ST_OK);
+    let total = u32::from_be_bytes(reply[1..5].try_into().unwrap());
+    assert_eq!(total, 1, "tiny snapshot fits one page");
+
+    // That was the final page, so the capture is cleared; a later
+    // page > 0 must restart from page 0, not re-read stale pages.
+    let reply = ask(&mut raw, 1);
+    assert_eq!(reply[0], ST_ERR);
+    assert!(
+        String::from_utf8_lossy(&reply[1..]).contains("no page-0 capture"),
+        "{:?}",
+        String::from_utf8_lossy(&reply[1..])
+    );
+
+    // The server is unharmed: a well-behaved chunked pull still
+    // reassembles the exact merged snapshot.
+    let mut client = ProfileClient::connect(server.addr(), config).expect("connects");
+    assert_eq!(
+        client.pull_chunked().expect("chunked pull"),
+        server.aggregator().merged_snapshot()
+    );
     server.shutdown();
 }
 

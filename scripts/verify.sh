@@ -110,9 +110,26 @@ timeout 60 "$DCGTOOL" pull "$ADDR" "$SMOKE_DIR/merged.dcg"
 cmp "$SMOKE_DIR/a.dcg" "$SMOKE_DIR/merged.dcg" \
   || { echo "FAIL: pulled fleet profile differs from the single pushed snapshot" >&2; exit 1; }
 
+echo "==> plan-serving smoke (OP_PLAN: deterministic, cached, byte-identical pulls)"
+# The aggregate is unchanged between the two pulls, so the daemon must
+# answer both from the generation-keyed plan cache with identical bytes.
+timeout 60 "$DCGTOOL" plan "$ADDR" > "$SMOKE_DIR/plan1.txt"
+timeout 60 "$DCGTOOL" plan "$ADDR" > "$SMOKE_DIR/plan2.txt"
+cmp "$SMOKE_DIR/plan1.txt" "$SMOKE_DIR/plan2.txt" \
+  || { echo "FAIL: two OP_PLAN pulls of an unchanged aggregate differ" >&2; exit 1; }
+head -n 1 "$SMOKE_DIR/plan1.txt" | grep -q '^# cbs-inline-plan v1 generation=1 ' \
+  || { echo "FAIL: plan render missing its versioned header" >&2;
+       cat "$SMOKE_DIR/plan1.txt" >&2; exit 1; }
+# The pushed profile's hottest edge (m3 s0 -> m1, weight 100) must be a
+# direct-inline entry of the served plan.
+grep -q '^m3 s0 weight=100 direct m1$' "$SMOKE_DIR/plan1.txt" \
+  || { echo "FAIL: served plan lacks the known-hot direct entry" >&2;
+       cat "$SMOKE_DIR/plan1.txt" >&2; exit 1; }
+
 echo "==> profiled telemetry smoke (OP_METRICS scrape matches the traffic above)"
-# Exactly one push and one pull were issued against this server, so the
-# scraped counters must agree; the scrape itself is timeout-bounded.
+# Exactly one push, one pull, and two plan pulls (one cache miss + one
+# hit) were issued against this server, so the scraped counters must
+# agree; the scrape itself is timeout-bounded.
 timeout 60 "$DCGTOOL" metrics "$ADDR" > "$SMOKE_DIR/metrics.txt"
 head -n 1 "$SMOKE_DIR/metrics.txt" | grep -q '^# cbs-telemetry v1$' \
   || { echo "FAIL: metrics exposition missing its version header" >&2; exit 1; }
@@ -121,6 +138,15 @@ grep -q '^counter profiled\.server\.op\.push 1$' "$SMOKE_DIR/metrics.txt" \
        cat "$SMOKE_DIR/metrics.txt" >&2; exit 1; }
 grep -q '^counter profiled\.server\.op\.pull 1$' "$SMOKE_DIR/metrics.txt" \
   || { echo "FAIL: pull counter does not match the one pull issued" >&2;
+       cat "$SMOKE_DIR/metrics.txt" >&2; exit 1; }
+grep -q '^counter profiled\.server\.op\.plan 2$' "$SMOKE_DIR/metrics.txt" \
+  || { echo "FAIL: plan counter does not match the two plan pulls issued" >&2;
+       cat "$SMOKE_DIR/metrics.txt" >&2; exit 1; }
+grep -q '^counter profiled\.plan\.builds 1$' "$SMOKE_DIR/metrics.txt" \
+  || { echo "FAIL: two pulls of one generation must build the plan exactly once" >&2;
+       cat "$SMOKE_DIR/metrics.txt" >&2; exit 1; }
+grep -q '^counter profiled\.plan\.cache_hits 1$' "$SMOKE_DIR/metrics.txt" \
+  || { echo "FAIL: the second plan pull must be answered from the cache" >&2;
        cat "$SMOKE_DIR/metrics.txt" >&2; exit 1; }
 grep -q '^counter profiled\.server\.err_replies 0$' "$SMOKE_DIR/metrics.txt" \
   || { echo "FAIL: clean smoke produced error replies" >&2;
@@ -217,5 +243,18 @@ timeout 300 target/release/repro fleet > "$SMOKE_DIR/fleet_render.txt"
 cmp repro_fleet_output.txt "$SMOKE_DIR/fleet_render.txt" \
   || { echo "FAIL: repro fleet output drifted from repro_fleet_output.txt" \
             "(regenerate: target/release/repro fleet > repro_fleet_output.txt)" >&2; exit 1; }
+
+echo "==> repro fleet-optimize render pin (served plans, deterministic output)"
+# The exploitation loop — profiles streamed to a live daemon, OP_PLAN
+# pulled and applied — is deterministic end to end, so this render is
+# pinned too (and its footer asserts the fleet plan met or beat the
+# best single-VM plan on total cycles).
+timeout 300 target/release/repro fleet-optimize > "$SMOKE_DIR/fleet_optimize_render.txt"
+cmp repro_fleet_optimize_output.txt "$SMOKE_DIR/fleet_optimize_render.txt" \
+  || { echo "FAIL: repro fleet-optimize output drifted from repro_fleet_optimize_output.txt" \
+            "(regenerate: target/release/repro fleet-optimize > repro_fleet_optimize_output.txt)" >&2; exit 1; }
+grep -q '^pooled plan meets or beats the best single-VM plan: yes$' \
+  "$SMOKE_DIR/fleet_optimize_render.txt" \
+  || { echo "FAIL: the fleet plan lost to a single-VM plan on total cycles" >&2; exit 1; }
 
 echo "OK: all gates passed"
