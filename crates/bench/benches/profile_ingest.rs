@@ -21,6 +21,13 @@
 //! * `wal/append` — the durable-store write path (4 shards, WAL append
 //!   then apply, fsync off — the async-fsync configuration whose cost
 //!   must stay within 2× of `aggregate/shards=4/streaming`);
+//! * `wal/append_concurrent` — four pusher threads through one
+//!   `fsync always` store: concurrent acks share group-commit syncs;
+//! * `wal/append_single_lock` — the identical workload and store
+//!   configuration serialized behind one external lock, so every push
+//!   convoys and syncs a batch of one: the monolithic-lock write path
+//!   this store replaced, the baseline the concurrent configuration
+//!   must beat (gated in `scripts/verify.sh`);
 //! * `recovery/replay` — `ProfileStore::open` replaying the 64-frame
 //!   WAL into a fresh aggregator.
 //!
@@ -33,10 +40,11 @@ use cbs_core::dcg::CallEdge;
 use cbs_core::profiled::{
     AggregatorConfig, DcgCodec, DcgFrame, IngestScratch, ProfileJournal, ShardedAggregator,
 };
-use cbs_core::store::{FsyncPolicy, ProfileStore, StoreConfig};
+use cbs_core::store::{FsyncPolicy, GroupCommitConfig, ProfileStore, StoreConfig};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 const EDGES: usize = 50_000;
 const FRAMES: usize = 64;
@@ -251,6 +259,96 @@ fn main() {
         })
         .clone();
     entries.push(json_entry("wal/append", EDGES, &wal_append));
+
+    // Concurrent durable ingest: the group-commit gate. The records are
+    // re-cut into 1024 small frames (per-ack fsync dominates, as in a
+    // fleet where pushes are small next to the sync), pushed by four
+    // threads through one `fsync always` store. The baseline runs the
+    // identical workload and store configuration serialized behind one
+    // external lock, so every push convoys and syncs alone — the
+    // monolithic-lock write path this store replaced.
+    let durable_frames: Vec<Vec<u8>> = records
+        .chunks(records.len().div_ceil(16 * FRAMES))
+        .map(DcgCodec::encode_delta)
+        .collect();
+    let concurrent = group
+        .bench("wal/append_concurrent", || {
+            let dir = scratch_dir("wal-conc");
+            let agg = Arc::new(ShardedAggregator::new(AggregatorConfig::with_shards(4)));
+            let store = ProfileStore::open(
+                &dir,
+                agg,
+                StoreConfig {
+                    fsync: FsyncPolicy::Always,
+                    // Hold each sync open briefly for the other pushers
+                    // (`--group-commit 4,200` in profiled terms): close
+                    // the batch as soon as all four are aboard.
+                    group_commit: GroupCommitConfig {
+                        max_batch: PUSHERS as u64,
+                        max_wait: Duration::from_micros(200),
+                    },
+                    checkpoint_every: 0,
+                    ..StoreConfig::default()
+                },
+            )
+            .expect("open store");
+            std::thread::scope(|scope| {
+                let store = &store;
+                for chunk in durable_frames.chunks(durable_frames.len().div_ceil(PUSHERS)) {
+                    scope.spawn(move || {
+                        let mut scratch = IngestScratch::new();
+                        for frame in chunk {
+                            store.ingest_frame(frame, &mut scratch).expect("ingests");
+                        }
+                    });
+                }
+            });
+            let records = store.aggregator().stats().records;
+            drop(store);
+            std::fs::remove_dir_all(&dir).expect("remove scratch dir");
+            records
+        })
+        .clone();
+    entries.push(json_entry("wal/append_concurrent", EDGES, &concurrent));
+
+    let single_lock = group
+        .bench("wal/append_single_lock", || {
+            let dir = scratch_dir("wal-lock");
+            let agg = Arc::new(ShardedAggregator::new(AggregatorConfig::with_shards(4)));
+            let store = ProfileStore::open(
+                &dir,
+                agg,
+                StoreConfig {
+                    fsync: FsyncPolicy::Always,
+                    checkpoint_every: 0,
+                    ..StoreConfig::default()
+                },
+            )
+            .expect("open store");
+            let big_lock = std::sync::Mutex::new(());
+            std::thread::scope(|scope| {
+                let store = &store;
+                let big_lock = &big_lock;
+                for chunk in durable_frames.chunks(durable_frames.len().div_ceil(PUSHERS)) {
+                    scope.spawn(move || {
+                        let mut scratch = IngestScratch::new();
+                        for frame in chunk {
+                            // The external lock serializes the whole
+                            // op, so each push reaches the committer
+                            // alone and syncs a batch of one.
+                            let _guard = big_lock.lock().expect("no poison");
+                            store.ingest_frame(frame, &mut scratch).expect("ingests");
+                        }
+                    });
+                }
+            });
+            let records = store.aggregator().stats().records;
+            drop(store);
+            std::fs::remove_dir_all(&dir).expect("remove scratch dir");
+            records
+        })
+        .clone();
+    entries.push(json_entry("wal/append_single_lock", EDGES, &single_lock));
 
     // Recovery: open a directory whose WAL already holds every frame
     // and replay it into a fresh aggregator. (Each open leaves one

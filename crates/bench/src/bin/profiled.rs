@@ -6,7 +6,7 @@
 //!          [--min-weight <f64>] [--max-frame-bytes <n>] [--max-inflight <n>]
 //!          [--dedup-cap <n>]
 //!          [--data-dir <dir>] [--checkpoint-every <frames>]
-//!          [--fsync always|never|<n>]
+//!          [--fsync always|never|<n>] [--group-commit <max-batch>[,<max-wait-us>]]
 //! ```
 //!
 //! Binds `--addr` (default `127.0.0.1:0`, an OS-assigned port), prints
@@ -20,14 +20,17 @@
 //! reports what came back. `--fsync` picks the durability/throughput
 //! trade (`always` per-ack, `never`, or sync every `<n>` appends);
 //! `--checkpoint-every` bounds replay time by checkpointing after that
-//! many applied frames.
+//! many applied frames. Under `--fsync always` concurrent pushers
+//! share one fsync per batch; `--group-commit` caps how many acks one
+//! sync may cover and how long a sync leader waits for the batch to
+//! fill (default `64`, no wait).
 //!
 //! [`ShardedAggregator`]: cbs_core::profiled::ShardedAggregator
 
 use cbs_core::profiled::{
     serve_with, AggregatorConfig, NetConfig, ServerConfig, ShardedAggregator,
 };
-use cbs_core::store::{FsyncPolicy, ProfileStore, StoreConfig};
+use cbs_core::store::{FsyncPolicy, GroupCommitConfig, ProfileStore, StoreConfig};
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -67,12 +70,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 store_config.checkpoint_every = value("--checkpoint-every")?.parse()?
             }
             "--fsync" => store_config.fsync = value("--fsync")?.parse::<FsyncPolicy>()?,
+            "--group-commit" => {
+                store_config.group_commit = value("--group-commit")?.parse::<GroupCommitConfig>()?
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: profiled [--addr <host:port>] [--shards <n>] [--decay <f64>] \
                      [--min-weight <f64>] [--max-frame-bytes <n>] [--max-inflight <n>] \
                      [--dedup-cap <n>] [--data-dir <dir>] [--checkpoint-every <frames>] \
-                     [--fsync always|never|<n>]"
+                     [--fsync always|never|<n>] [--group-commit <max-batch>[,<max-wait-us>]]"
                 );
                 return Ok(());
             }

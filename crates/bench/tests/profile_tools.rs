@@ -182,3 +182,51 @@ fn push_pull_round_trips_through_a_live_server() {
     );
     assert!(Path::new(&pulled).exists());
 }
+
+#[test]
+fn store_compact_refuses_a_directory_held_by_a_live_server() {
+    let dir = TempDir::new("lockheld");
+    let data = dir.path("store");
+    let child = Command::new(env!("CARGO_BIN_EXE_profiled"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--data-dir",
+            &data,
+            "--fsync",
+            "never",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("profiled spawns");
+    let mut guard = ServerGuard(child);
+    let stdout = guard.0.stdout.take().expect("stdout piped");
+    let mut reader = BufReader::new(stdout);
+    // A durable server prints `recovered …` before `listening …`.
+    let mut line = String::new();
+    while !line.starts_with("listening ") {
+        line.clear();
+        reader.read_line(&mut line).expect("reads banner");
+        assert!(!line.is_empty(), "server exited before listening");
+    }
+
+    // The server holds the advisory lock; offline compaction must be
+    // refused with a clear error instead of corrupting the live WAL.
+    let out = dcgtool(&["store", "compact", &data]);
+    assert!(!out.status.success(), "compact must fail on a live store");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("locked by running process"),
+        "the error must name the holder: {stderr}"
+    );
+
+    // Killing the server leaves a stale lockfile of a dead pid, which
+    // the next opener sweeps automatically.
+    drop(guard);
+    let out = dcgtool(&["store", "compact", &data]);
+    assert!(
+        out.status.success(),
+        "compact works once the holder is gone: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

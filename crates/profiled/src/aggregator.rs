@@ -332,6 +332,28 @@ impl ShardedAggregator {
         bytes: &[u8],
         scratch: &mut IngestScratch,
     ) -> Result<(FrameKind, usize), CodecError> {
+        let (kind, count) = self.partition_frame(bytes, scratch)?;
+        self.apply_partitioned(scratch);
+        Ok((kind, count))
+    }
+
+    /// Decodes and partitions an encoded frame into `scratch`'s
+    /// per-shard buckets without touching any shard — the validation
+    /// half of [`ingest_frame_bytes`](Self::ingest_frame_bytes).
+    ///
+    /// Accepts and rejects exactly the inputs [`DcgCodec::decode`]
+    /// does, and a frame that partitions cleanly always applies. The
+    /// durable store splits its write path on this boundary: partition
+    /// *before* journaling (with concurrent appenders a bad frame can
+    /// no longer be truncated back off the log, so it must prove itself
+    /// first), then fold the already-decoded buckets in under the apply
+    /// turnstile — one decode per record instead of a validation pass
+    /// plus a decode pass.
+    pub fn partition_frame(
+        &self,
+        bytes: &[u8],
+        scratch: &mut IngestScratch,
+    ) -> Result<(FrameKind, usize), CodecError> {
         let iter = DcgCodec::records(bytes)?;
         let kind = iter.kind();
         scratch.reset(self.shards.len());
@@ -343,11 +365,21 @@ impl ShardedAggregator {
             scratch.buckets[shard].push((e, w));
             count += 1;
         }
+        Ok((kind, count))
+    }
+
+    /// Folds buckets previously filled by
+    /// [`partition_frame`](Self::partition_frame) into the shards and
+    /// does the per-frame bookkeeping. Returns the record count
+    /// applied (the partition's count: the buckets drain into the
+    /// shards exactly as filled).
+    pub fn apply_partitioned(&self, scratch: &mut IngestScratch) -> usize {
+        let count = scratch.buckets.iter().map(Vec::len).sum();
         self.apply_buckets(scratch);
         self.frames.fetch_add(1, Ordering::Relaxed);
         ProfiledMetrics::get().agg_frames.inc();
         self.finish_ingest(count);
-        Ok((kind, count))
+        count
     }
 
     /// Advances the virtual epoch clock by one, returning the new epoch.

@@ -90,6 +90,11 @@ pub enum CrashSite {
     /// After the WAL append (and sync) but before the `ST_OK`: the
     /// operation is durable but the client never saw the ack.
     AfterWalAppend,
+    /// After the WAL append but before the aggregator apply: the record
+    /// is journaled (durable per policy) yet was never applied in the
+    /// crashed process — recovery must replay it. This is the gap the
+    /// staged (append / apply / commit) write path opens up.
+    BeforeApply,
     /// After the checkpoint's temp file is written but before the atomic
     /// rename: recovery must fall back to the previous checkpoint and
     /// replay the whole WAL.

@@ -149,6 +149,20 @@ pub trait ProfileJournal: Send + Sync + fmt::Debug {
 
     /// Current dedup-table usage.
     fn dedup_usage(&self) -> DedupUsage;
+
+    /// Makes every acknowledged operation as durable as the backend
+    /// can: a durable journal syncs its WAL tail; the in-memory journal
+    /// (the default implementation) has nothing to flush. Called by
+    /// `ServerHandle::shutdown` so a graceful exit under a lazy fsync
+    /// policy does not leave acked frames exposed to a power loss.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Storage`] / [`JournalError::Crashed`] when the
+    /// backend cannot sync.
+    fn flush(&self) -> Result<(), JournalError> {
+        Ok(())
+    }
 }
 
 /// The in-memory journal: no durability, aggregator semantics identical

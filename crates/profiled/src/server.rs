@@ -107,6 +107,11 @@ impl ServerHandle {
     /// In-flight connection threads finish their current exchanges and
     /// exit on their own (their sockets carry read timeouts, so none can
     /// linger forever).
+    ///
+    /// Finally flushes the journal: under a lazy fsync policy
+    /// (`--fsync never|<n>`) an orderly exit must not leave acked
+    /// frames in an unsynced WAL tail. Best-effort — a flush failure
+    /// cannot un-ack anything, so it is not propagated.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::Release);
         // Wake the blocking accept with a throwaway connection; the
@@ -116,6 +121,7 @@ impl ServerHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        let _ = self.journal.flush();
     }
 }
 

@@ -20,8 +20,15 @@
 //!   encoded snapshot, decay epoch, and dedup table are byte-identical
 //!   to an uninterrupted server that ingested exactly the durable
 //!   operations;
+//! * [`lock`] — the advisory data-directory lockfile that makes a
+//!   second concurrent opener fail fast instead of corrupting the WAL;
 //! * [`inspect`] — the read-only directory summary behind
 //!   `dcgtool store inspect`.
+//!
+//! Writes flow through a staged path — a short append critical section,
+//! a ticket-ordered apply turnstile, and a group-commit stage where
+//! concurrent [`FsyncPolicy::Always`] acks share one `sync_all` — so
+//! concurrent pushers overlap instead of convoying (see [`store`]).
 //!
 //! Scripted crash points ([`cbs_profiled::CrashSite`]) let tests kill
 //! the store before/after a WAL append, mid-checkpoint, or with a torn
@@ -33,6 +40,7 @@
 pub mod checkpoint;
 pub mod crc;
 pub mod inspect;
+pub mod lock;
 pub mod metrics;
 pub mod store;
 pub mod wal;
@@ -45,5 +53,6 @@ mod tests;
 pub use checkpoint::Checkpoint;
 pub use crc::crc32;
 pub use inspect::{inspect, CheckpointInfo, SegmentInfo, StoreInspection};
+pub use lock::StoreLock;
 pub use metrics::StoreMetrics;
-pub use store::{FsyncPolicy, ProfileStore, RecoveryReport, StoreConfig};
+pub use store::{FsyncPolicy, GroupCommitConfig, ProfileStore, RecoveryReport, StoreConfig};

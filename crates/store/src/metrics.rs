@@ -1,10 +1,15 @@
 //! Static telemetry handles for the durable store, registered in the
 //! process-wide [`cbs_telemetry::global`] registry (naming scheme
-//! `store.<subsystem>.<metric>`). All counters here are deterministic
-//! for a deterministic workload.
+//! `store.<subsystem>.<metric>`). Counters of *applied work* are
+//! deterministic for a deterministic workload; group-commit shape
+//! (how many syncs, how large each batch) depends on thread timing and
+//! is registered as wall-clock.
 
-use cbs_telemetry::{global, Counter};
+use cbs_telemetry::{global, Counter, Histogram, Stability};
 use std::sync::OnceLock;
+
+/// Group-commit batch-size buckets (appends acked per shared sync).
+const BATCH_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256];
 
 /// The store's metric handles. Obtain via [`StoreMetrics::get`].
 #[derive(Debug)]
@@ -13,8 +18,19 @@ pub struct StoreMetrics {
     pub wal_appends: Counter,
     /// WAL bytes written (framing included).
     pub wal_bytes: Counter,
+    /// Shared group-commit syncs completed.
+    pub wal_group_commits: Counter,
+    /// Appends acknowledged per shared sync.
+    pub wal_batch_size: Histogram,
+    /// Dirty WAL tails synced by a graceful-shutdown flush.
+    pub wal_shutdown_syncs: Counter,
     /// Checkpoints committed.
     pub checkpoints: Counter,
+    /// Post-commit segment-GC failures (the checkpoint itself was
+    /// installed; the next checkpoint retries the deletion).
+    pub checkpoint_gc_errors: Counter,
+    /// Poisoned fault-schedule locks recovered (a holder panicked).
+    pub fault_lock_recovered: Counter,
     /// Frames re-applied from the WAL during recovery.
     pub recovery_replayed_frames: Counter,
     /// Recoveries that truncated a torn or corrupt WAL tail.
@@ -30,7 +46,29 @@ impl StoreMetrics {
             StoreMetrics {
                 wal_appends: r.counter("store.wal.appends", "WAL records appended"),
                 wal_bytes: r.counter("store.wal.bytes", "WAL bytes written (framing included)"),
+                wal_group_commits: r.counter(
+                    "store.wal.group_commits",
+                    "shared group-commit syncs completed",
+                ),
+                wal_batch_size: r.histogram(
+                    "store.wal.batch_size",
+                    "appends acknowledged per shared sync",
+                    BATCH_BUCKETS,
+                    Stability::Wallclock,
+                ),
+                wal_shutdown_syncs: r.counter(
+                    "store.wal.shutdown_syncs",
+                    "dirty WAL tails synced by a graceful-shutdown flush",
+                ),
                 checkpoints: r.counter("store.checkpoints", "checkpoints committed"),
+                checkpoint_gc_errors: r.counter(
+                    "store.checkpoint.gc_errors",
+                    "post-commit segment-GC failures (retried next checkpoint)",
+                ),
+                fault_lock_recovered: r.counter(
+                    "store.faults.lock_recovered",
+                    "poisoned fault-schedule locks recovered",
+                ),
                 recovery_replayed_frames: r.counter(
                     "store.recovery.replayed_frames",
                     "frames re-applied from the WAL during recovery",

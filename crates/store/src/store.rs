@@ -1,14 +1,31 @@
 //! [`ProfileStore`]: the durable [`ProfileJournal`] implementation.
 //!
-//! Every accepted operation is appended to the WAL *before* the server
-//! acknowledges it, and applied to the aggregator under the same lock
-//! the append holds — so the log's record order is exactly the apply
-//! order, and replaying the log through the identical
-//! [`ShardedAggregator::ingest_frame_bytes`] path reproduces the
-//! aggregator bit-for-bit. Periodic checkpoints bound replay time:
-//! a checkpoint rotates the WAL, snapshots graph + epoch + counters +
-//! dedup table in that same critical section, installs the snapshot
-//! atomically, and deletes the segments it subsumes.
+//! ## Staged write path (group commit)
+//!
+//! Every accepted operation passes through three stages, so concurrent
+//! pusher connections overlap instead of convoying on one store-wide
+//! lock:
+//!
+//! 1. **Append** — a short critical section under the append lock:
+//!    write one WAL record and take a *ticket*. The lock serializes
+//!    appends, so ticket order **is** WAL record order.
+//! 2. **Commit** — durability per [`FsyncPolicy`]. Under `Always`, a
+//!    *group commit*: the first waiter becomes the sync leader, batches
+//!    every append that landed while the previous fsync was in flight,
+//!    issues one shared `sync_all`, and wakes the followers. One disk
+//!    flush acknowledges the whole batch.
+//! 3. **Apply** — a ticket-ordered turnstile folds each op into the
+//!    aggregator in exactly WAL order. (f64 accumulation is not
+//!    associative: replaying the log must reproduce the aggregator
+//!    bit-for-bit, so applies may pipeline against appends and fsyncs
+//!    but never reorder against each other.)
+//!
+//! Frames are decoded and partitioned *before* the append
+//! (`ShardedAggregator::partition_frame`, which accepts exactly the
+//! inputs the eager codec does), because with concurrent appenders a
+//! failed apply can no longer truncate its record back off the log —
+//! later appends already landed behind it. The partitioned buckets
+//! then feed the apply stage directly, so each record is decoded once.
 //!
 //! ## Recovery invariant
 //!
@@ -16,8 +33,14 @@
 //! the decay epoch, the dedup table (entries *and* recency counter),
 //! and the lifetime frame/record counters — is byte-identical to an
 //! uninterrupted store that ingested exactly the durable prefix of
-//! operations. A torn or corrupt WAL tail is detected by CRC, truncated
-//! away, and reported; it is never an error and never half-applied.
+//! operations *in WAL record order*. A torn or corrupt WAL tail is
+//! detected by CRC, truncated away, and reported; it is never an error
+//! and never half-applied.
+//!
+//! The data directory is guarded by an advisory lockfile
+//! ([`crate::lock::StoreLock`]): a second opener fails fast instead of
+//! corrupting the WAL, and a dead holder's lock is swept automatically
+//! so crash recovery is never blocked.
 //!
 //! ## Crash injection
 //!
@@ -25,28 +48,39 @@
 //! store simulate a power loss at a scripted [`CrashSite`]: the write
 //! path performs exactly the disk writes that would have landed, sets a
 //! poisoned flag, and fails every later operation with
-//! [`JournalError::Crashed`] until the directory is reopened.
+//! [`JournalError::Crashed`] until the directory is reopened. In-flight
+//! concurrent operations may still complete (their records are on disk,
+//! exactly like a real crash that lands mid-batch).
 
 use crate::checkpoint::{Checkpoint, CKPT_TMP_FILE};
+use crate::lock::StoreLock;
 use crate::metrics::StoreMetrics;
 use crate::wal::{
     self, decode_op, encode_epoch, encode_frame, encode_seq_frame, list_segments, scan_segment,
     SegmentWriter, WalOp, RECORD_OVERHEAD, WAL_HEADER_LEN,
 };
 use cbs_profiled::{
-    CrashSite, CrashSpec, DcgCodec, DedupEntry, DedupTable, DedupUsage, FaultSchedule, FrameKind,
+    CodecError, CrashSite, CrashSpec, DedupEntry, DedupTable, DedupUsage, FaultSchedule, FrameKind,
     IngestScratch, JournalError, ProfileJournal, SeqIngest, ShardedAggregator,
 };
-use std::fs::{self, OpenOptions};
+use std::fs::{self, File, OpenOptions};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Defensive wake-up interval for condvar waits: every waiter also
+/// polls the poisoned flag, so a crash can never strand a sleeper even
+/// if a notification is lost to a panicking thread.
+const CRASH_POLL: Duration = Duration::from_millis(50);
 
 /// When the WAL file is fsynced relative to the acknowledgement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FsyncPolicy {
     /// Sync before every ack: an acked operation survives power loss.
+    /// Concurrent acks share one sync via group commit.
     Always,
     /// Never sync explicitly: an acked operation survives a process
     /// crash (the write reached the kernel) but not a power loss.
@@ -73,11 +107,63 @@ impl FromStr for FsyncPolicy {
     }
 }
 
+/// Group-commit tuning for [`FsyncPolicy::Always`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommitConfig {
+    /// Most appends one shared sync may acknowledge. Batches form
+    /// naturally from whatever arrived while the previous sync was in
+    /// flight; this caps them.
+    pub max_batch: u64,
+    /// How long a sync leader may wait for the batch to fill before
+    /// syncing anyway. Zero (the default) adds no latency: the leader
+    /// syncs immediately and batching comes purely from fsync overlap.
+    pub max_wait: Duration,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_wait: Duration::ZERO,
+        }
+    }
+}
+
+impl FromStr for GroupCommitConfig {
+    type Err = String;
+
+    /// Parses `<max-batch>` or `<max-batch>,<max-wait-us>`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (batch, wait) = match s.split_once(',') {
+            Some((b, w)) => (b, Some(w)),
+            None => (s, None),
+        };
+        let max_batch = batch
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("group-commit max-batch must be a positive count: {s}"))?;
+        let max_wait = match wait {
+            Some(w) => Duration::from_micros(
+                w.parse::<u64>()
+                    .map_err(|_| format!("group-commit max-wait-us must be a count: {s}"))?,
+            ),
+            None => Duration::ZERO,
+        };
+        Ok(Self {
+            max_batch,
+            max_wait,
+        })
+    }
+}
+
 /// Durable-store configuration.
 #[derive(Debug, Clone)]
 pub struct StoreConfig {
     /// WAL fsync policy.
     pub fsync: FsyncPolicy,
+    /// Group-commit tuning (only meaningful with [`FsyncPolicy::Always`]).
+    pub group_commit: GroupCommitConfig,
     /// Applied frames between automatic checkpoints (`0` = only
     /// explicit [`ProfileStore::checkpoint_now`] calls).
     pub checkpoint_every: u64,
@@ -94,6 +180,7 @@ impl Default for StoreConfig {
     fn default() -> Self {
         Self {
             fsync: FsyncPolicy::Always,
+            group_commit: GroupCommitConfig::default(),
             checkpoint_every: 1024,
             dedup_capacity: DedupTable::DEFAULT_CAPACITY,
             max_record_bytes: 64 << 20,
@@ -123,23 +210,65 @@ pub struct RecoveryReport {
     pub truncated_at: Option<(u64, u64)>,
 }
 
+/// Append-stage state: everything the short WAL critical section needs.
+/// Holding this lock serializes WAL writes, so ticket order is record
+/// order.
 #[derive(Debug)]
-struct StoreInner {
+struct AppendState {
     wal: SegmentWriter,
     dedup: DedupTable,
     frames_since_checkpoint: u64,
     appends_since_sync: u64,
-    crashed: bool,
+    /// Tickets issued so far; the next append takes `next_ticket + 1`.
+    next_ticket: u64,
+    /// The epoch the next `advance_epoch` will journal. Tracked here
+    /// (not read from the aggregator) because earlier epoch tickets may
+    /// still be in flight between append and apply.
+    next_epoch: u64,
+}
+
+/// Apply-stage turnstile: `next` is the only ticket allowed to apply.
+#[derive(Debug)]
+struct ApplyState {
+    next: u64,
+}
+
+/// Commit-stage state: durability bookkeeping and the group-commit
+/// leader slot.
+#[derive(Debug)]
+struct CommitState {
+    /// Highest ticket whose WAL record is written.
+    appended: u64,
+    /// Highest ticket covered by a completed sync.
+    durable: u64,
+    /// The live segment's file handle, so a leader can `sync_all`
+    /// without holding the append lock. Swapped on rotation *after* the
+    /// old segment was synced, so tickets in `(durable, appended]` are
+    /// always in this file.
+    file: Arc<File>,
+    /// A sync leader is in flight; late arrivals become followers.
+    leader: bool,
 }
 
 /// The durable profile journal. See the module docs.
 #[derive(Debug)]
 pub struct ProfileStore {
     dir: PathBuf,
+    /// Advisory data-directory lock; held for the store's lifetime and
+    /// released (deleted) on drop.
+    _lock: StoreLock,
     aggregator: Arc<ShardedAggregator>,
     config: StoreConfig,
     recovery: RecoveryReport,
-    inner: Mutex<StoreInner>,
+    /// Set by a scripted crash, a lock poisoned mid-operation, or a
+    /// failed group fsync; every later operation fails with
+    /// [`JournalError::Crashed`].
+    crashed: AtomicBool,
+    append: Mutex<AppendState>,
+    apply: Mutex<ApplyState>,
+    apply_cv: Condvar,
+    commit: Mutex<CommitState>,
+    commit_cv: Condvar,
 }
 
 impl ProfileStore {
@@ -149,10 +278,10 @@ impl ProfileStore {
     ///
     /// # Errors
     ///
-    /// I/O failures, a corrupt checkpoint (`InvalidData`), or a
-    /// non-fresh aggregator (`InvalidInput`). A torn/corrupt WAL tail
-    /// is *not* an error — it is truncated and reported in the
-    /// [`RecoveryReport`].
+    /// I/O failures, a corrupt checkpoint (`InvalidData`), a non-fresh
+    /// aggregator (`InvalidInput`), or a directory locked by another
+    /// live process (`AddrInUse`). A torn/corrupt WAL tail is *not* an
+    /// error — it is truncated and reported in the [`RecoveryReport`].
     pub fn open(
         dir: impl Into<PathBuf>,
         aggregator: Arc<ShardedAggregator>,
@@ -160,6 +289,7 @@ impl ProfileStore {
     ) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        let lock = StoreLock::acquire(&dir)?;
         let stats = aggregator.stats();
         if stats.frames != 0 || stats.epoch != 0 {
             return Err(io::Error::new(
@@ -239,9 +369,8 @@ impl ProfileStore {
                         None
                     }
                     None => {
-                        // CRC-intact but undecodable: corruption (or a
-                        // crash between an append and its failed-apply
-                        // truncation). Cut here.
+                        // CRC-intact but undecodable: corruption. Cut
+                        // here.
                         cut = Some((idx, record.offset, path.clone()));
                         break 'segments;
                     }
@@ -295,11 +424,14 @@ impl ProfileStore {
             .add(report.replayed_frames);
 
         let wal = SegmentWriter::create(&dir, max_seq_seen + 1)?;
+        let file = wal.file();
+        let next_epoch = aggregator.epoch();
         Ok(Self {
             dir,
-            aggregator,
+            _lock: lock,
             config,
-            inner: Mutex::new(StoreInner {
+            crashed: AtomicBool::new(false),
+            append: Mutex::new(AppendState {
                 wal,
                 dedup,
                 // A long replayed tail means the last checkpoint is
@@ -307,8 +439,19 @@ impl ProfileStore {
                 // an automatic checkpoint promptly.
                 frames_since_checkpoint: report.replayed_frames,
                 appends_since_sync: 0,
-                crashed: false,
+                next_ticket: 0,
+                next_epoch,
             }),
+            apply: Mutex::new(ApplyState { next: 1 }),
+            apply_cv: Condvar::new(),
+            commit: Mutex::new(CommitState {
+                appended: 0,
+                durable: 0,
+                file,
+                leader: false,
+            }),
+            commit_cv: Condvar::new(),
+            aggregator,
             recovery: report,
         })
     }
@@ -331,51 +474,93 @@ impl ProfileStore {
     /// The dedup table's entries (sorted by client id) — exposed so
     /// tests can assert bit-identical recovery of the table.
     pub fn dedup_entries(&self) -> Vec<DedupEntry> {
-        self.lock_inner().dedup.entries()
+        self.lock_append().dedup.entries()
     }
 
     /// The dedup table's touch counter.
     pub fn dedup_next_touch(&self) -> u64 {
-        self.lock_inner().dedup.next_touch()
+        self.lock_append().dedup.next_touch()
     }
 
-    /// Takes a checkpoint now: rotates the WAL, snapshots the merged
-    /// graph + epoch + counters + dedup table, installs it atomically,
-    /// and deletes the subsumed segments.
+    /// `true` when acknowledged appends are not yet covered by a sync —
+    /// the window [`Self::sync_now`] (and the shutdown flush) closes.
+    pub fn wal_dirty(&self) -> bool {
+        let c = self.lock_commit();
+        c.durable < c.appended
+    }
+
+    /// Fsyncs the WAL tail now, regardless of policy, and resets the
+    /// [`FsyncPolicy::EveryN`] cadence (an actual sync is an actual
+    /// sync — the next `n`-window starts here).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Storage`] on I/O failure, [`JournalError::Crashed`]
+    /// after a scripted crash.
+    pub fn sync_now(&self) -> Result<(), JournalError> {
+        self.check_crashed()?;
+        self.force_sync_all()
+    }
+
+    /// Takes a checkpoint now: quiesces applies, rotates the WAL,
+    /// snapshots the merged graph + epoch + counters + dedup table,
+    /// installs it atomically, and deletes the subsumed segments.
     ///
     /// # Errors
     ///
     /// [`JournalError::Storage`] on I/O failure, [`JournalError::Crashed`]
     /// after a scripted crash.
     pub fn checkpoint_now(&self) -> Result<(), JournalError> {
-        let mut inner = self.lock_inner();
-        if inner.crashed {
-            return Err(JournalError::Crashed);
-        }
-        self.checkpoint_locked(&mut inner)
+        let mut a = self.lock_append();
+        self.check_crashed()?;
+        self.checkpoint_locked(&mut a)
     }
 
-    fn lock_inner(&self) -> MutexGuard<'_, StoreInner> {
-        // A panic while holding the lock leaves disk state unknown;
-        // poison the store rather than guessing.
-        self.inner.lock().unwrap_or_else(|e| {
-            let mut g = e.into_inner();
-            g.crashed = true;
-            g
+    fn check_crashed(&self) -> Result<(), JournalError> {
+        if self.crashed.load(Ordering::SeqCst) {
+            Err(JournalError::Crashed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Recovers a poisoned lock result: a panic while a store lock was
+    /// held leaves disk state unknown, so poison the store rather than
+    /// guess.
+    fn recover_poison<T>(&self, result: Result<T, PoisonError<T>>) -> T {
+        result.unwrap_or_else(|e| {
+            self.crashed.store(true, Ordering::SeqCst);
+            e.into_inner()
         })
+    }
+
+    fn lock_append(&self) -> MutexGuard<'_, AppendState> {
+        self.recover_poison(self.append.lock())
+    }
+
+    fn lock_apply(&self) -> MutexGuard<'_, ApplyState> {
+        self.recover_poison(self.apply.lock())
+    }
+
+    fn lock_commit(&self) -> MutexGuard<'_, CommitState> {
+        self.recover_poison(self.commit.lock())
     }
 
     fn crash_fires(&self, site: CrashSite) -> Option<CrashSpec> {
         let faults = self.config.faults.as_ref()?;
-        faults
-            .lock()
-            .expect("fault schedule lock")
-            .crash_fires(site)
+        // A panicking *holder* of the schedule poisons the mutex, but
+        // the schedule itself is a plain value — recover it instead of
+        // propagating the panic into every later journal call.
+        let mut guard = faults.lock().unwrap_or_else(|e| {
+            StoreMetrics::get().fault_lock_recovered.inc();
+            e.into_inner()
+        });
+        guard.crash_fires(site)
     }
 
-    /// Appends `payload`, honouring the scripted crash sites, and
-    /// returns the pre-append offset for a failed-apply rollback.
-    fn append_record(&self, inner: &mut StoreInner, payload: &[u8]) -> Result<u64, JournalError> {
+    /// Appends one record under the append lock: crash sites, the WAL
+    /// write, the `EveryN` cadence, and the ticket. Returns the ticket.
+    fn append_locked(&self, a: &mut AppendState, payload: &[u8]) -> Result<u64, JournalError> {
         if payload.len() > self.config.max_record_bytes {
             return Err(JournalError::Storage(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -387,90 +572,282 @@ impl ProfileStore {
             )));
         }
         if self.crash_fires(CrashSite::BeforeWalAppend).is_some() {
-            inner.crashed = true;
+            self.crashed.store(true, Ordering::SeqCst);
             return Err(JournalError::Crashed);
         }
         if let Some(spec) = self.crash_fires(CrashSite::TornWalRecord) {
-            inner.wal.append_torn(payload, spec.torn_keep)?;
-            inner.crashed = true;
+            a.wal.append_torn(payload, spec.torn_keep)?;
+            self.crashed.store(true, Ordering::SeqCst);
             return Err(JournalError::Crashed);
         }
-        Ok(inner.wal.append(payload)?)
+        a.wal.append(payload)?;
+        a.next_ticket += 1;
+        let ticket = a.next_ticket;
+        let mut synced = false;
+        if let FsyncPolicy::EveryN(n) = self.config.fsync {
+            a.appends_since_sync += 1;
+            if a.appends_since_sync >= n {
+                a.wal.sync()?;
+                a.appends_since_sync = 0;
+                synced = true;
+            }
+        }
+        let mut c = self.lock_commit();
+        c.appended = ticket;
+        if synced {
+            c.durable = c.durable.max(ticket);
+        }
+        drop(c);
+        // Wake a batch-forming leader (and, after an inline sync, any
+        // follower the sync happened to cover).
+        self.commit_cv.notify_all();
+        Ok(ticket)
     }
 
-    /// The post-apply half of the write path: durability (per policy),
-    /// the after-append crash site, bookkeeping, auto-checkpoint.
-    fn commit_applied(
+    /// Runs `f` when `ticket`'s turn in the apply turnstile comes:
+    /// applies happen in exactly WAL record order.
+    fn apply_in_order<T>(
         &self,
-        inner: &mut StoreInner,
-        record_payload_len: usize,
-        counts_frame: bool,
-    ) -> Result<(), JournalError> {
-        if self.crash_fires(CrashSite::AfterWalAppend).is_some() {
-            // The operation is durable (force the sync) but will never
-            // be acknowledged.
-            inner.wal.sync()?;
-            inner.crashed = true;
+        ticket: u64,
+        f: impl FnOnce() -> Result<T, CodecError>,
+    ) -> Result<T, JournalError> {
+        let mut g = self.lock_apply();
+        while g.next != ticket {
+            self.check_crashed()?;
+            let (g2, _) = self.recover_poison(self.apply_cv.wait_timeout(g, CRASH_POLL));
+            g = g2;
+        }
+        if self.crash_fires(CrashSite::BeforeApply).is_some() {
+            // The record is journaled (and durable per policy) but the
+            // process dies before applying it: recovery must replay it.
+            // Advance the turnstile so in-flight neighbours drain.
+            g.next = ticket + 1;
+            self.crashed.store(true, Ordering::SeqCst);
+            self.apply_cv.notify_all();
             return Err(JournalError::Crashed);
         }
-        match self.config.fsync {
-            FsyncPolicy::Always => inner.wal.sync()?,
-            FsyncPolicy::Never => {}
-            FsyncPolicy::EveryN(n) => {
-                inner.appends_since_sync += 1;
-                if inner.appends_since_sync >= n {
-                    inner.appends_since_sync = 0;
-                    inner.wal.sync()?;
-                }
-            }
-        }
-        let m = StoreMetrics::get();
-        m.wal_appends.inc();
-        m.wal_bytes.add(RECORD_OVERHEAD + record_payload_len as u64);
-        if counts_frame {
-            inner.frames_since_checkpoint += 1;
-            if self.config.checkpoint_every > 0
-                && inner.frames_since_checkpoint >= self.config.checkpoint_every
-            {
-                self.checkpoint_locked(inner)?;
-            }
+        let result = f();
+        g.next = ticket + 1;
+        self.apply_cv.notify_all();
+        drop(g);
+        result.map_err(|e| {
+            // Unreachable while validate and apply accept identical
+            // inputs; if they ever disagree the aggregator may have
+            // diverged from the WAL — poison rather than guess.
+            self.crashed.store(true, Ordering::SeqCst);
+            e.into()
+        })
+    }
+
+    /// Waits until every ticket up to and including `upto` has applied.
+    fn wait_applied_through(&self, upto: u64) -> Result<(), JournalError> {
+        let mut g = self.lock_apply();
+        while g.next <= upto {
+            self.check_crashed()?;
+            let (g2, _) = self.recover_poison(self.apply_cv.wait_timeout(g, CRASH_POLL));
+            g = g2;
         }
         Ok(())
     }
 
-    fn checkpoint_locked(&self, inner: &mut StoreInner) -> Result<(), JournalError> {
+    /// Marks tickets through `upto` durable and wakes commit waiters.
+    fn mark_durable(&self, upto: u64) {
+        let mut c = self.lock_commit();
+        c.durable = c.durable.max(upto);
+        drop(c);
+        self.commit_cv.notify_all();
+    }
+
+    /// Fsyncs everything appended so far (briefly holding the append
+    /// lock) and resets the `EveryN` cadence.
+    fn force_sync_all(&self) -> Result<(), JournalError> {
+        let mut a = self.lock_append();
+        a.wal.sync()?;
+        a.appends_since_sync = 0;
+        let issued = a.next_ticket;
+        drop(a);
+        self.mark_durable(issued);
+        Ok(())
+    }
+
+    /// Blocks until `ticket` is durable, electing this thread as the
+    /// sync leader when none is in flight. The batch is everything
+    /// appended while the previous sync was in flight (this stage runs
+    /// *before* the apply turnstile, so waiting ops sit here, not
+    /// there); the leader optionally holds the sync open `max_wait`
+    /// for up to `max_batch` appends, then syncs the segment file
+    /// *outside* the append lock and wakes every follower its sync
+    /// covered — the group commit.
+    fn group_commit_wait(&self, ticket: u64) -> Result<(), JournalError> {
+        let gc = self.config.group_commit;
+        let mut c = self.lock_commit();
+        loop {
+            if c.durable >= ticket {
+                return Ok(());
+            }
+            self.check_crashed()?;
+            if c.leader {
+                // A sync is in flight; it (or the next round) covers us.
+                let (g, _) = self.recover_poison(self.commit_cv.wait_timeout(c, CRASH_POLL));
+                c = g;
+                continue;
+            }
+            c.leader = true;
+            if !gc.max_wait.is_zero() {
+                let deadline = Instant::now() + gc.max_wait;
+                while c.appended - c.durable < gc.max_batch.max(1) {
+                    let now = Instant::now();
+                    if now >= deadline || self.crashed.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let (g, _) =
+                        self.recover_poison(self.commit_cv.wait_timeout(c, deadline - now));
+                    c = g;
+                }
+            }
+            let already_durable = c.durable;
+            let target = c.appended.min(already_durable + gc.max_batch.max(1));
+            let file = Arc::clone(&c.file);
+            drop(c);
+            let synced = file.sync_all();
+            c = self.lock_commit();
+            c.leader = false;
+            match synced {
+                Ok(()) => {
+                    c.durable = c.durable.max(target);
+                    let m = StoreMetrics::get();
+                    m.wal_group_commits.inc();
+                    m.wal_batch_size.observe(target - already_durable);
+                }
+                Err(e) => {
+                    // A failed fsync may have dropped the dirty pages;
+                    // a later "successful" sync could silently lose the
+                    // batch. Poison the store instead of retrying.
+                    self.crashed.store(true, Ordering::SeqCst);
+                    drop(c);
+                    self.commit_cv.notify_all();
+                    return Err(JournalError::Storage(e));
+                }
+            }
+            drop(c);
+            self.commit_cv.notify_all();
+            c = self.lock_commit();
+        }
+    }
+
+    /// The durability stage of the write path, run *between* the append
+    /// and the apply: the after-append crash site, then the policy's
+    /// durability wait. Running it before the serialized apply is what
+    /// lets group-commit batches form — ops waiting out a sync overlap
+    /// each other here instead of draining one by one through the
+    /// turnstile first.
+    fn commit_durable(&self, ticket: u64) -> Result<(), JournalError> {
+        if self.crash_fires(CrashSite::AfterWalAppend).is_some() {
+            // The operation is durable (force the sync — mid-batch this
+            // also covers every in-flight neighbour; neighbours already
+            // past their durability wait may still ack, later tickets
+            // are journaled but never acknowledged) and never applied
+            // in this process.
+            self.force_sync_all()?;
+            self.crashed.store(true, Ordering::SeqCst);
+            self.commit_cv.notify_all();
+            return Err(JournalError::Crashed);
+        }
+        match self.config.fsync {
+            FsyncPolicy::Always => self.group_commit_wait(ticket),
+            // `EveryN` syncs inline at the append (the cadence counter
+            // lives under the append lock); `Never` never does.
+            FsyncPolicy::Never | FsyncPolicy::EveryN(_) => Ok(()),
+        }
+    }
+
+    /// The post-apply tail of the write path: metrics and the
+    /// auto-checkpoint, which must follow the op's own apply (the
+    /// checkpoint quiesces the turnstile through its own ticket).
+    fn finish(&self, record_payload_len: usize, checkpoint_due: bool) -> Result<(), JournalError> {
+        let m = StoreMetrics::get();
+        m.wal_appends.inc();
+        m.wal_bytes.add(RECORD_OVERHEAD + record_payload_len as u64);
+        if checkpoint_due {
+            self.maybe_auto_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Re-checks the auto-checkpoint threshold under the append lock
+    /// and checkpoints if still due (a concurrent op may have beaten us
+    /// to it).
+    fn maybe_auto_checkpoint(&self) -> Result<(), JournalError> {
+        let mut a = self.lock_append();
+        self.check_crashed()?;
+        if self.config.checkpoint_every > 0
+            && a.frames_since_checkpoint >= self.config.checkpoint_every
+        {
+            self.checkpoint_locked(&mut a)?;
+        }
+        Ok(())
+    }
+
+    fn checkpoint_locked(&self, a: &mut AppendState) -> Result<(), JournalError> {
+        // Quiesce: the append lock blocks new tickets; draining the
+        // turnstile makes the aggregator equal the WAL prefix exactly,
+        // so the snapshot and the rotation point agree.
+        self.wait_applied_through(a.next_ticket)?;
         // Rotate first: records appended after this critical section go
         // to the new segment, which is exactly the set the checkpoint
         // does not capture.
-        inner.wal.sync()?;
-        let new_seq = inner.wal.seq() + 1;
-        inner.wal = SegmentWriter::create(&self.dir, new_seq)?;
+        a.wal.sync()?;
+        a.appends_since_sync = 0;
+        self.mark_durable(a.next_ticket);
+        let new_seq = a.wal.seq() + 1;
+        a.wal = SegmentWriter::create(&self.dir, new_seq)?;
+        {
+            let mut c = self.lock_commit();
+            c.file = a.wal.file();
+        }
 
         let stats = self.aggregator.stats();
         let ckpt = Checkpoint {
             epoch: stats.epoch,
             frames: stats.frames,
             records: stats.records,
-            next_touch: inner.dedup.next_touch(),
+            next_touch: a.dedup.next_touch(),
             wal_seq: new_seq,
-            dedup: inner.dedup.entries(),
+            dedup: a.dedup.entries(),
             snapshot: self.aggregator.encoded_snapshot().as_ref().clone(),
         };
         let tmp = ckpt.write_temp(&self.dir)?;
         if self.crash_fires(CrashSite::MidCheckpoint).is_some() {
             // The temp file is on disk but was never installed; recovery
             // discards it and falls back to the previous checkpoint.
-            inner.crashed = true;
+            self.crashed.store(true, Ordering::SeqCst);
             return Err(JournalError::Crashed);
         }
         Checkpoint::commit_temp(&self.dir, &tmp)?;
-        for (seq, path) in list_segments(&self.dir)? {
-            if seq < new_seq {
-                fs::remove_file(&path)?;
+        // The checkpoint is installed; from here on nothing can fail
+        // it. Deleting subsumed segments is garbage collection — a
+        // failure leaves stale segments recovery already knows to skip,
+        // and the next checkpoint retries the deletion.
+        let mut gc_errors = 0u64;
+        match list_segments(&self.dir) {
+            Ok(segments) => {
+                for (seq, path) in segments {
+                    if seq < new_seq && fs::remove_file(&path).is_err() {
+                        gc_errors += 1;
+                    }
+                }
             }
+            Err(_) => gc_errors += 1,
         }
-        wal::sync_dir(&self.dir)?;
-        inner.frames_since_checkpoint = 0;
+        if wal::sync_dir(&self.dir).is_err() {
+            // Only the deletions' durability is at stake (commit_temp
+            // synced the rename); stale segments are harmless.
+            gc_errors += 1;
+        }
+        if gc_errors > 0 {
+            StoreMetrics::get().checkpoint_gc_errors.add(gc_errors);
+        }
+        a.frames_since_checkpoint = 0;
         StoreMetrics::get().checkpoints.inc();
         Ok(())
     }
@@ -482,22 +859,27 @@ impl ProfileJournal for ProfileStore {
         bytes: &[u8],
         scratch: &mut IngestScratch,
     ) -> Result<(FrameKind, usize), JournalError> {
-        let mut inner = self.lock_inner();
-        if inner.crashed {
-            return Err(JournalError::Crashed);
-        }
-        let offset = self.append_record(&mut inner, &encode_frame(bytes))?;
-        let (kind, records) = match self.aggregator.ingest_frame_bytes(bytes, scratch) {
-            Ok(applied) => applied,
-            Err(e) => {
-                // Journal-then-apply: a bad frame was appended before
-                // validation; un-append it. (A crash in between is
-                // absorbed by recovery's cut-at-first-bad-record rule.)
-                inner.wal.truncate_to(offset)?;
-                return Err(e.into());
-            }
+        self.check_crashed()?;
+        // Partition before journaling: with concurrent appenders a bad
+        // frame can no longer be truncated back off the log, so it must
+        // prove itself before it is written — and the decoded buckets
+        // ride along in `scratch` so the apply stage doesn't decode the
+        // frame a second time.
+        let (kind, _) = self.aggregator.partition_frame(bytes, scratch)?;
+        let payload = encode_frame(bytes);
+        let (ticket, checkpoint_due) = {
+            let mut a = self.lock_append();
+            self.check_crashed()?;
+            let ticket = self.append_locked(&mut a, &payload)?;
+            a.frames_since_checkpoint += 1;
+            let due = self.config.checkpoint_every > 0
+                && a.frames_since_checkpoint >= self.config.checkpoint_every;
+            (ticket, due)
         };
-        self.commit_applied(&mut inner, 1 + bytes.len(), true)?;
+        self.commit_durable(ticket)?;
+        let records =
+            self.apply_in_order(ticket, || Ok(self.aggregator.apply_partitioned(scratch)))?;
+        self.finish(payload.len(), checkpoint_due)?;
         Ok((kind, records))
     }
 
@@ -508,53 +890,77 @@ impl ProfileJournal for ProfileStore {
         bytes: &[u8],
         scratch: &mut IngestScratch,
     ) -> Result<SeqIngest, JournalError> {
-        let mut inner = self.lock_inner();
-        if inner.crashed {
-            return Err(JournalError::Crashed);
-        }
-        let last = inner.dedup.last_seq(client_id).unwrap_or(0);
+        self.check_crashed()?;
+        // Bad frame beats duplicate, as in the in-memory journal. The
+        // partition doubles as the apply stage's decoded input.
+        let (kind, _) = self.aggregator.partition_frame(bytes, scratch)?;
+        let mut a = self.lock_append();
+        self.check_crashed()?;
+        let last = a.dedup.last_seq(client_id).unwrap_or(0);
         if seq <= last {
-            drop(inner);
-            // Bad frame beats duplicate, as in the in-memory journal —
-            // and duplicates are not journaled (they change nothing).
-            DcgCodec::validate(bytes)?;
+            let issued = a.next_ticket;
+            drop(a);
+            // A duplicate changes nothing and is not journaled, but its
+            // ack carries the original's promise: applied, and (under
+            // `Always`) durable — the original may still be in flight
+            // between its append and its batch's sync.
+            self.wait_applied_through(issued)?;
+            if self.config.fsync == FsyncPolicy::Always {
+                self.group_commit_wait(issued)?;
+            }
             return Ok(SeqIngest::Duplicate);
         }
         let payload = encode_seq_frame(client_id, seq, bytes);
-        let offset = self.append_record(&mut inner, &payload)?;
-        let (kind, records) = match self.aggregator.ingest_frame_bytes(bytes, scratch) {
-            Ok(applied) => applied,
-            Err(e) => {
-                inner.wal.truncate_to(offset)?;
-                return Err(e.into());
-            }
-        };
-        inner.dedup.record(client_id, seq);
-        self.commit_applied(&mut inner, payload.len(), true)?;
+        let ticket = self.append_locked(&mut a, &payload)?;
+        // Recorded under the same lock as the append, so the dedup
+        // check/record pair is atomic against racing pushes of the same
+        // client — and the table's touch order is WAL record order,
+        // which is what replay reproduces.
+        a.dedup.record(client_id, seq);
+        a.frames_since_checkpoint += 1;
+        let checkpoint_due = self.config.checkpoint_every > 0
+            && a.frames_since_checkpoint >= self.config.checkpoint_every;
+        drop(a);
+        self.commit_durable(ticket)?;
+        let records =
+            self.apply_in_order(ticket, || Ok(self.aggregator.apply_partitioned(scratch)))?;
+        self.finish(payload.len(), checkpoint_due)?;
         Ok(SeqIngest::Applied { kind, records })
     }
 
     fn advance_epoch(&self) -> Result<u64, JournalError> {
-        let mut inner = self.lock_inner();
-        if inner.crashed {
-            return Err(JournalError::Crashed);
-        }
-        // All mutation is serialized through this lock, so the epoch
-        // after the advance is knowable before applying it.
-        let epoch_after = self.aggregator.epoch() + 1;
+        self.check_crashed()?;
+        let mut a = self.lock_append();
+        self.check_crashed()?;
+        // The append lock serializes epoch tickets, and `next_epoch`
+        // counts the advances already journaled (applied or not), so
+        // the post-advance epoch is knowable at append time.
+        let epoch_after = a.next_epoch + 1;
         let payload = encode_epoch(epoch_after);
-        self.append_record(&mut inner, &payload)?;
-        let advanced = self.aggregator.advance_epoch();
+        let ticket = self.append_locked(&mut a, &payload)?;
+        a.next_epoch = epoch_after;
+        drop(a);
+        self.commit_durable(ticket)?;
+        let advanced = self.apply_in_order(ticket, || Ok(self.aggregator.advance_epoch()))?;
         debug_assert_eq!(advanced, epoch_after);
-        self.commit_applied(&mut inner, payload.len(), false)?;
+        self.finish(payload.len(), false)?;
         Ok(advanced)
     }
 
     fn dedup_usage(&self) -> DedupUsage {
-        let inner = self.lock_inner();
+        let a = self.lock_append();
         DedupUsage {
-            clients: inner.dedup.len(),
-            max_seq: inner.dedup.max_seq(),
+            clients: a.dedup.len(),
+            max_seq: a.dedup.max_seq(),
         }
+    }
+
+    fn flush(&self) -> Result<(), JournalError> {
+        if !self.wal_dirty() {
+            return Ok(());
+        }
+        self.sync_now()?;
+        StoreMetrics::get().wal_shutdown_syncs.inc();
+        Ok(())
     }
 }

@@ -306,11 +306,11 @@ fn crash_and_recover(site: CrashSite, spec: CrashSpec) -> crate::RecoveryReport 
         assert!(matches!(store.checkpoint_now(), Err(JournalError::Crashed)));
     }
 
-    // The durable prefix: ops before the crash, plus — for the
-    // after-append site — the crashed operation itself (journaled and
-    // synced, never acknowledged).
+    // The durable prefix: ops before the crash, plus — for the sites
+    // past the WAL append — the crashed operation itself (journaled,
+    // never acknowledged, possibly never applied in-process).
     let durable = match site {
-        CrashSite::AfterWalAppend => &ops[..=crashed_at],
+        CrashSite::AfterWalAppend | CrashSite::BeforeApply => &ops[..=crashed_at],
         _ => &ops[..crashed_at],
     };
     let reopened = ProfileStore::open(dir.path(), agg(decaying()), fast_config()).unwrap();
@@ -332,6 +332,18 @@ fn crash_after_wal_append_preserves_the_unacked_op() {
     let report = crash_and_recover(
         CrashSite::AfterWalAppend,
         CrashSpec::at(CrashSite::AfterWalAppend).after(5),
+    );
+    assert!(!report.truncated_tail);
+}
+
+#[test]
+fn crash_between_append_and_apply_replays_the_journaled_op() {
+    // The staged write path opens a new failure window: the record is
+    // in the WAL but the crash lands before the in-process apply. The
+    // crashed process never saw the op's effect; recovery must.
+    let report = crash_and_recover(
+        CrashSite::BeforeApply,
+        CrashSpec::at(CrashSite::BeforeApply).after(5),
     );
     assert!(!report.truncated_tail);
 }
@@ -563,4 +575,390 @@ fn flipping_each_crc_byte_is_always_detected() {
         }
     }
     drop(src);
+}
+
+// ---------------------------------------------------------------------
+// Staged write path: concurrent bit-identity, group commit, mid-batch
+// crashes, and the durable-store defect-sweep regressions.
+// ---------------------------------------------------------------------
+
+/// Decodes the scanned WAL contents of `dir` (all segments, in order)
+/// back into scripted ops — the authoritative serialization order of a
+/// concurrent run.
+fn wal_op_order(dir: &Path) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for (_, path) in list_segments(dir).unwrap() {
+        let scan = scan_segment(&path).unwrap();
+        assert!(!scan.corrupt, "no torn records expected in {path:?}");
+        for record in &scan.records {
+            match wal::decode_op(&record.payload).expect("every record decodes") {
+                wal::WalOp::Frame(f) => ops.push(Op::Push(f.to_vec())),
+                wal::WalOp::SeqFrame { client, seq, frame } => ops.push(Op::PushSeq {
+                    client,
+                    seq,
+                    frame: frame.to_vec(),
+                }),
+                wal::WalOp::Epoch(_) => ops.push(Op::Epoch),
+            }
+        }
+    }
+    ops
+}
+
+/// Hammers one store with four pusher threads of disjoint mixed ops and
+/// asserts the tentpole invariant: the live store, a serial reference
+/// ingesting the WAL order, and a recovered reopen agree byte-for-byte.
+fn concurrent_ingest_matches_wal_order(name: &str, config: StoreConfig, acked_means_durable: bool) {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 25;
+    let dir = TestDir::new(name);
+    let wal_order;
+    {
+        let store = Arc::new(ProfileStore::open(dir.path(), agg(decaying()), config).unwrap());
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS as usize));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let store = Arc::clone(&store);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let mut scratch = IngestScratch::new();
+                barrier.wait();
+                for i in 0..PER_THREAD {
+                    let n = t * PER_THREAD + i;
+                    match n % 5 {
+                        0 => {
+                            store.ingest_frame(&frame(n), &mut scratch).unwrap();
+                        }
+                        4 => {
+                            store.advance_epoch().unwrap();
+                        }
+                        _ => assert_ne!(
+                            store
+                                .ingest_sequenced(t + 1, i + 1, &frame(n), &mut scratch)
+                                .unwrap(),
+                            SeqIngest::Duplicate,
+                            "scripted (client, seq) pairs are unique"
+                        ),
+                    }
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        if acked_means_durable {
+            assert!(
+                !store.wal_dirty(),
+                "every op was acked; under `Always` that means durable"
+            );
+        }
+        // The WAL's record order is the serialization the store claims
+        // it applied; a serial reference ingesting that order must land
+        // on the same bytes (f64 accumulation is order-sensitive, so
+        // this catches any out-of-order apply).
+        wal_order = wal_op_order(dir.path());
+        assert_eq!(wal_order.len(), (THREADS * PER_THREAD) as usize);
+        assert_store_matches(&store, &reference(decaying(), 3, &wal_order));
+    }
+    // And recovery replays that same order to the identical state.
+    let reopened = ProfileStore::open(dir.path(), agg(decaying()), fast_config()).unwrap();
+    assert_store_matches(&reopened, &reference(decaying(), 3, &wal_order));
+}
+
+#[test]
+fn concurrent_pushers_are_bit_identical_without_fsync() {
+    concurrent_ingest_matches_wal_order("conc-never", fast_config(), false);
+}
+
+#[test]
+fn concurrent_pushers_are_bit_identical_under_every_n() {
+    concurrent_ingest_matches_wal_order(
+        "conc-everyn",
+        StoreConfig {
+            fsync: FsyncPolicy::EveryN(3),
+            ..fast_config()
+        },
+        false,
+    );
+}
+
+#[test]
+fn concurrent_pushers_are_bit_identical_under_group_commit() {
+    let before = crate::StoreMetrics::get().wal_group_commits.get();
+    concurrent_ingest_matches_wal_order(
+        "conc-always",
+        StoreConfig {
+            fsync: FsyncPolicy::Always,
+            ..fast_config()
+        },
+        true,
+    );
+    assert!(
+        crate::StoreMetrics::get().wal_group_commits.get() > before,
+        "durable acks must have gone through the group-commit stage"
+    );
+}
+
+#[test]
+fn concurrent_pushers_are_bit_identical_with_a_batch_fill_window() {
+    concurrent_ingest_matches_wal_order(
+        "conc-wait",
+        StoreConfig {
+            fsync: FsyncPolicy::Always,
+            group_commit: crate::GroupCommitConfig {
+                max_batch: 8,
+                max_wait: std::time::Duration::from_micros(200),
+            },
+            ..fast_config()
+        },
+        true,
+    );
+}
+
+#[test]
+fn mid_batch_crash_preserves_every_acked_push() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 12;
+    let dir = TestDir::new("crash-midbatch");
+    let schedule = FaultSchedule::scripted([])
+        .with_crash(CrashSpec::at(CrashSite::AfterWalAppend).after(17))
+        .shared();
+    let config = StoreConfig {
+        fsync: FsyncPolicy::Always,
+        faults: Some(schedule.clone()),
+        ..fast_config()
+    };
+    let acked = {
+        let store = Arc::new(ProfileStore::open(dir.path(), agg(decaying()), config).unwrap());
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS as usize));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let store = Arc::clone(&store);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let mut scratch = IngestScratch::new();
+                let mut acked = Vec::new();
+                barrier.wait();
+                for i in 0..PER_THREAD {
+                    let n = t * PER_THREAD + i;
+                    match store.ingest_frame(&frame(n), &mut scratch) {
+                        Ok(_) => acked.push(n),
+                        Err(JournalError::Crashed) => break,
+                        Err(e) => panic!("unexpected error at frame {n}: {e}"),
+                    }
+                }
+                acked
+            }));
+        }
+        let acked: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        assert_eq!(schedule.lock().unwrap().counts().crashes, 1);
+        acked
+    };
+
+    // The crash landed with group-commit acks outstanding: some pushes
+    // were acked, the crashed op and racing appends were journaled but
+    // never acknowledged. Every ack must be covered by the WAL, and
+    // recovery must equal serial ingest of the scanned record order.
+    let wal_order = wal_op_order(dir.path());
+    assert!(
+        acked.len() < (THREADS * PER_THREAD) as usize,
+        "the scripted crash must have cut some pushers short"
+    );
+    assert!(acked.len() <= wal_order.len());
+    for n in &acked {
+        let bytes = frame(*n);
+        assert!(
+            wal_order
+                .iter()
+                .any(|op| matches!(op, Op::Push(f) if *f == bytes)),
+            "acked frame {n} must be in the recovered WAL"
+        );
+    }
+    let reopened = ProfileStore::open(dir.path(), agg(decaying()), fast_config()).unwrap();
+    assert_store_matches(&reopened, &reference(decaying(), 3, &wal_order));
+}
+
+#[test]
+fn duplicate_seq_ack_is_durable_under_group_commit() {
+    let dir = TestDir::new("dup-durable");
+    let config = StoreConfig {
+        fsync: FsyncPolicy::Always,
+        ..fast_config()
+    };
+    let store = ProfileStore::open(dir.path(), agg(decaying()), config).unwrap();
+    let mut scratch = IngestScratch::new();
+    assert_ne!(
+        store
+            .ingest_sequenced(7, 1, &frame(0), &mut scratch)
+            .unwrap(),
+        SeqIngest::Duplicate
+    );
+    // The duplicate ack promises the *original* is durable: the WAL
+    // must be clean when it returns.
+    assert_eq!(
+        store
+            .ingest_sequenced(7, 1, &frame(0), &mut scratch)
+            .unwrap(),
+        SeqIngest::Duplicate
+    );
+    assert!(!store.wal_dirty());
+}
+
+#[test]
+fn sync_cadence_resets_at_every_sync_not_just_every_n() {
+    let dir = TestDir::new("cadence");
+    let config = StoreConfig {
+        fsync: FsyncPolicy::EveryN(3),
+        ..fast_config()
+    };
+    let store = ProfileStore::open(dir.path(), agg(decaying()), config).unwrap();
+    let mut scratch = IngestScratch::new();
+    store.ingest_frame(&frame(0), &mut scratch).unwrap();
+    store.ingest_frame(&frame(1), &mut scratch).unwrap();
+    assert!(store.wal_dirty(), "two appends under every-3 stay unsynced");
+    store.checkpoint_now().unwrap();
+    assert!(!store.wal_dirty(), "a checkpoint syncs the tail");
+    store.ingest_frame(&frame(2), &mut scratch).unwrap();
+    store.ingest_frame(&frame(3), &mut scratch).unwrap();
+    assert!(store.wal_dirty());
+    // The regression: the checkpoint's sync did not reset the cadence
+    // counter, so the third append *since that sync* synced one op too
+    // early (and the loss window drifted out of phase forever after).
+    store.ingest_frame(&frame(4), &mut scratch).unwrap();
+    assert!(
+        !store.wal_dirty(),
+        "the third append since the checkpoint's sync must sync"
+    );
+    store.ingest_frame(&frame(5), &mut scratch).unwrap();
+    store.sync_now().unwrap();
+    assert!(!store.wal_dirty());
+    store.ingest_frame(&frame(6), &mut scratch).unwrap();
+    store.ingest_frame(&frame(7), &mut scratch).unwrap();
+    assert!(store.wal_dirty(), "a manual sync also restarts the count");
+    store.ingest_frame(&frame(8), &mut scratch).unwrap();
+    assert!(!store.wal_dirty());
+}
+
+#[test]
+fn flush_syncs_a_dirty_tail_and_is_idempotent() {
+    let dir = TestDir::new("flush-dirty");
+    let store = ProfileStore::open(dir.path(), agg(decaying()), fast_config()).unwrap();
+    let mut scratch = IngestScratch::new();
+    store.ingest_frame(&frame(0), &mut scratch).unwrap();
+    assert!(store.wal_dirty(), "lazy fsync leaves the tail unsynced");
+    store.flush().unwrap();
+    assert!(!store.wal_dirty());
+    store.flush().unwrap(); // clean flush is a no-op
+    assert!(!store.wal_dirty());
+}
+
+#[test]
+fn graceful_server_shutdown_syncs_the_lazy_wal_tail() {
+    let dir = TestDir::new("shutdown-sync");
+    let aggregator = agg(decaying());
+    let store =
+        Arc::new(ProfileStore::open(dir.path(), Arc::clone(&aggregator), fast_config()).unwrap());
+    let before = crate::StoreMetrics::get().wal_shutdown_syncs.get();
+    let server = cbs_profiled::serve_with(
+        "127.0.0.1:0",
+        aggregator,
+        cbs_profiled::ServerConfig {
+            journal: Some(Arc::clone(&store) as Arc<dyn ProfileJournal>),
+            ..cbs_profiled::ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client =
+        cbs_profiled::ProfileClient::connect(server.addr(), cbs_profiled::NetConfig::default())
+            .unwrap();
+    client.push_frame(&frame(0)).unwrap();
+    drop(client);
+    assert!(
+        store.wal_dirty(),
+        "the acked push is not yet on stable storage"
+    );
+    server.shutdown();
+    assert!(
+        !store.wal_dirty(),
+        "graceful shutdown must sync the WAL tail"
+    );
+    assert!(crate::StoreMetrics::get().wal_shutdown_syncs.get() > before);
+}
+
+#[test]
+fn poisoned_fault_schedule_is_recovered_not_propagated() {
+    let dir = TestDir::new("poisoned-faults");
+    let schedule = FaultSchedule::scripted([]).shared();
+    let config = StoreConfig {
+        faults: Some(Arc::clone(&schedule)),
+        ..fast_config()
+    };
+    let store = ProfileStore::open(dir.path(), agg(decaying()), config).unwrap();
+    // A holder thread panics with the schedule mutex held — exactly
+    // what a scripted crash's unwinding test thread does.
+    let holder = Arc::clone(&schedule);
+    let panicker = std::thread::spawn(move || {
+        let _guard = holder.lock().expect("first locker sees no poison");
+        panic!("scripted panic while holding the fault schedule");
+    });
+    assert!(panicker.join().is_err(), "thread must have panicked");
+    assert!(schedule.lock().is_err(), "the schedule mutex is poisoned");
+    // Every journaled op probes the schedule at its crash sites; the
+    // poisoned lock must be recovered, not escalated into a panic.
+    let before = crate::StoreMetrics::get().fault_lock_recovered.get();
+    let mut scratch = IngestScratch::new();
+    store.ingest_frame(&frame(0), &mut scratch).unwrap();
+    store.checkpoint_now().unwrap();
+    assert!(crate::StoreMetrics::get().fault_lock_recovered.get() > before);
+}
+
+#[test]
+fn checkpoint_survives_a_failed_segment_deletion_and_retries() {
+    let dir = TestDir::new("gc-nonfatal");
+    let store = ProfileStore::open(dir.path(), agg(decaying()), fast_config()).unwrap();
+    let mut scratch = IngestScratch::new();
+    for i in 0..4u64 {
+        store.ingest_frame(&frame(i), &mut scratch).unwrap();
+    }
+    // Sabotage GC: park the live segment and put a directory at its
+    // path. The store's open fd is unaffected; `remove_file` fails.
+    let victim = dir.path().join(wal::segment_file_name(1));
+    let parked = dir.path().join("segment-1.parked");
+    fs::rename(&victim, &parked).unwrap();
+    fs::create_dir(&victim).unwrap();
+
+    let before = crate::StoreMetrics::get().checkpoint_gc_errors.get();
+    store.checkpoint_now().unwrap(); // the checkpoint itself must commit
+    assert!(
+        crate::StoreMetrics::get().checkpoint_gc_errors.get() > before,
+        "the failed deletion is counted, not fatal"
+    );
+    assert!(dir.path().join("checkpoint.cbsc").exists());
+    assert!(victim.exists(), "the undeletable entry is still there");
+
+    // The store keeps serving, and once the obstruction clears the
+    // next checkpoint's GC retries the deletion and wins.
+    store.ingest_frame(&frame(4), &mut scratch).unwrap();
+    fs::remove_dir(&victim).unwrap();
+    fs::rename(&parked, &victim).unwrap();
+    store.checkpoint_now().unwrap();
+    assert!(!victim.exists(), "the next checkpoint deleted the leftover");
+}
+
+#[test]
+fn second_opener_is_refused_while_the_store_is_live() {
+    let dir = TestDir::new("lock-refusal");
+    let store = ProfileStore::open(dir.path(), agg(decaying()), fast_config()).unwrap();
+    let err = ProfileStore::open(dir.path(), agg(decaying()), fast_config()).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+    assert!(
+        err.to_string().contains("locked by running process"),
+        "the refusal must say who holds the lock: {err}"
+    );
+    drop(store);
+    // Releasing the lock makes the directory usable again.
+    ProfileStore::open(dir.path(), agg(decaying()), fast_config()).unwrap();
 }

@@ -29,6 +29,7 @@ use crate::crc::crc32;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Segment header magic.
 pub const WAL_MAGIC: [u8; 4] = *b"CBSW";
@@ -158,9 +159,14 @@ pub fn encode_epoch(epoch_after: u64) -> Vec<u8> {
 }
 
 /// An open segment being appended to.
+///
+/// The file handle is shared (`Arc<File>`) so a group-commit leader can
+/// `sync_all` the segment *without* holding the append lock that guards
+/// the writer itself; appends and syncs on the same `File` are safe to
+/// overlap (`write` and `fsync` are independent syscalls).
 #[derive(Debug)]
 pub struct SegmentWriter {
-    file: File,
+    file: Arc<File>,
     path: PathBuf,
     seq: u64,
     len: u64,
@@ -188,11 +194,17 @@ impl SegmentWriter {
         file.sync_all()?;
         sync_dir(dir)?;
         Ok(Self {
-            file,
+            file: Arc::new(file),
             path,
             seq,
             len: WAL_HEADER_LEN,
         })
+    }
+
+    /// A shared handle to the segment file, for syncing it outside the
+    /// lock that guards the writer.
+    pub fn file(&self) -> Arc<File> {
+        Arc::clone(&self.file)
     }
 
     /// The segment's sequence number.
@@ -229,7 +241,7 @@ impl SegmentWriter {
         framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         framed.extend_from_slice(&crc32(payload).to_le_bytes());
         framed.extend_from_slice(payload);
-        self.file.write_all(&framed)?;
+        (&*self.file).write_all(&framed)?;
         self.len += framed.len() as u64;
         Ok(offset)
     }
@@ -249,7 +261,7 @@ impl SegmentWriter {
         framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         framed.extend_from_slice(&crc32(payload).to_le_bytes());
         framed.extend_from_slice(&payload[..keep]);
-        self.file.write_all(&framed)?;
+        (&*self.file).write_all(&framed)?;
         self.len += framed.len() as u64;
         self.file.sync_all()
     }
@@ -262,7 +274,7 @@ impl SegmentWriter {
     /// Propagates truncation failures.
     pub fn truncate_to(&mut self, offset: u64) -> io::Result<()> {
         self.file.set_len(offset)?;
-        self.file.seek(SeekFrom::Start(offset))?;
+        (&*self.file).seek(SeekFrom::Start(offset))?;
         self.len = offset;
         Ok(())
     }

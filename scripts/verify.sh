@@ -53,7 +53,8 @@ done
 for cfg in codec/encode codec/decode \
            aggregate/shards=1/serial aggregate/shards=4/serial aggregate/shards=8/serial \
            aggregate/shards=4/streaming aggregate/shards=8/streaming \
-           pull/rebuild pull/cached wal/append recovery/replay; do
+           pull/rebuild pull/cached wal/append wal/append_concurrent \
+           wal/append_single_lock recovery/replay; do
   grep -q "\"config\": \"$cfg\"" "$BENCH_JSON" \
     || { echo "FAIL: $BENCH_JSON missing config \"$cfg\"" >&2; exit 1; }
 done
@@ -66,6 +67,21 @@ awk -F'"median_ns": ' '
   /"config": "wal\/append"/                    { split($2, a, ","); wal = a[1] }
   END { if (mem == 0 || wal == 0 || wal > 2 * mem) exit 1 }' "$BENCH_JSON" \
   || { echo "FAIL: wal/append median exceeds 2x aggregate/shards=4/streaming in $BENCH_JSON" >&2; exit 1; }
+# Group-commit acceptance bound: four concurrent durable pushers
+# (shared group-commit syncs) must beat the single-lock
+# one-fsync-per-op convoy they replaced. The amortization ceiling is
+# the storage's fsync cost relative to the per-op CPU work: on
+# seek-bound disks (fsync >=1ms) batches of four sustain >=3x, but on
+# this class of virtio-backed host an fsync is ~150us -- the same
+# order as the apply/append work it overlaps -- which compresses the
+# measured ratio to ~2x. The gate floor is set where a regression back
+# toward convoying (ratio -> 1) trips it, with margin for the host's
+# fsync-latency jitter.
+awk -F'"median_ns": ' '
+  /"config": "wal\/append_concurrent"/  { split($2, a, ","); conc = a[1] }
+  /"config": "wal\/append_single_lock"/ { split($2, a, ","); lock = a[1] }
+  END { if (conc == 0 || lock == 0 || lock < 1.4 * conc) exit 1 }' "$BENCH_JSON" \
+  || { echo "FAIL: wal/append_concurrent is not >=1.4x faster than wal/append_single_lock in $BENCH_JSON" >&2; exit 1; }
 
 if [[ "$BENCH_SMOKE" == "1" ]]; then
   echo "==> cargo bench (smoke: CBS_BENCH_SMOKE=1, one iteration per bench)"
@@ -198,6 +214,15 @@ grep -q '^recovered frames=0 ' "$SMOKE_DIR/server3.out" \
 timeout 60 "$DCGTOOL" push "$ADDR3" "$SMOKE_DIR/a.dcgb"
 timeout 60 "$DCGTOOL" push "$ADDR3" --seed 11 --retries 8 --backoff-ms 1 "$SMOKE_DIR/a.dcgb"
 timeout 60 "$DCGTOOL" pull "$ADDR3" "$SMOKE_DIR/pre_kill.dcg"
+# The live server holds the advisory store lock: offline compaction must
+# be refused with a clear diagnostic instead of corrupting the live WAL.
+if timeout 60 "$DCGTOOL" store compact "$STORE_DIR" --shards 4 \
+    2> "$SMOKE_DIR/compact_refused.txt"; then
+  echo "FAIL: store compact succeeded against a live server's data dir" >&2; exit 1
+fi
+grep -q 'locked by running process' "$SMOKE_DIR/compact_refused.txt" \
+  || { echo "FAIL: lockfile refusal does not name the holding process" >&2;
+       cat "$SMOKE_DIR/compact_refused.txt" >&2; exit 1; }
 kill -9 "$PROFILED3_PID"
 wait "$PROFILED3_PID" 2>/dev/null || true
 PROFILED3_PID=""
@@ -235,6 +260,51 @@ grep -Eq '^recovered frames=0 .* checkpoint_epoch=[0-9]' "$SMOKE_DIR/server5.out
 timeout 60 "$DCGTOOL" pull "$ADDR5" "$SMOKE_DIR/post_compact.dcg"
 cmp "$SMOKE_DIR/pre_kill.dcg" "$SMOKE_DIR/post_compact.dcg" \
   || { echo "FAIL: compacted store serves a different fleet profile" >&2; exit 1; }
+kill "$PROFILED3_PID" 2>/dev/null || true
+wait "$PROFILED3_PID" 2>/dev/null || true
+PROFILED3_PID=""
+
+echo "==> durable-store mid-batch kill smoke (4 pushers, SIGKILL, deterministic recovery)"
+# Four parallel pushers drive a --fsync always --group-commit server and
+# the server dies by SIGKILL with group-commit batches in flight. The
+# WAL then defines the truth: two independent restarts must replay it to
+# byte-identical fleet profiles (torn tails cut, acked pushes kept).
+STORE_DIR2="$SMOKE_DIR/store2"
+"$PROFILED" --addr 127.0.0.1:0 --shards 4 --data-dir "$STORE_DIR2" \
+  --fsync always --group-commit 8,200 > "$SMOKE_DIR/server6.out" &
+PROFILED3_PID=$!
+ADDR6="$(wait_for_listening "$SMOKE_DIR/server6.out")"
+[[ -n "$ADDR6" ]] || { echo "FAIL: group-commit profiled did not report its address" >&2; exit 1; }
+PUSHER_PIDS=()
+for _ in 1 2 3 4; do
+  (
+    for _ in $(seq 1 50); do
+      timeout 10 "$DCGTOOL" push "$ADDR6" "$SMOKE_DIR/a.dcgb" >/dev/null 2>&1 || exit 0
+    done
+  ) &
+  PUSHER_PIDS+=($!)
+done
+sleep 0.5
+kill -9 "$PROFILED3_PID"
+wait "$PROFILED3_PID" 2>/dev/null || true
+PROFILED3_PID=""
+wait "${PUSHER_PIDS[@]}" 2>/dev/null || true
+for restart in 1 2; do
+  "$PROFILED" --addr 127.0.0.1:0 --shards 4 --data-dir "$STORE_DIR2" --fsync always \
+    > "$SMOKE_DIR/server_restart$restart.out" &
+  PROFILED3_PID=$!
+  RADDR="$(wait_for_listening "$SMOKE_DIR/server_restart$restart.out")"
+  [[ -n "$RADDR" ]] || { echo "FAIL: restart $restart did not report its address" >&2; exit 1; }
+  grep -Eq '^recovered frames=[1-9]' "$SMOKE_DIR/server_restart$restart.out" \
+    || { echo "FAIL: restart $restart replayed no frames after the mid-batch kill" >&2;
+         cat "$SMOKE_DIR/server_restart$restart.out" >&2; exit 1; }
+  timeout 60 "$DCGTOOL" pull "$RADDR" "$SMOKE_DIR/mid_batch_pull$restart.dcg"
+  kill "$PROFILED3_PID" 2>/dev/null || true
+  wait "$PROFILED3_PID" 2>/dev/null || true
+  PROFILED3_PID=""
+done
+cmp "$SMOKE_DIR/mid_batch_pull1.dcg" "$SMOKE_DIR/mid_batch_pull2.dcg" \
+  || { echo "FAIL: two recoveries of the same mid-batch WAL served different profiles" >&2; exit 1; }
 
 echo "==> repro fleet render pin (deterministic output matches the committed artifact)"
 # The fleet table and its telemetry counters are fully deterministic, so
